@@ -1,0 +1,191 @@
+package khist_test
+
+// One benchmark per experiment table (E1-E10, A1-A3; see DESIGN.md's
+// per-experiment index), each regenerating its table in quick mode, plus
+// micro-benchmarks of the hot operations (sampling, tabulation, the two
+// learners, the two testers and the offline DP).
+//
+// Run everything:  go test -bench=. -benchmem
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"khist"
+	"khist/internal/experiment"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiment.Config{Quick: true, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if err := experiment.RunOne(id, cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1GreedyError(b *testing.B)         { benchExperiment(b, "E1") }
+func BenchmarkE2FastGreedy(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3SampleComplexity(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4TesterL2(b *testing.B)            { benchExperiment(b, "E4") }
+func BenchmarkE5TesterL2Samples(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE6TesterL1(b *testing.B)            { benchExperiment(b, "E6") }
+func BenchmarkE7TesterL1Samples(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8LowerBound(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkE9Collision(b *testing.B)           { benchExperiment(b, "E9") }
+func BenchmarkE10Baselines(b *testing.B)          { benchExperiment(b, "E10") }
+func BenchmarkA1CandidateSet(b *testing.B)        { benchExperiment(b, "A1") }
+func BenchmarkA2MedianAmplification(b *testing.B) { benchExperiment(b, "A2") }
+func BenchmarkA3Iterations(b *testing.B)          { benchExperiment(b, "A3") }
+
+// Micro-benchmarks.
+
+func BenchmarkSamplerDraw(b *testing.B) {
+	d := khist.Zipf(1<<16, 1.1)
+	s := khist.NewSampler(d, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample()
+	}
+}
+
+func BenchmarkEmpiricalTabulate(b *testing.B) {
+	d := khist.Zipf(4096, 1.1)
+	s := khist.NewSampler(d, rand.New(rand.NewSource(2)))
+	samples := make([]int, 100000)
+	for i := range samples {
+		samples[i] = s.Sample()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = khist.NewEmpirical(samples, 4096)
+	}
+}
+
+func BenchmarkLearnFast(b *testing.B) {
+	d := khist.RandomKHistogram(512, 4, rand.New(rand.NewSource(3)))
+	opts := khist.LearnOptions{K: 4, Eps: 0.1, SampleScale: 0.02, MaxSamplesPerSet: 50000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := khist.NewSampler(d, rand.New(rand.NewSource(int64(i))))
+		if _, err := khist.Learn(s, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLearnFull(b *testing.B) {
+	d := khist.RandomKHistogram(256, 4, rand.New(rand.NewSource(4)))
+	opts := khist.LearnOptions{K: 4, Eps: 0.1, SampleScale: 0.02, MaxSamplesPerSet: 50000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := khist.NewSampler(d, rand.New(rand.NewSource(int64(i))))
+		if _, err := khist.LearnFull(s, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTesterL2(b *testing.B) {
+	d := khist.RandomKHistogram(256, 4, rand.New(rand.NewSource(5)))
+	opts := khist.TestOptions{K: 4, Eps: 0.25, SampleScale: 0.02, MaxSamplesPerSet: 4000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := khist.NewSampler(d, rand.New(rand.NewSource(int64(i))))
+		if _, err := khist.TestKHistogramL2(s, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTesterL1(b *testing.B) {
+	d := khist.RandomKHistogram(256, 4, rand.New(rand.NewSource(6)))
+	opts := khist.TestOptions{K: 4, Eps: 0.25, SampleScale: 0.02, MaxSamplesPerSet: 4000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := khist.NewSampler(d, rand.New(rand.NewSource(int64(i))))
+		if _, err := khist.TestKHistogramL1(s, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalL2DP(b *testing.B) {
+	d := khist.Zipf(512, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := khist.OptimalL2(d, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyMerge(b *testing.B) {
+	d := khist.Zipf(4096, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := khist.GreedyMerge(d, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11Streaming(b *testing.B) { benchExperiment(b, "E11") }
+
+func BenchmarkStreamObserve(b *testing.B) {
+	m, err := khist.NewMaintainer(khist.StreamOptions{
+		N: 4096, K: 8, Eps: 0.1, ReservoirSize: 32768,
+		Rand: rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := khist.NewSampler(khist.Zipf(4096, 1.1), rand.New(rand.NewSource(8)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(s.Sample())
+	}
+}
+
+func BenchmarkIdentityTester(b *testing.B) {
+	q := khist.Zipf(1024, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := khist.NewSampler(q, rand.New(rand.NewSource(int64(i))))
+		if _, err := khist.TestIdentity(s, q, 0.25, 0.05, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistanceEstimate(b *testing.B) {
+	d := khist.RandomKHistogram(256, 4, rand.New(rand.NewSource(9)))
+	opts := khist.LearnOptions{K: 4, Eps: 0.1, SampleScale: 0.02, MaxSamplesPerSet: 20000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := khist.NewSampler(d, rand.New(rand.NewSource(int64(i))))
+		if _, err := khist.EstimateDistance(s, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12Learn2D(b *testing.B) { benchExperiment(b, "E12") }
+
+func BenchmarkLearn2D(b *testing.B) {
+	g := khist.RandomRectHistogram(24, 24, 4, rand.New(rand.NewSource(10)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := khist.NewSampler(g.Flatten(), rand.New(rand.NewSource(int64(i))))
+		if _, err := khist.Learn2D(s, khist.Options2D{
+			Rows: 24, Cols: 24, K: 4, Eps: 0.1,
+			Samples: 10000, Rand: rand.New(rand.NewSource(int64(i))),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA4KDependence(b *testing.B) { benchExperiment(b, "A4") }

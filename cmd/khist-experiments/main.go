@@ -1,0 +1,60 @@
+// Command khist-experiments regenerates the evaluation tables recorded in
+// EXPERIMENTS.md: one experiment per theorem/claim of Indyk, Levi,
+// Rubinfeld (PODS 2012), plus ablations. See DESIGN.md for the index.
+//
+// Usage:
+//
+//	khist-experiments               # run everything, full configuration
+//	khist-experiments -quick        # small sweeps (seconds)
+//	khist-experiments -run E4       # one experiment
+//	khist-experiments -list         # list experiment IDs
+//	khist-experiments -seed 7       # change the master seed
+//	khist-experiments -quick -csv out/   # write tables as CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"khist/internal/experiment"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "small sweeps and trial counts (seconds instead of minutes)")
+		run    = flag.String("run", "", "run a single experiment by ID (e.g. E4)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		seed   = flag.Int64("seed", 1, "master random seed (same seed, same tables)")
+		csvDir = flag.String("csv", "", "also write every table as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiment.Config{Quick: *quick, Seed: *seed}
+	var err error
+	switch {
+	case *csvDir != "":
+		if err = os.MkdirAll(*csvDir, 0o755); err == nil {
+			err = experiment.WriteAllCSV(cfg, func(name string) (io.WriteCloser, error) {
+				return os.Create(filepath.Join(*csvDir, name))
+			})
+		}
+	case *run != "":
+		err = experiment.RunOne(*run, cfg, os.Stdout)
+	default:
+		err = experiment.RunAll(cfg, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khist-experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Command khist-learn learns a k-histogram approximation of a distribution
+// from samples and prints the result, along with the exact error and the
+// offline optimum when the true pmf is available.
+//
+// The input distribution is either generated (-gen) or read from a file of
+// whitespace-separated non-negative weights (-pmf), which are normalized.
+//
+// Examples:
+//
+//	khist-learn -gen zipf -n 1024 -k 8 -eps 0.1
+//	khist-learn -gen khist -n 512 -k 4 -full
+//	khist-learn -pmf weights.txt -k 6 -eps 0.05 -scale 0.05
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"khist"
+)
+
+func main() {
+	var (
+		gen   = flag.String("gen", "zipf", "generator: zipf | geometric | uniform | khist | staircase")
+		pmf   = flag.String("pmf", "", "file of whitespace-separated weights (overrides -gen)")
+		n     = flag.Int("n", 1024, "domain size for generated distributions")
+		k     = flag.Int("k", 8, "histogram pieces to compete against")
+		eps   = flag.Float64("eps", 0.1, "accuracy parameter")
+		scale = flag.Float64("scale", 0.05, "sample-size scale (1 = paper's worst-case constants)")
+		cap   = flag.Int("cap", 400000, "per-set sample cap (0 = none)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		full  = flag.Bool("full", false, "use the full O(n^2)-scan Algorithm 1 instead of the fast variant")
+	)
+	flag.Parse()
+
+	d, err := loadDistribution(*pmf, *gen, *n, *k, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khist-learn:", err)
+		os.Exit(1)
+	}
+
+	opts := khist.LearnOptions{
+		K: *k, Eps: *eps,
+		Rand:             rand.New(rand.NewSource(*seed + 1)),
+		SampleScale:      *scale,
+		MaxSamplesPerSet: *cap,
+	}
+	sampler := khist.NewSampler(d, rand.New(rand.NewSource(*seed+2)))
+
+	var res *khist.LearnResult
+	if *full {
+		res, err = khist.LearnFull(sampler, opts)
+	} else {
+		res, err = khist.Learn(sampler, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khist-learn:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("domain n=%d  k=%d  eps=%g  samples=%d  iterations=%d  candidates=%d\n",
+		d.N(), *k, *eps, res.SamplesUsed, res.Iterations, res.CandidatesScanned)
+	fmt.Printf("learned: %v\n", res.Tiling)
+	errSq := res.Tiling.L2SqTo(d)
+	fmt.Printf("||p-H||_2^2 = %.6g\n", errSq)
+	if opt, err := khist.OptimalL2Error(d, *k); err == nil {
+		fmt.Printf("offline optimum (exact DP, %d pieces) = %.6g   additive gap = %.6g\n",
+			*k, opt, errSq-opt)
+	}
+}
+
+func loadDistribution(pmfPath, gen string, n, k int, seed int64) (*khist.Distribution, error) {
+	if pmfPath != "" {
+		f, err := os.Open(pmfPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var weights []float64
+		sc := bufio.NewScanner(f)
+		sc.Split(bufio.ScanWords)
+		for sc.Scan() {
+			v, err := strconv.ParseFloat(sc.Text(), 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			weights = append(weights, v)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return khist.FromWeights(weights)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch gen {
+	case "zipf":
+		return khist.Zipf(n, 1.1), nil
+	case "geometric":
+		return khist.Geometric(n, 0.99), nil
+	case "uniform":
+		return khist.Uniform(n), nil
+	case "khist":
+		return khist.RandomKHistogram(n, k, rng), nil
+	case "staircase":
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(n - i)
+		}
+		return khist.FromWeights(w)
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}

@@ -1,0 +1,133 @@
+// Command khist-test runs the tiling k-histogram property testers on a
+// generated or file-specified distribution and reports the verdict, the
+// flat partition found, and the sample cost.
+//
+// Examples:
+//
+//	khist-test -gen khist -n 1024 -k 8 -norm l2        # should accept
+//	khist-test -gen staircase -n 1024 -k 8 -norm l1    # should reject
+//	khist-test -pmf weights.txt -k 4 -eps 0.2
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"khist"
+)
+
+func main() {
+	var (
+		gen   = flag.String("gen", "khist", "generator: zipf | uniform | khist | staircase | comb | twolevel")
+		pmf   = flag.String("pmf", "", "file of whitespace-separated weights (overrides -gen)")
+		n     = flag.Int("n", 1024, "domain size for generated distributions")
+		k     = flag.Int("k", 8, "piece budget of the property")
+		eps   = flag.Float64("eps", 0.25, "distance parameter")
+		norm  = flag.String("norm", "l2", "distance norm: l2 | l1")
+		scale = flag.Float64("scale", 0.02, "sample-size scale (1 = paper's worst-case constants)")
+		cap   = flag.Int("cap", 10000, "per-set sample cap (0 = none)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	d, err := loadDistribution(*pmf, *gen, *n, *k, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khist-test:", err)
+		os.Exit(1)
+	}
+
+	opts := khist.TestOptions{
+		K: *k, Eps: *eps,
+		Rand:             rand.New(rand.NewSource(*seed + 1)),
+		SampleScale:      *scale,
+		MaxSamplesPerSet: *cap,
+	}
+	sampler := khist.NewSampler(d, rand.New(rand.NewSource(*seed+2)))
+
+	var res *khist.TestResult
+	switch *norm {
+	case "l2":
+		res, err = khist.TestKHistogramL2(sampler, opts)
+	case "l1":
+		res, err = khist.TestKHistogramL1(sampler, opts)
+	default:
+		err = fmt.Errorf("unknown norm %q", *norm)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khist-test:", err)
+		os.Exit(1)
+	}
+
+	verdict := "REJECT (far from every tiling k-histogram)"
+	if res.Accept {
+		verdict = "ACCEPT (consistent with a tiling k-histogram)"
+	}
+	fmt.Printf("property: tiling %d-histogram, %s distance, eps=%g\n", *k, *norm, *eps)
+	fmt.Printf("verdict:  %s\n", verdict)
+	fmt.Printf("samples:  %d (%d sets x %d)   flatness calls: %d\n",
+		res.SamplesUsed, res.R, res.M, res.FlatnessCalls)
+	fmt.Printf("partition found (%d flat intervals): %v\n", len(res.Partition), res.Partition)
+	fmt.Printf("ground truth: pmf has %d pieces (is %d-histogram: %t)\n",
+		d.Pieces(), *k, d.IsKHistogram(*k))
+}
+
+func loadDistribution(pmfPath, gen string, n, k int, seed int64) (*khist.Distribution, error) {
+	if pmfPath != "" {
+		f, err := os.Open(pmfPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var weights []float64
+		sc := bufio.NewScanner(f)
+		sc.Split(bufio.ScanWords)
+		for sc.Scan() {
+			v, err := strconv.ParseFloat(sc.Text(), 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			weights = append(weights, v)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return khist.FromWeights(weights)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch gen {
+	case "zipf":
+		return khist.Zipf(n, 1.1), nil
+	case "uniform":
+		return khist.Uniform(n), nil
+	case "khist":
+		return khist.RandomKHistogram(n, k, rng), nil
+	case "staircase":
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(n - i)
+		}
+		return khist.FromWeights(w)
+	case "comb":
+		w := make([]float64, n)
+		for i := 0; i < n/4; i += 2 {
+			w[i] = 1
+		}
+		return khist.FromWeights(w)
+	case "twolevel":
+		w := make([]float64, n)
+		for i := range w {
+			if i%2 == 0 {
+				w[i] = 1.9
+			} else {
+				w[i] = 0.1
+			}
+		}
+		return khist.FromWeights(w)
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}

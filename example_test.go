@@ -1,0 +1,116 @@
+package khist_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"khist"
+)
+
+// ExampleLearn learns a histogram of an exactly-representable distribution
+// and reports how close it got.
+func ExampleLearn() {
+	// A 3-piece histogram over [60]: heavy head, flat middle, light tail.
+	truth, err := khist.KHistogramFromSpec(60, []int{10, 40}, []float64{0.5, 0.4, 0.1})
+	if err != nil {
+		panic(err)
+	}
+	res, err := khist.Learn(
+		khist.NewSampler(truth, rand.New(rand.NewSource(7))),
+		khist.LearnOptions{K: 3, Eps: 0.1, SampleScale: 0.05, MaxSamplesPerSet: 50000},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("error below 1e-3: %t\n", res.Tiling.L2SqTo(truth) < 1e-3)
+	// Output:
+	// error below 1e-3: true
+}
+
+// ExampleTestKHistogramL2 distinguishes a true 4-histogram from a
+// staircase (which needs n pieces).
+func ExampleTestKHistogramL2() {
+	opts := khist.TestOptions{
+		K: 4, Eps: 0.25,
+		Rand:             rand.New(rand.NewSource(3)),
+		SampleScale:      0.02,
+		MaxSamplesPerSet: 4000,
+	}
+	yes := khist.RandomKHistogram(128, 4, rand.New(rand.NewSource(1)))
+	v1, err := khist.TestKHistogramL2(khist.NewSampler(yes, rand.New(rand.NewSource(2))), opts)
+	if err != nil {
+		panic(err)
+	}
+
+	// All mass on 16 alternating cells: far from every 4-histogram in l2.
+	w := make([]float64, 128)
+	for i := 0; i < 32; i += 2 {
+		w[i] = 1
+	}
+	no, err := khist.FromWeights(w)
+	if err != nil {
+		panic(err)
+	}
+	opts.Rand = rand.New(rand.NewSource(5))
+	v2, err := khist.TestKHistogramL2(khist.NewSampler(no, rand.New(rand.NewSource(4))), opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("4-histogram accepted: %t\n", v1.Accept)
+	fmt.Printf("comb accepted: %t\n", v2.Accept)
+	// Output:
+	// 4-histogram accepted: true
+	// comb accepted: false
+}
+
+// ExampleOptimalL2 computes the exact offline optimum, the quantity the
+// paper's guarantees are stated against.
+func ExampleOptimalL2() {
+	p, err := khist.NewDistribution([]float64{0.4, 0.4, 0.1, 0.1})
+	if err != nil {
+		panic(err)
+	}
+	h, err := khist.OptimalL2(p, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(h)
+	fmt.Println("error below 1e-12:", h.L2SqTo(p) < 1e-12)
+	// Output:
+	// Tiling(n=4, k=2)[[0,2)=0.4 [2,4)=0.1]
+	// error below 1e-12: true
+}
+
+// ExampleMaintainer summarizes a stream in one pass and extracts a
+// histogram without ever storing the stream.
+func ExampleMaintainer() {
+	m, err := khist.NewMaintainer(khist.StreamOptions{
+		N: 64, K: 2, Eps: 0.2,
+		ReservoirSize: 4000,
+		Rand:          rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Stream: events uniform on the first quarter of the domain.
+	src := khist.NewSampler(
+		khist.KHistogramFromSpecMust(64, []int{16}, []float64{1, 0}),
+		rand.New(rand.NewSource(2)))
+	for i := 0; i < 50000; i++ {
+		m.Observe(src.Sample())
+	}
+	h, err := m.Extract()
+	if err != nil {
+		panic(err)
+	}
+	// The raw extraction uses K ln(1/eps) intervals; project to 2 pieces.
+	h2, err := khist.ReduceL2(h, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pieces: %d\n", h2.Pieces())
+	fmt.Printf("first-quarter mass: %.2f\n", m.Weight(khist.Interval{Lo: 0, Hi: 16}))
+	// Output:
+	// pieces: 2
+	// first-quarter mass: 1.00
+}

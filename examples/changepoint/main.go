@@ -1,0 +1,112 @@
+// Regime detection in event streams: the tiling k-histogram testers as a
+// change-point tool. Requests arriving at a service are bucketed by time
+// of day; if the request-rate profile is piecewise constant ("night /
+// morning ramp-up handled as k regimes"), the k-histogram tester accepts
+// and its flat partition recovers the regime boundaries. A continuously
+// drifting load is epsilon-far from every k-regime profile and gets
+// rejected — the system operator learns that a step-model dashboard would
+// be misleading.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"khist"
+)
+
+const (
+	buckets = 1440 // one-minute buckets over a day
+	regimes = 6
+)
+
+func main() {
+	// Scenario A: a genuine k-regime load profile.
+	stepLoad := stepProfile()
+	fmt.Println("scenario A: 6-regime step load")
+	analyze(stepLoad, 1)
+
+	// Scenario B: continuously drifting (sinusoidal) load.
+	driftLoad := driftProfile()
+	fmt.Println("\nscenario B: continuously drifting load")
+	analyze(driftLoad, 2)
+}
+
+func analyze(profile *khist.Distribution, seed int64) {
+	// Each request is one sample: its arrival bucket is drawn from the
+	// (unknown) rate profile. We only get to observe requests.
+	requests := khist.NewSampler(profile, rand.New(rand.NewSource(seed)))
+
+	res, err := khist.TestKHistogramL1(requests, khist.TestOptions{
+		K: regimes, Eps: 0.2,
+		Rand:             rand.New(rand.NewSource(seed + 100)),
+		SampleScale:      0.01,
+		MaxSamplesPerSet: 20000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Accept {
+		fmt.Printf("  verdict: step model OK (<= %d regimes), from %d sampled requests\n",
+			regimes, res.SamplesUsed)
+		fmt.Println("  detected regimes (minute ranges):")
+		for _, iv := range res.Partition {
+			fmt.Printf("    %4d - %4d  (mean rate %.4f%%/min)\n",
+				iv.Lo, iv.Hi, 100*profile.Weight(iv)/float64(iv.Len()))
+		}
+	} else {
+		fmt.Printf("  verdict: NOT a %d-regime profile (rejected after %d sampled requests)\n",
+			regimes, res.SamplesUsed)
+		fmt.Printf("  the tester could flatten only %v before exhausting its %d intervals\n",
+			res.Partition, regimes)
+	}
+	fmt.Printf("  ground truth: profile has %d constant pieces\n", profile.Pieces())
+}
+
+// stepProfile is a 6-regime day: night, morning ramp plateau, lunch spike,
+// afternoon, evening peak, late evening.
+func stepProfile() *khist.Distribution {
+	levels := []struct {
+		until int
+		rate  float64
+	}{
+		{360, 0.2},  // 00:00-06:00 night
+		{540, 1.0},  // 06:00-09:00 morning
+		{720, 2.5},  // 09:00-12:00 core hours
+		{780, 4.0},  // 12:00-13:00 lunch spike
+		{1080, 2.5}, // 13:00-18:00 afternoon
+		{1440, 0.8}, // 18:00-24:00 evening
+	}
+	w := make([]float64, buckets)
+	prev := 0
+	for _, lv := range levels {
+		for i := prev; i < lv.until; i++ {
+			w[i] = lv.rate
+		}
+		prev = lv.until
+	}
+	d, err := khist.FromWeights(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}
+
+// driftProfile drifts continuously: no step model with few regimes fits.
+func driftProfile() *khist.Distribution {
+	w := make([]float64, buckets)
+	for i := range w {
+		x := float64(i) / buckets
+		w[i] = 1.5 + math.Sin(2*math.Pi*x)*math.Sin(14*math.Pi*x)
+		if w[i] < 0.05 {
+			w[i] = 0.05
+		}
+	}
+	d, err := khist.FromWeights(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}

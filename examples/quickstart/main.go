@@ -1,0 +1,54 @@
+// Quickstart: learn a k-histogram sketch of an unknown distribution from
+// samples, then test the k-histogram property, all through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"khist"
+)
+
+func main() {
+	// An "unknown" distribution: a random 5-piece histogram over [512].
+	// In a real deployment you would not hold the pmf; you would only own
+	// a stream of observations (the Sampler below).
+	truth := khist.RandomKHistogram(512, 5, rand.New(rand.NewSource(7)))
+
+	// 1. LEARN: build a histogram sketch from samples alone.
+	sampler := khist.NewSampler(truth, rand.New(rand.NewSource(8)))
+	res, err := khist.Learn(sampler, khist.LearnOptions{
+		K:   5,   // compete with the best 5-piece histogram
+		Eps: 0.1, // additive l2^2 slack
+		// The paper's constants are worst-case; scale them down and cap
+		// set sizes for an interactive demo.
+		SampleScale:      0.05,
+		MaxSamplesPerSet: 200000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learned sketch:", res.Tiling)
+	fmt.Printf("samples drawn: %d (domain size %d)\n", res.SamplesUsed, truth.N())
+	fmt.Printf("true ||p-H||_2^2 = %.3g\n", res.Tiling.L2SqTo(truth))
+
+	// 2. TEST: is the source really a 5-histogram? (It is.)
+	verdict, err := khist.TestKHistogramL2(
+		khist.NewSampler(truth, rand.New(rand.NewSource(9))),
+		khist.TestOptions{K: 5, Eps: 0.25, SampleScale: 0.02, MaxSamplesPerSet: 4000},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("l2 tester accepts:", verdict.Accept)
+	fmt.Println("flat partition found:", verdict.Partition)
+
+	// 3. Compare with the offline optimum (requires the full pmf — only
+	// possible here because this is a demo).
+	opt, err := khist.OptimalL2Error(truth, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline 5-piece optimum: %.3g\n", opt)
+}

@@ -1,0 +1,72 @@
+// One-pass streaming histograms: maintain a bounded-memory summary of an
+// endless event stream (here: bucketed response latencies) and extract a
+// near-v-optimal k-histogram on demand — including after the workload
+// shifts, demonstrating that repeated extraction tracks the stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"khist"
+)
+
+const (
+	buckets = 1024 // latency buckets
+	pieces  = 6
+)
+
+func main() {
+	m, err := khist.NewMaintainer(khist.StreamOptions{
+		N: buckets, K: pieces, Eps: 0.1,
+		ReservoirSize: 30000,
+		Rand:          rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summary memory: %d items/counters (stream length: unbounded)\n\n", m.MemoryItems())
+
+	// Phase 1: healthy service. Latency profile is a 3-regime histogram
+	// (fast cache hits, normal requests, slow tail).
+	healthy, err := khist.KHistogramFromSpec(buckets,
+		[]int{64, 512}, []float64{0.55, 0.40, 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed(m, healthy, 500000, 2)
+	report(m, healthy, "after 500k healthy events")
+
+	// Phase 2: a degraded dependency adds a latency mode around bucket
+	// 700-800. Keep streaming into the SAME summary.
+	degraded, err := khist.KHistogramFromSpec(buckets,
+		[]int{64, 512, 700, 800}, []float64{0.40, 0.30, 0.05, 0.20, 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed(m, degraded, 2000000, 3)
+	report(m, degraded, "after 2M more degraded events")
+
+	// The dyadic sketch answers whole-stream range questions directly.
+	slow := khist.Interval{Lo: 700, Hi: 800}
+	fmt.Printf("\nsketch: fraction of ALL events in the new slow band %v: %.3f\n",
+		slow, m.Weight(slow))
+}
+
+func feed(m *khist.Maintainer, d *khist.Distribution, events int, seed int64) {
+	s := khist.NewSampler(d, rand.New(rand.NewSource(seed)))
+	for i := 0; i < events; i++ {
+		m.Observe(s.Sample())
+	}
+}
+
+func report(m *khist.Maintainer, current *khist.Distribution, label string) {
+	h, err := m.Extract()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%d events seen):\n", label, m.Seen())
+	fmt.Printf("  extracted: %v\n", h)
+	fmt.Printf("  ||current - H||_2^2 = %.3g\n", h.L2SqTo(current))
+}

@@ -1,0 +1,118 @@
+// Package collision implements the Goldreich-Ron collision statistics that
+// power every algorithm in the paper (Section 2, Lemma 1): counting
+// pairwise collisions among samples restricted to an interval yields
+// unbiased estimates of second moments of the sampled distribution.
+//
+// Two distinct estimators appear in the paper and both live here:
+//
+//   - The observed collision probability coll(S_I) / C(|S_I|, 2) estimates
+//     the conditional squared norm ||p_I||_2^2 (Equations 1-2). The testers
+//     use it to decide whether an interval is flat, since a flat interval
+//     has ||p_I||_2^2 = 1/|I|.
+//
+//   - The scaled collision count coll(S_I) / C(|S|, 2) estimates the
+//     absolute second moment sum_{l in I} p_l^2 (Lemma 1). The greedy
+//     learner uses it to score candidate intervals.
+//
+// Both are amplified by taking the median over r independent sample sets
+// (median-of-means style), which converts the constant success probability
+// of Chebyshev into high probability via Chernoff.
+package collision
+
+import (
+	"sort"
+
+	"khist/internal/dist"
+)
+
+// Pairs returns C(m, 2) as a float64, the number of unordered pairs among
+// m items. It returns 0 for m < 2.
+func Pairs(m int64) float64 {
+	if m < 2 {
+		return 0
+	}
+	return float64(m) * float64(m-1) / 2
+}
+
+// ObservedCollisionProb returns coll(S_I) / C(|S_I|, 2), the observed
+// collision probability of the samples falling in I, together with |S_I|.
+// If fewer than two samples land in I the estimate is reported as 0 with
+// ok = false (the statistic is undefined); the paper's testers treat such
+// intervals as light and accept them before consulting this value.
+func ObservedCollisionProb(e *dist.Empirical, iv dist.Interval) (est float64, hits int64, ok bool) {
+	hits = e.Hits(iv)
+	if hits < 2 {
+		return 0, hits, false
+	}
+	return float64(e.SelfCollisions(iv)) / Pairs(hits), hits, true
+}
+
+// SecondMomentEstimate returns coll(S_I) / C(|S|, 2), the Lemma-1 estimator
+// of the absolute second moment sum_{l in I} p_l^2. Unlike the observed
+// collision probability, it is defined (as 0) even when no samples land in
+// I, provided the full sample set has at least two samples.
+func SecondMomentEstimate(e *dist.Empirical, iv dist.Interval) float64 {
+	denom := Pairs(int64(e.M()))
+	if denom == 0 {
+		return 0
+	}
+	return float64(e.SelfCollisions(iv)) / denom
+}
+
+// MedianSecondMoment returns the median over the given tabulated sample
+// sets of the Lemma-1 second-moment estimator for the interval. This is
+// the z_I statistic of Algorithm 1 (Step 4).
+func MedianSecondMoment(sets []*dist.Empirical, iv dist.Interval) float64 {
+	vals := make([]float64, len(sets))
+	for i, e := range sets {
+		vals[i] = SecondMomentEstimate(e, iv)
+	}
+	return Median(vals)
+}
+
+// MedianCollisionProb returns the median over sample sets of the observed
+// collision probability of I, skipping sets where fewer than two samples
+// hit I. ok is false when every set is skipped. This is the z_I statistic
+// of the flatness tests (Algorithms 3 and 4).
+func MedianCollisionProb(sets []*dist.Empirical, iv dist.Interval) (est float64, ok bool) {
+	vals := make([]float64, 0, len(sets))
+	for _, e := range sets {
+		if v, _, defined := ObservedCollisionProb(e, iv); defined {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	return Median(vals), true
+}
+
+// Median returns the median of vals (the mean of the two middle order
+// statistics for even length). It returns 0 for an empty slice and does
+// not modify its argument.
+func Median(vals []float64) float64 {
+	switch len(vals) {
+	case 0:
+		return 0
+	case 1:
+		return vals[0]
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// CollectSets draws r independent sample sets of size m from the sampler
+// and tabulates each into an Empirical. This matches the sampling pattern
+// of Algorithm 1 Step 3 and Algorithm 2 Step 1.
+func CollectSets(s dist.Sampler, r, m int) []*dist.Empirical {
+	sets := make([]*dist.Empirical, r)
+	for i := range sets {
+		sets[i] = dist.NewEmpiricalFromSampler(s, m)
+	}
+	return sets
+}

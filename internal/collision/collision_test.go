@@ -1,0 +1,190 @@
+package collision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+)
+
+func TestPairs(t *testing.T) {
+	cases := map[int64]float64{0: 0, 1: 0, 2: 1, 3: 3, 4: 6, 10: 45}
+	for m, want := range cases {
+		if got := Pairs(m); got != want {
+			t.Errorf("Pairs(%d) = %v, want %v", m, got, want)
+		}
+	}
+	if got := Pairs(-3); got != 0 {
+		t.Errorf("Pairs(-3) = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tc := range cases {
+		if got := Median(tc.in); got != tc.want {
+			t.Errorf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Median must not reorder its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its argument")
+	}
+}
+
+func TestObservedCollisionProbSmallCases(t *testing.T) {
+	// occ = [2 0 2]: coll([0,3)) = 1 + 1 = 2, hits = 4, C(4,2) = 6.
+	e := dist.NewEmpirical([]int{0, 0, 2, 2}, 3)
+	est, hits, ok := ObservedCollisionProb(e, dist.Whole(3))
+	if !ok || hits != 4 {
+		t.Fatalf("ok=%v hits=%d", ok, hits)
+	}
+	if math.Abs(est-2.0/6) > 1e-12 {
+		t.Errorf("est = %v, want 1/3", est)
+	}
+	// Single sample in interval: undefined.
+	if _, _, ok := ObservedCollisionProb(e, dist.Interval{Lo: 1, Hi: 2}); ok {
+		t.Error("interval with 0 hits reported ok")
+	}
+	e2 := dist.NewEmpirical([]int{1}, 3)
+	if _, _, ok := ObservedCollisionProb(e2, dist.Whole(3)); ok {
+		t.Error("one-sample estimator reported ok")
+	}
+}
+
+func TestSecondMomentEstimateSmallCases(t *testing.T) {
+	// occ = [2 0 2], m = 4, C(4,2) = 6.
+	e := dist.NewEmpirical([]int{0, 0, 2, 2}, 3)
+	if got := SecondMomentEstimate(e, dist.Whole(3)); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("whole = %v, want 1/3", got)
+	}
+	if got := SecondMomentEstimate(e, dist.Interval{Lo: 0, Hi: 1}); math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("[0,1) = %v, want 1/6", got)
+	}
+	if got := SecondMomentEstimate(e, dist.Interval{Lo: 1, Hi: 2}); got != 0 {
+		t.Errorf("empty-hit interval = %v, want 0", got)
+	}
+	// Degenerate sample set.
+	e3 := dist.NewEmpirical([]int{0}, 3)
+	if got := SecondMomentEstimate(e3, dist.Whole(3)); got != 0 {
+		t.Errorf("m=1 estimate = %v, want 0", got)
+	}
+}
+
+// Unbiasedness: E[coll(S_I)/C(m,2)] = sum_{l in I} p_l^2 (Lemma 1 et al.).
+// Check the empirical mean over many independent sample sets.
+func TestSecondMomentUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, d := range []*dist.Distribution{
+		dist.Uniform(16),
+		dist.Zipf(32, 1.0),
+		dist.RandomKHistogram(64, 4, rng),
+	} {
+		s := dist.NewSampler(d, rand.New(rand.NewSource(42)))
+		iv := dist.Interval{Lo: d.N() / 4, Hi: 3 * d.N() / 4}
+		truth := d.SumSquares(iv)
+		const sets, m = 400, 200
+		var sum float64
+		for i := 0; i < sets; i++ {
+			e := dist.NewEmpiricalFromSampler(s, m)
+			sum += SecondMomentEstimate(e, iv)
+		}
+		mean := sum / sets
+		// Allow 4 sigma-ish slack: the estimator variance at m=200 on these
+		// distributions keeps the empirical mean within ~15% of truth.
+		if math.Abs(mean-truth) > 0.15*truth+1e-4 {
+			t.Errorf("n=%d: empirical mean %v vs truth %v", d.N(), mean, truth)
+		}
+	}
+}
+
+// The observed collision probability estimates the conditional norm
+// ||p_I||_2^2 (Goldreich-Ron). Sanity-check convergence on a uniform
+// interval, where ||p_I||_2^2 = 1/|I|.
+func TestObservedCollisionProbConvergence(t *testing.T) {
+	d := dist.Uniform(64)
+	s := dist.NewSampler(d, rand.New(rand.NewSource(43)))
+	iv := dist.Interval{Lo: 16, Hi: 48}
+	e := dist.NewEmpiricalFromSampler(s, 100000)
+	est, _, ok := ObservedCollisionProb(e, iv)
+	if !ok {
+		t.Fatal("estimator undefined with 1e5 samples")
+	}
+	want := 1.0 / 32
+	if math.Abs(est-want) > 0.1*want {
+		t.Errorf("est = %v, want ~%v", est, want)
+	}
+}
+
+func TestMedianEstimators(t *testing.T) {
+	d := dist.MustNew([]float64{0.5, 0.5, 0, 0})
+	s := dist.NewSampler(d, rand.New(rand.NewSource(44)))
+	sets := CollectSets(s, 9, 400)
+	if len(sets) != 9 {
+		t.Fatalf("CollectSets returned %d sets", len(sets))
+	}
+	for _, e := range sets {
+		if e.M() != 400 {
+			t.Fatalf("set size %d, want 400", e.M())
+		}
+	}
+	// Median second moment over [0,2) should approximate 0.25+0.25 = 0.5.
+	z := MedianSecondMoment(sets, dist.Interval{Lo: 0, Hi: 2})
+	if math.Abs(z-0.5) > 0.1 {
+		t.Errorf("MedianSecondMoment = %v, want ~0.5", z)
+	}
+	// Median collision prob over [0,2) approximates ||p_I||^2 = 0.5.
+	cp, ok := MedianCollisionProb(sets, dist.Interval{Lo: 0, Hi: 2})
+	if !ok {
+		t.Fatal("MedianCollisionProb undefined")
+	}
+	if math.Abs(cp-0.5) > 0.1 {
+		t.Errorf("MedianCollisionProb = %v, want ~0.5", cp)
+	}
+	// Zero-mass interval: every set is skipped.
+	if _, ok := MedianCollisionProb(sets, dist.Interval{Lo: 2, Hi: 4}); ok {
+		t.Error("zero-mass interval collision prob reported ok")
+	}
+	if z := MedianSecondMoment(sets, dist.Interval{Lo: 2, Hi: 4}); z != 0 {
+		t.Errorf("zero-mass second moment = %v, want 0", z)
+	}
+}
+
+// Median amplification shrinks the failure probability: with r sets the
+// median deviates less often than a single estimate. Statistical check
+// with fixed seeds.
+func TestMedianAmplification(t *testing.T) {
+	d := dist.Zipf(64, 1.0)
+	iv := dist.Interval{Lo: 0, Hi: 8}
+	truth := d.SumSquares(iv)
+	tol := 0.3 * truth
+
+	failures := func(r int, trials int, seed int64) int {
+		s := dist.NewSampler(d, rand.New(rand.NewSource(seed)))
+		count := 0
+		for i := 0; i < trials; i++ {
+			sets := CollectSets(s, r, 100)
+			if math.Abs(MedianSecondMoment(sets, iv)-truth) > tol {
+				count++
+			}
+		}
+		return count
+	}
+	single := failures(1, 300, 45)
+	amplified := failures(11, 300, 46)
+	if amplified > single {
+		t.Errorf("median-of-11 failed %d times vs single %d times", amplified, single)
+	}
+}

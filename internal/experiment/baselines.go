@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"khist/internal/dist"
+	"khist/internal/learn"
+	"khist/internal/vopt"
+)
+
+func init() {
+	register(Experiment{ID: "E10", Title: "Baselines: sample-efficient v-optimal vs classical sampled histograms", Run: runE10})
+}
+
+// runE10 reproduces the paper's motivating comparison: prior sampling work
+// produced equi-depth/compressed histograms, not v-optimal ones. At equal
+// sample budgets, the greedy learner should beat equi-depth and equi-width
+// in l2^2 and approach the exact (full-pmf) optimum. The plug-in baseline
+// (exact DP on the empirical distribution) is included as the "use all
+// samples naively" comparator; it is strong at large budgets but has no
+// sub-linear guarantee.
+func runE10(cfg Config) []*Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "l2^2 error at equal sample budgets",
+		Note: "opt = exact DP on the true pmf (needs the whole distribution). " +
+			"All sampled methods see the same number of draws.",
+		Headers: []string{"workload", "budget", "fast-greedy", "equi-depth",
+			"equi-width", "plug-in DP", "opt"},
+	}
+	n := pick(cfg, 256, 96)
+	k := pick(cfg, 8, 4)
+	trials := pick(cfg, 3, 1)
+	budgets := pick(cfg, []int{2000, 10000, 50000}, []int{2000, 10000})
+
+	for _, wl := range []Workload{learnerWorkloads()[1], learnerWorkloads()[2]} {
+		d := wl.Gen(n, k, cfg.rng(40000))
+		opt, err := vopt.OptimalL2Error(d, k)
+		if err != nil {
+			panic(err)
+		}
+		for _, budget := range budgets {
+			var greedyE, depthE, widthE, plugE []float64
+			for trial := 0; trial < trials; trial++ {
+				// Fast greedy, tuned so its total draw count matches the
+				// budget: solve for the scale given the closed form.
+				opts := learn.Options{K: k, Eps: 0.1, MaxSamplesPerSet: budget}
+				opts.SampleScale = scaleForBudget(opts, n, budget)
+				s := dist.NewSampler(d, cfg.rng(int64(41000+trial+budget)))
+				res, err := learn.FastGreedy(s, opts)
+				if err != nil {
+					panic(err)
+				}
+				greedyE = append(greedyE, res.Tiling.L2SqTo(d))
+
+				// Classical baselines on one budget-sized empirical set.
+				e := dist.NewEmpiricalFromSampler(
+					dist.NewSampler(d, cfg.rng(int64(42000+trial+budget))), budget)
+				if h, err := vopt.EquiDepth(e, k); err == nil {
+					depthE = append(depthE, h.L2SqTo(d))
+				}
+				if h, err := vopt.EquiWidth(e, k); err == nil {
+					widthE = append(widthE, h.L2SqTo(d))
+				}
+				if emp, err := e.Distribution(); err == nil {
+					if h, err := vopt.OptimalL2(emp, k); err == nil {
+						plugE = append(plugE, h.L2SqTo(d))
+					}
+				}
+			}
+			t.AddRow(wl.Name, I(int64(budget)),
+				F(Summarize(greedyE).Mean), F(Summarize(depthE).Mean),
+				F(Summarize(widthE).Mean), F(Summarize(plugE).Mean), F(opt))
+		}
+	}
+	return []*Table{t}
+}
+
+// scaleForBudget returns a SampleScale that brings the learner's total
+// draw count near the budget (within the granularity of the r sets).
+func scaleForBudget(opts learn.Options, n, budget int) float64 {
+	base := learn.Options{K: opts.K, Eps: opts.Eps, SampleScale: 1}
+	full := float64(base.SampleComplexity(n))
+	if full <= 0 {
+		return 1
+	}
+	s := float64(budget) / full
+	if s > 1 {
+		return 1
+	}
+	if s < 1e-6 {
+		return 1e-6
+	}
+	return s
+}

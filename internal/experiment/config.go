@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	// Quick shrinks sweeps and trial counts so the full suite runs in
+	// seconds; the full configuration reproduces the EXPERIMENTS.md
+	// numbers and takes minutes.
+	Quick bool
+	// Seed drives all randomness; the same seed reproduces every table
+	// byte-for-byte.
+	Seed int64
+}
+
+func (c Config) rng(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + offset))
+}
+
+// pick returns full unless Quick, then quick.
+func pick[T any](c Config, full, quick T) T {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) []*Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiment %s registered twice", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns all experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RunAll executes every registered experiment and renders the tables.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, e := range All() {
+		for _, t := range e.Run(cfg) {
+			if err := t.Fprint(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment by ID and renders its tables.
+func RunOne(id string, cfg Config, w io.Writer) error {
+	e, ok := Get(id)
+	if !ok {
+		return fmt.Errorf("experiment: unknown id %q", id)
+	}
+	for _, t := range e.Run(cfg) {
+		if err := t.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAllCSV executes every experiment and writes each table as a CSV
+// file named <ID>-<index>.csv via the open callback (typically
+// os.Create in a target directory). The callback owns closing.
+func WriteAllCSV(cfg Config, open func(name string) (io.WriteCloser, error)) error {
+	for _, e := range All() {
+		for i, t := range e.Run(cfg) {
+			f, err := open(fmt.Sprintf("%s-%d.csv", e.ID, i+1))
+			if err != nil {
+				return err
+			}
+			werr := t.WriteCSV(f)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return cerr
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	all := All()
+	if len(all) != len(want) {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Fatalf("registry has %v, want %v", ids, want)
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("All()[%d].ID = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+	if _, ok := Get("E1"); !ok {
+		t.Error("Get(E1) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) succeeded")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Note:    "a note",
+		Headers: []string{"a", "b"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("3", "4")
+	var buf bytes.Buffer
+	if err := tb.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T: demo", "a note", "a", "b", "1", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	var csvBuf bytes.Buffer
+	if err := tb.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if got := csvBuf.String(); got != "a,b\n1,2\n3,4\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestLogSlope(t *testing.T) {
+	// y = x^2 exactly.
+	xs := []float64{1, 2, 4, 8}
+	ys := []float64{1, 4, 16, 64}
+	if got := LogSlope(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Errorf("slope = %v, want 2", got)
+	}
+	if !math.IsNaN(LogSlope([]float64{1}, []float64{1})) {
+		t.Error("short input should yield NaN")
+	}
+	if !math.IsNaN(LogSlope(xs, ys[:2])) {
+		t.Error("mismatched input should yield NaN")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0) != "0" {
+		t.Errorf("F(0) = %s", F(0))
+	}
+	if F(0.5) != "0.5000" {
+		t.Errorf("F(0.5) = %s", F(0.5))
+	}
+	if !strings.Contains(F(1e-9), "e") {
+		t.Errorf("F(1e-9) = %s, want scientific", F(1e-9))
+	}
+	if I(42) != "42" {
+		t.Errorf("I(42) = %s", I(42))
+	}
+	if Pct(0.5) != "50%" {
+		t.Errorf("Pct(0.5) = %s", Pct(0.5))
+	}
+}
+
+// Every experiment must run to completion in quick mode and produce
+// non-empty tables. This is the integration test for the whole harness.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	cfg := Config{Quick: true, Seed: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %q has no rows", tb.Title)
+				}
+				if len(tb.Headers) == 0 {
+					t.Errorf("table %q has no headers", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Headers) {
+						t.Errorf("table %q: row width %d != header width %d",
+							tb.Title, len(row), len(tb.Headers))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunOneAndRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	cfg := Config{Quick: true, Seed: 2}
+	var buf bytes.Buffer
+	if err := RunOne("E5", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E5") {
+		t.Error("RunOne output missing experiment ID")
+	}
+	if err := RunOne("bogus", cfg, &buf); err == nil {
+		t.Error("RunOne(bogus): want error")
+	}
+}
+
+// Determinism: same config, same bytes.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	cfg := Config{Quick: true, Seed: 3}
+	var a, b bytes.Buffer
+	if err := RunOne("E9", cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunOne("E9", cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same-seed experiment runs differ")
+	}
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+
+	"khist/internal/dist"
+	"khist/internal/grid"
+)
+
+func init() {
+	register(Experiment{ID: "E12", Title: "Extension: 2D rectangle histograms (TGIK02 setting)", Run: runE12})
+}
+
+// runE12 evaluates the 2D greedy learner on exact rectangle histograms
+// and on a smooth 2D bump (far from every small rectangle histogram),
+// against the trivial flat baseline. There is no exact 2D optimum to
+// report: optimal 2D tiling histograms are NP-hard in general, which is
+// exactly why TGIK02-style greedies are the standard tool.
+func runE12(cfg Config) []*Table {
+	t := &Table{
+		ID:    "E12",
+		Title: "2D greedy learner: error vs sample budget",
+		Note: "err = sum over cells of (p - H)^2; flat = best single constant. " +
+			"grid 24x24, K=5, q = K ln(1/eps) painted rectangles.",
+		Headers: []string{"workload", "samples", "err", "flat baseline", "improvement"},
+	}
+	rows, cols := 24, 24
+	workloads := []struct {
+		name string
+		g    *grid.Grid
+	}{
+		{"rect-hist", grid.RandomRectHistogram(rows, cols, 5, cfg.rng(60000))},
+		{"gauss-bump", gaussBump(rows, cols)},
+	}
+	for _, wl := range workloads {
+		flatH, err := grid.NewRectHistogram(rows, cols)
+		if err != nil {
+			panic(err)
+		}
+		flatH.Add(grid.Rect{X0: 0, Y0: 0, X1: cols, Y1: rows}, 1/float64(rows*cols))
+		base := flatH.L2SqTo(wl.g)
+		for _, m := range pick(cfg, []int{2000, 10000, 50000}, []int{2000, 10000}) {
+			s := dist.NewSampler(wl.g.Flatten(), cfg.rng(60001+int64(m)))
+			res, err := grid.Greedy2D(s, grid.Options2D{
+				Rows: rows, Cols: cols, K: 5, Eps: 0.1,
+				Samples: m, Rand: rand.New(rand.NewSource(cfg.Seed*31 + int64(m))),
+			})
+			if err != nil {
+				panic(err)
+			}
+			got := res.Hist.L2SqTo(wl.g)
+			t.AddRow(wl.name, I(int64(m)), F(got), F(base), F(base/maxf(got, 1e-12)))
+		}
+	}
+	return []*Table{t}
+}
+
+// gaussBump is a smooth 2D Gaussian bump distribution over the grid.
+func gaussBump(rows, cols int) *grid.Grid {
+	w := make([]float64, rows*cols)
+	cx, cy := float64(cols)/3, float64(rows)/2
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			dx := (float64(x) - cx) / (float64(cols) / 6)
+			dy := (float64(y) - cy) / (float64(rows) / 6)
+			w[y*cols+x] = math.Exp(-(dx*dx + dy*dy) / 2)
+		}
+	}
+	g, err := grid.FromWeights2D(rows, cols, w)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"khist/internal/collision"
+	"khist/internal/dist"
+	"khist/internal/lower"
+)
+
+func init() {
+	register(Experiment{ID: "E8", Title: "Theorem 5: Omega(sqrt(kn)) samples to distinguish YES/NO instances", Run: runE8})
+	register(Experiment{ID: "E9", Title: "Lemma 1: collision estimator concentration", Run: runE9})
+}
+
+// e8Statistic is the natural distinguisher for the Theorem 5 pair: the
+// maximum observed collision probability over the massive blocks. NO
+// instances double the conditional second moment of one block, so with
+// enough samples the statistic separates; the lower bound says "enough"
+// is Omega(sqrt(kn)).
+func e8Statistic(e *dist.Empirical, blocks []dist.Interval) float64 {
+	worst := 0.0
+	for j := 0; j < len(blocks); j += 2 {
+		if est, _, ok := collision.ObservedCollisionProb(e, blocks[j]); ok && est > worst {
+			worst = est
+		}
+	}
+	return worst
+}
+
+func runE8(cfg Config) []*Table {
+	n := pick(cfg, 1024, 256)
+	k := 4
+	trials := pick(cfg, 60, 15)
+	t := &Table{
+		ID:    "E8",
+		Title: fmt.Sprintf("Distinguishing advantage vs samples m (n=%d, k=%d)", n, k),
+		Note: "Advantage = P(stat > threshold | NO) - P(stat > threshold | YES), threshold " +
+			"midway between the ideal YES and NO statistics. The advantage only becomes " +
+			"substantial once m reaches the order of sqrt(kn), matching the lower bound.",
+		Headers: []string{"m", "m/sqrt(kn)", "yes hit rate", "no hit rate", "advantage"},
+	}
+	yes, err := lower.Yes(n, k)
+	if err != nil {
+		panic(err)
+	}
+	// Ideal statistics: YES blocks are uniform with conditional norm
+	// 1/|block|; the tampered NO block has 2/|block|. Threshold: midpoint.
+	blockLen := float64(yes.Blocks[0].Len())
+	threshold := 1.5 / blockLen
+
+	sqrtKN := math.Sqrt(float64(k) * float64(n))
+	for _, mult := range pick(cfg, []float64{0.25, 0.5, 1, 2, 4, 8, 16}, []float64{0.5, 2, 8}) {
+		m := int(mult * sqrtKN)
+		if m < 4 {
+			m = 4
+		}
+		yesHits, noHits := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			sy := dist.NewSampler(yes.D, cfg.rng(int64(30000+trial)+int64(m)*7))
+			ey := dist.NewEmpiricalFromSampler(sy, m)
+			if e8Statistic(ey, yes.Blocks) > threshold {
+				yesHits++
+			}
+			noInst, err := lower.No(n, k, cfg.rng(int64(31000+trial)+int64(m)*7))
+			if err != nil {
+				panic(err)
+			}
+			sn := dist.NewSampler(noInst.D, cfg.rng(int64(32000+trial)+int64(m)*7))
+			en := dist.NewEmpiricalFromSampler(sn, m)
+			if e8Statistic(en, noInst.Blocks) > threshold {
+				noHits++
+			}
+		}
+		yesRate := float64(yesHits) / float64(trials)
+		noRate := float64(noHits) / float64(trials)
+		t.AddRow(I(int64(m)), F(mult), Pct(yesRate), Pct(noRate), F(noRate-yesRate))
+	}
+	return []*Table{t}
+}
+
+func runE9(cfg Config) []*Table {
+	t := &Table{
+		ID:    "E9",
+		Title: "Collision estimator tail vs sample size (Lemma 1 / Eq. 2)",
+		Note: "Empirical P[|est - truth| > eps] for the second-moment estimator on a fixed " +
+			"interval, against the Chebyshev bound (1/eps)^2 / m from Eq. (2) (clipped at 1).",
+		Headers: []string{"dist", "m", "eps", "empirical tail", "Eq.(2) bound"},
+	}
+	trials := pick(cfg, 300, 80)
+	workloads := []struct {
+		name string
+		d    *dist.Distribution
+		eps  float64 // deviation threshold, sized to each pmf's moment scale
+	}{
+		{"uniform-64", dist.Uniform(64), 0.004},
+		{"zipf-64", dist.Zipf(64, 1.0), 0.02},
+	}
+	for _, wl := range workloads {
+		iv := dist.Interval{Lo: 0, Hi: wl.d.N() / 2}
+		truth := wl.d.SumSquares(iv)
+		for _, m := range pick(cfg, []int{50, 200, 800, 3200}, []int{50, 800}) {
+			eps := wl.eps
+			s := dist.NewSampler(wl.d, cfg.rng(int64(33000+m)))
+			bad := 0
+			for trial := 0; trial < trials; trial++ {
+				e := dist.NewEmpiricalFromSampler(s, m)
+				if math.Abs(collision.SecondMomentEstimate(e, iv)-truth) > eps {
+					bad++
+				}
+			}
+			bound := (1 / eps) * (1 / eps) / float64(m)
+			if bound > 1 {
+				bound = 1
+			}
+			t.AddRow(wl.name, I(int64(m)), F(eps),
+				F(float64(bad)/float64(trials)), F(bound))
+		}
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"khist/internal/collision"
+	"khist/internal/dist"
+	"khist/internal/histtest"
+	"khist/internal/vopt"
+)
+
+func init() {
+	register(Experiment{ID: "E4", Title: "Theorem 3: l2 tester correctness (accept/reject rates)", Run: runE4})
+	register(Experiment{ID: "E5", Title: "Theorem 3: l2 tester sample complexity O(eps^-4 ln^2 n)", Run: runE5})
+	register(Experiment{ID: "E6", Title: "Theorem 4: l1 tester correctness (accept/reject rates)", Run: runE6})
+	register(Experiment{ID: "E7", Title: "Theorem 4: l1 tester sample complexity O~(eps^-5 sqrt(kn))", Run: runE7})
+	register(Experiment{ID: "A2", Title: "Ablation: median amplification of collision estimates", Run: runA2})
+}
+
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// testerScale keeps tester experiments fast while preserving behaviour;
+// the paper's worst-case constants are orders of magnitude conservative at
+// these instance sizes.
+const testerScale = 0.02
+
+func testerOptions(k int, eps float64, cfg Config, off int64) histtest.Options {
+	return histtest.Options{
+		K: k, Eps: eps,
+		Rand:             cfg.rng(off),
+		SampleScale:      testerScale,
+		MaxSamplesPerSet: 4000,
+	}
+}
+
+func runE4(cfg Config) []*Table {
+	t := &Table{
+		ID:    "E4",
+		Title: "l2 tester on YES (random k-histograms) and NO (comb, certified far)",
+		Note: "Target: accept rate >= 2/3 on YES, reject rate >= 2/3 on NO. " +
+			"NO distance certified with the exact DP.",
+		Headers: []string{"side", "n", "k", "eps", "l2 dist", "accept rate", "trials"},
+	}
+	n := pick(cfg, 128, 64)
+	trials := pick(cfg, 20, 5)
+	eps := 0.2
+	for _, k := range pick(cfg, []int{2, 4}, []int{2}) {
+		// YES side.
+		accepts := 0
+		for trial := 0; trial < trials; trial++ {
+			d := dist.RandomKHistogram(n, k, cfg.rng(int64(10000+trial)))
+			s := dist.NewSampler(d, cfg.rng(int64(11000+trial)))
+			res, err := histtest.TestTilingL2(s, testerOptions(k, eps, cfg, int64(12000+trial)))
+			if err != nil {
+				panic(err)
+			}
+			if res.Accept {
+				accepts++
+			}
+		}
+		t.AddRow("YES", I(int64(n)), I(int64(k)), F(eps), "0",
+			Pct(float64(accepts)/float64(trials)), I(int64(trials)))
+
+		// NO side: comb with certified l2 distance > eps.
+		d := combL2(n, 8)
+		optSq, err := vopt.OptimalL2Error(d, k)
+		if err != nil {
+			panic(err)
+		}
+		accepts = 0
+		for trial := 0; trial < trials; trial++ {
+			s := dist.NewSampler(d, cfg.rng(int64(13000+trial)))
+			res, err := histtest.TestTilingL2(s, testerOptions(k, eps, cfg, int64(14000+trial)))
+			if err != nil {
+				panic(err)
+			}
+			if res.Accept {
+				accepts++
+			}
+		}
+		t.AddRow("NO", I(int64(n)), I(int64(k)), F(eps), F(math.Sqrt(optSq)),
+			Pct(float64(accepts)/float64(trials)), I(int64(trials)))
+	}
+	return []*Table{t}
+}
+
+func runE5(cfg Config) []*Table {
+	t := &Table{
+		ID:    "E5",
+		Title: "l2 tester sample complexity vs n and eps (paper constants)",
+		Note: "Growth in n is ln^2 n (r ~ ln n sets of m ~ ln n samples); the log-log " +
+			"slope vs n is therefore ~2/ln(n) ~ 0.2 at these sizes and falls toward 0.",
+		Headers: []string{"n", "eps", "samples", "samples/ln^2(n)"},
+	}
+	var xs, ys []float64
+	for _, n := range pick(cfg, []int{1 << 8, 1 << 12, 1 << 16, 1 << 20}, []int{1 << 8, 1 << 12}) {
+		for _, eps := range []float64{0.2, 0.1} {
+			o := histtest.Options{K: 4, Eps: eps}
+			s := float64(o.SampleComplexityL2(n))
+			ln := mathLog(float64(n))
+			t.AddRow(I(int64(n)), F(eps), F(s), F(s/(ln*ln)))
+			if eps == 0.2 {
+				xs = append(xs, float64(n))
+				ys = append(ys, s)
+			}
+		}
+	}
+	t.Note += fmt.Sprintf(" Slope at eps=0.2: %s.", F(LogSlope(xs, ys)))
+	return []*Table{t}
+}
+
+func runE6(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "l1 tester on YES (random k-histograms) and NO (two-level noise, certified far)",
+		Note:    "Target: accept rate >= 2/3 on YES, reject rate >= 2/3 on NO.",
+		Headers: []string{"side", "n", "k", "eps", "l1 dist", "accept rate", "trials"},
+	}
+	n := pick(cfg, 128, 64)
+	trials := pick(cfg, 20, 5)
+	eps := 0.3
+	for _, k := range pick(cfg, []int{2, 4}, []int{2}) {
+		accepts := 0
+		for trial := 0; trial < trials; trial++ {
+			d := dist.RandomKHistogram(n, k, cfg.rng(int64(15000+trial)))
+			s := dist.NewSampler(d, cfg.rng(int64(16000+trial)))
+			res, err := histtest.TestTilingL1(s, testerOptions(k, eps, cfg, int64(17000+trial)))
+			if err != nil {
+				panic(err)
+			}
+			if res.Accept {
+				accepts++
+			}
+		}
+		t.AddRow("YES", I(int64(n)), I(int64(k)), F(eps), "0",
+			Pct(float64(accepts)/float64(trials)), I(int64(trials)))
+
+		d := farL1(n, 0.9)
+		optL1, err := vopt.OptimalL1Error(d, k)
+		if err != nil {
+			panic(err)
+		}
+		accepts = 0
+		for trial := 0; trial < trials; trial++ {
+			s := dist.NewSampler(d, cfg.rng(int64(18000+trial)))
+			res, err := histtest.TestTilingL1(s, testerOptions(k, eps, cfg, int64(19000+trial)))
+			if err != nil {
+				panic(err)
+			}
+			if res.Accept {
+				accepts++
+			}
+		}
+		t.AddRow("NO", I(int64(n)), I(int64(k)), F(eps), F(optL1),
+			Pct(float64(accepts)/float64(trials)), I(int64(trials)))
+	}
+	return []*Table{t}
+}
+
+func runE7(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "l1 tester sample complexity vs n and k (paper constants)",
+		Note:    "Expected sqrt(kn) growth: log-log slope vs n near 1/2, and cost ratio k->4k near 2.",
+		Headers: []string{"n", "k", "eps", "samples", "samples/sqrt(kn)"},
+	}
+	var xs, ys []float64
+	eps := 0.25
+	for _, n := range pick(cfg, []int{1 << 8, 1 << 10, 1 << 12, 1 << 14}, []int{1 << 8, 1 << 12}) {
+		for _, k := range pick(cfg, []int{2, 8}, []int{2}) {
+			o := histtest.Options{K: k, Eps: eps}
+			s := float64(o.SampleComplexityL1(n))
+			t.AddRow(I(int64(n)), I(int64(k)), F(eps), F(s),
+				F(s/math.Sqrt(float64(k)*float64(n))))
+			if k == 2 {
+				xs = append(xs, float64(n))
+				ys = append(ys, s)
+			}
+		}
+	}
+	t.Note += fmt.Sprintf(" Slope vs n at k=2: %s (the r = ln(6n^2) factor pushes it slightly above 1/2).", F(LogSlope(xs, ys)))
+	return []*Table{t}
+}
+
+func runA2(cfg Config) []*Table {
+	t := &Table{
+		ID:    "A2",
+		Title: "Median amplification: failure rate of the second-moment estimate vs r",
+		Note: "Failure = relative error > 30% on a fixed heavy interval of Zipf(64, 1.0); " +
+			"m=100 samples per set. Chernoff drives the failure rate down exponentially in r.",
+		Headers: []string{"r", "failure rate", "trials"},
+	}
+	d := dist.Zipf(64, 1.0)
+	iv := dist.Interval{Lo: 0, Hi: 8}
+	truth := d.SumSquares(iv)
+	trials := pick(cfg, 400, 100)
+	for _, r := range pick(cfg, []int{1, 3, 7, 15, 31}, []int{1, 7}) {
+		s := dist.NewSampler(d, cfg.rng(int64(20000+int64(r))))
+		failures := 0
+		for trial := 0; trial < trials; trial++ {
+			sets := collision.CollectSets(s, r, 100)
+			est := collision.MedianSecondMoment(sets, iv)
+			if math.Abs(est-truth) > 0.3*truth {
+				failures++
+			}
+		}
+		t.AddRow(I(int64(r)), Pct(float64(failures)/float64(trials)), I(int64(trials)))
+	}
+	return []*Table{t}
+}

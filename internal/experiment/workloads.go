@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"khist/internal/dist"
+)
+
+// Workload is a named distribution generator used across experiments, so
+// tables report comparable rows.
+type Workload struct {
+	Name string
+	Gen  func(n, k int, rng *rand.Rand) *dist.Distribution
+}
+
+// learnerWorkloads are the distributions on which the learners are
+// evaluated: exact histograms (optimal error zero), near-histograms, and
+// the database-style skewed shapes the paper's introduction motivates.
+func learnerWorkloads() []Workload {
+	return []Workload{
+		{
+			Name: "exact-khist",
+			Gen: func(n, k int, rng *rand.Rand) *dist.Distribution {
+				return dist.RandomKHistogram(n, k, rng)
+			},
+		},
+		{
+			Name: "noisy-khist",
+			Gen: func(n, k int, rng *rand.Rand) *dist.Distribution {
+				return dist.PerturbMultiplicative(dist.RandomKHistogram(n, k, rng), 0.25, rng)
+			},
+		},
+		{
+			Name: "zipf",
+			Gen: func(n, k int, rng *rand.Rand) *dist.Distribution {
+				return dist.Zipf(n, 1.1)
+			},
+		},
+		{
+			Name: "geometric",
+			Gen: func(n, k int, rng *rand.Rand) *dist.Distribution {
+				return dist.Geometric(n, 0.97)
+			},
+		},
+	}
+}
+
+// combL2 is the calibrated l2-far instance: alternating unit teeth on
+// [0, 2t), zero elsewhere. Its l2 distance from every k-histogram with
+// k << t is about sqrt(1/(2t)) * ... — large because the mass is
+// concentrated on few elements. Experiments certify the actual distance
+// with the exact DP before using it.
+func combL2(n, t int) *dist.Distribution {
+	w := make([]float64, n)
+	for i := 0; i < 2*t && i < n; i += 2 {
+		w[i] = 1
+	}
+	d, err := dist.FromWeights(w)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// farL1 is the calibrated l1-far instance: two-level alternating noise of
+// relative amplitude delta on the uniform distribution. Its l1 distance
+// from every k-histogram with k << n is about delta.
+func farL1(n int, delta float64) *dist.Distribution {
+	return dist.TwoLevelNoise(dist.Uniform(n), delta)
+}

@@ -1,0 +1,288 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"khist/internal/dist"
+)
+
+// Empirical2D tabulates flattened grid samples with a 2D prefix array, so
+// rectangle hit counts are O(1) — the 2D analogue of dist.Empirical.
+type Empirical2D struct {
+	rows, cols int
+	m          int
+	occ        []int
+	cum        []int64 // (rows+1) x (cols+1)
+}
+
+// NewEmpirical2D tabulates row-major flattened samples over the grid.
+func NewEmpirical2D(rows, cols int, samples []int) (*Empirical2D, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, ErrBadShape
+	}
+	e := &Empirical2D{rows: rows, cols: cols, m: len(samples), occ: make([]int, rows*cols)}
+	for _, s := range samples {
+		if s < 0 || s >= rows*cols {
+			return nil, ErrBadRect
+		}
+		e.occ[s]++
+	}
+	w := cols + 1
+	e.cum = make([]int64, (rows+1)*w)
+	for y := 0; y < rows; y++ {
+		var rowSum int64
+		for x := 0; x < cols; x++ {
+			rowSum += int64(e.occ[y*cols+x])
+			e.cum[(y+1)*w+x+1] = e.cum[y*w+x+1] + rowSum
+		}
+	}
+	return e, nil
+}
+
+// M returns the number of tabulated samples.
+func (e *Empirical2D) M() int { return e.m }
+
+// Hits returns the number of samples inside the rectangle in O(1).
+func (e *Empirical2D) Hits(r Rect) int64 {
+	r = r.Clamp(e.rows, e.cols)
+	if r.Empty() {
+		return 0
+	}
+	w := e.cols + 1
+	return e.cum[r.Y1*w+r.X1] - e.cum[r.Y0*w+r.X1] - e.cum[r.Y1*w+r.X0] + e.cum[r.Y0*w+r.X0]
+}
+
+// FractionIn returns Hits/m.
+func (e *Empirical2D) FractionIn(r Rect) float64 {
+	if e.m == 0 {
+		return 0
+	}
+	return float64(e.Hits(r)) / float64(e.m)
+}
+
+// Options2D configures the 2D greedy learner.
+type Options2D struct {
+	Rows, Cols int
+	// K is the rectangle budget to compete against; the learner paints
+	// q = K ln(1/Eps) rectangles, mirroring the 1D iteration count.
+	K   int
+	Eps float64
+	// Samples is the number of draws tabulated for weight estimates.
+	// Zero means 200 * K / Eps (a practical default; the TGIK02 setting
+	// has no single closed form here because the sketch replaces
+	// sampling).
+	Samples int
+	// MaxCoords caps the per-axis candidate coordinate count; the
+	// coordinate sets are thinned evenly beyond it. Zero means 48.
+	MaxCoords int
+	// Iterations overrides q. Zero means ceil(K ln(1/Eps)).
+	Iterations int
+	// Rand seeds sampling. Nil means a fixed-seed source.
+	Rand *rand.Rand
+}
+
+// Result2D reports a 2D learner run.
+type Result2D struct {
+	Hist              *RectHistogram
+	SamplesUsed       int64
+	Iterations        int
+	CandidatesScanned int64
+}
+
+// Greedy2D learns a rectangle histogram of an unknown grid distribution
+// from samples: the 2D analogue of the paper's fast greedy. Each
+// iteration scans candidate rectangles spanned by sampled coordinates and
+// paints the one minimizing the estimated squared error
+//
+//	f(H) = ||H||_2^2 - 2 <p, H>   (= ||p - H||_2^2 - ||p||_2^2),
+//
+// where ||H||^2 is exact (H is the learner's own paint grid) and <p, H>
+// is estimated by the empirical mean of H over the samples. Both deltas
+// are O(1) per candidate from 2D prefix arrays rebuilt once per paint,
+// so one iteration costs O(cells + candidates). The sampler must produce
+// row-major flattened cells (Grid.Flatten provides one).
+func Greedy2D(s dist.Sampler, opts Options2D) (*Result2D, error) {
+	if opts.Rows <= 0 || opts.Cols <= 0 {
+		return nil, ErrBadShape
+	}
+	if s.N() != opts.Rows*opts.Cols {
+		return nil, ErrBadShape
+	}
+	if opts.K < 1 {
+		return nil, ErrBadK
+	}
+	if !(opts.Eps > 0 && opts.Eps < 1) || math.IsNaN(opts.Eps) {
+		return nil, ErrBadEps
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	lnInv := math.Log(1 / opts.Eps)
+	if lnInv < 1 {
+		lnInv = 1
+	}
+	m := opts.Samples
+	if m <= 0 {
+		m = int(200 * float64(opts.K) / opts.Eps)
+	}
+	q := opts.Iterations
+	if q <= 0 {
+		q = int(math.Ceil(float64(opts.K) * lnInv))
+	}
+	maxCoords := opts.MaxCoords
+	if maxCoords <= 0 {
+		maxCoords = 48
+	}
+
+	samples := make([]int, m)
+	for i := range samples {
+		samples[i] = s.Sample()
+	}
+	emp, err := NewEmpirical2D(opts.Rows, opts.Cols, samples)
+	if err != nil {
+		return nil, err
+	}
+	if emp.M() < 2 {
+		return nil, ErrNoSamples
+	}
+
+	xs, ys := candidateCoords(emp, maxCoords)
+
+	rows, cols := opts.Rows, opts.Cols
+	hist, err := NewRectHistogram(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	// Start from the best-fit constant over the whole grid, as in 1D.
+	whole := Rect{0, 0, cols, rows}
+	hist.Add(whole, 1/float64(rows*cols))
+
+	// paint holds the current H values; the three prefix arrays give O(1)
+	// rectangle sums of H, H^2 and occ*H.
+	paint := hist.Render()
+	w := cols + 1
+	sumH := make([]float64, (rows+1)*w)
+	sumH2 := make([]float64, (rows+1)*w)
+	sumEH := make([]float64, (rows+1)*w)
+	rebuild := func() {
+		for y := 0; y < rows; y++ {
+			var rh, rh2, reh float64
+			for x := 0; x < cols; x++ {
+				v := paint[y*cols+x]
+				rh += v
+				rh2 += v * v
+				reh += float64(emp.occ[y*cols+x]) * v
+				sumH[(y+1)*w+x+1] = sumH[y*w+x+1] + rh
+				sumH2[(y+1)*w+x+1] = sumH2[y*w+x+1] + rh2
+				sumEH[(y+1)*w+x+1] = sumEH[y*w+x+1] + reh
+			}
+		}
+	}
+	rebuild()
+
+	var scanned int64
+	mf := float64(emp.M())
+	for it := 0; it < q; it++ {
+		bestDelta := math.Inf(1)
+		var bestR Rect
+		var bestV float64
+		for xi := 0; xi < len(xs); xi++ {
+			for xj := xi + 1; xj < len(xs); xj++ {
+				for yi := 0; yi < len(ys); yi++ {
+					for yj := yi + 1; yj < len(ys); yj++ {
+						r := Rect{xs[xi], ys[yi], xs[xj], ys[yj]}
+						area := float64(r.Area())
+						hits := float64(emp.Hits(r))
+						v := hits / mf / area
+						scanned++
+						// delta ||H||^2 = v^2*area - sum H^2 over r.
+						dH2 := v*v*area - rectSum(sumH2, w, r)
+						// delta <p,H> ~ v*w(r) - sum occ*H / m.
+						dPH := v*hits/mf - rectSum(sumEH, w, r)/mf
+						delta := dH2 - 2*dPH
+						if delta < bestDelta {
+							bestDelta = delta
+							bestR = r
+							bestV = v
+						}
+					}
+				}
+			}
+		}
+		if math.IsInf(bestDelta, 1) {
+			break // degenerate coordinate sets
+		}
+		hist.Add(bestR, bestV)
+		for y := bestR.Y0; y < bestR.Y1; y++ {
+			for x := bestR.X0; x < bestR.X1; x++ {
+				paint[y*cols+x] = bestV
+			}
+		}
+		rebuild()
+	}
+	return &Result2D{
+		Hist:              hist,
+		SamplesUsed:       int64(m),
+		Iterations:        q,
+		CandidatesScanned: scanned,
+	}, nil
+}
+
+// candidateCoords builds the per-axis coordinate sets: distinct sampled
+// coordinates and their +1 neighbours plus the grid edges, evenly thinned
+// to maxCoords entries per axis.
+func candidateCoords(e *Empirical2D, maxCoords int) (xs, ys []int) {
+	xset := map[int]struct{}{0: {}, e.cols: {}}
+	yset := map[int]struct{}{0: {}, e.rows: {}}
+	for y := 0; y < e.rows; y++ {
+		for x := 0; x < e.cols; x++ {
+			if e.occ[y*e.cols+x] == 0 {
+				continue
+			}
+			xset[x] = struct{}{}
+			yset[y] = struct{}{}
+			if x+1 <= e.cols {
+				xset[x+1] = struct{}{}
+			}
+			if y+1 <= e.rows {
+				yset[y+1] = struct{}{}
+			}
+		}
+	}
+	xs = thinSorted(keys(xset), maxCoords)
+	ys = thinSorted(keys(yset), maxCoords)
+	return xs, ys
+}
+
+func keys(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// thinSorted keeps at most max entries of a sorted slice, always keeping
+// the first and last and sampling the interior evenly.
+func thinSorted(a []int, max int) []int {
+	if len(a) <= max || max < 2 {
+		return a
+	}
+	out := make([]int, 0, max)
+	for i := 0; i < max; i++ {
+		idx := i * (len(a) - 1) / (max - 1)
+		out = append(out, a[idx])
+	}
+	// Deduplicate (even sampling can repeat on short inputs).
+	dedup := out[:1]
+	for _, v := range out[1:] {
+		if v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}

@@ -1,0 +1,120 @@
+package grid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RectEntry is one rectangle of a priority rectangle histogram.
+type RectEntry struct {
+	R Rect
+	V float64 // per-cell value
+}
+
+// RectHistogram is the 2D analogue of the paper's priority histogram:
+// a sequence of valued rectangles where later entries overwrite earlier
+// ones on overlap ("paint" semantics). Cells covered by no rectangle
+// evaluate to 0.
+type RectHistogram struct {
+	rows, cols int
+	entries    []RectEntry
+}
+
+// NewRectHistogram returns an empty rectangle histogram over the grid.
+func NewRectHistogram(rows, cols int) (*RectHistogram, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, ErrBadShape
+	}
+	return &RectHistogram{rows: rows, cols: cols}, nil
+}
+
+// Rows returns the number of rows.
+func (h *RectHistogram) Rows() int { return h.rows }
+
+// Cols returns the number of columns.
+func (h *RectHistogram) Cols() int { return h.cols }
+
+// Len returns the number of rectangle entries.
+func (h *RectHistogram) Len() int { return len(h.entries) }
+
+// Entries returns a copy of the entries in paint order.
+func (h *RectHistogram) Entries() []RectEntry {
+	return append([]RectEntry(nil), h.entries...)
+}
+
+// Add paints a rectangle with the given per-cell value on top of the
+// current histogram. The rectangle is clamped to the grid; empty
+// rectangles are ignored.
+func (h *RectHistogram) Add(r Rect, v float64) {
+	r = r.Clamp(h.rows, h.cols)
+	if r.Empty() {
+		return
+	}
+	h.entries = append(h.entries, RectEntry{R: r, V: v})
+}
+
+// Eval returns the histogram value at cell (x, y): the value of the last
+// entry containing it, or 0.
+func (h *RectHistogram) Eval(x, y int) float64 {
+	for i := len(h.entries) - 1; i >= 0; i-- {
+		if h.entries[i].R.Contains(x, y) {
+			return h.entries[i].V
+		}
+	}
+	return 0
+}
+
+// Render paints the histogram into a row-major value grid in
+// O(entries * area) total.
+func (h *RectHistogram) Render() []float64 {
+	out := make([]float64, h.rows*h.cols)
+	for _, e := range h.entries {
+		for y := e.R.Y0; y < e.R.Y1; y++ {
+			row := out[y*h.cols : (y+1)*h.cols]
+			for x := e.R.X0; x < e.R.X1; x++ {
+				row[x] = e.V
+			}
+		}
+	}
+	return out
+}
+
+// L2SqTo returns sum over cells of (g(x,y) - H(x,y))^2 via one render.
+func (h *RectHistogram) L2SqTo(g *Grid) float64 {
+	if g.Rows() != h.rows || g.Cols() != h.cols {
+		panic("grid: shape mismatch")
+	}
+	v := h.Render()
+	var s float64
+	for y := 0; y < h.rows; y++ {
+		for x := 0; x < h.cols; x++ {
+			d := g.P(x, y) - v[y*h.cols+x]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// TotalMass returns sum over cells of H(x,y).
+func (h *RectHistogram) TotalMass() float64 {
+	v := h.Render()
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// String renders the histogram compactly.
+func (h *RectHistogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RectHistogram(%dx%d, len=%d)[", h.rows, h.cols, len(h.entries))
+	for i, e := range h.entries {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%v=%.4g", e.R, e.V)
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package histogram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"khist/internal/dist"
+)
+
+// Entry is one interval of a priority histogram: the interval, its constant
+// value, and its priority. Higher priorities win on overlap.
+type Entry struct {
+	Iv  dist.Interval
+	V   float64
+	Pri int
+}
+
+// Priority is a priority k-histogram over [n] (Section 1.1): a list of
+// possibly overlapping intervals with values and priorities. For element t,
+// H(t) is the value of the highest-priority interval containing t, or 0 if
+// none contains it. The zero value plus SetN, or NewPriority, is ready to
+// use. Entries are added with strictly increasing priority by Add, matching
+// how Algorithm 1 grows its histogram (each added interval takes priority
+// r_max + 1).
+type Priority struct {
+	n       int
+	entries []Entry
+	maxPri  int
+}
+
+// NewPriority returns an empty priority histogram over domain size n.
+// An empty priority histogram evaluates to 0 everywhere.
+func NewPriority(n int) *Priority {
+	if n <= 0 {
+		panic("histogram: domain size must be positive")
+	}
+	return &Priority{n: n}
+}
+
+// N returns the domain size.
+func (h *Priority) N() int { return h.n }
+
+// Len returns the number of entries (intervals) added so far.
+func (h *Priority) Len() int { return len(h.entries) }
+
+// MaxPri returns the maximal priority among entries (0 when empty).
+func (h *Priority) MaxPri() int { return h.maxPri }
+
+// Entries returns a copy of the entry list in insertion order.
+func (h *Priority) Entries() []Entry { return append([]Entry(nil), h.entries...) }
+
+// Add appends the interval with value v at priority r_max + 1, following
+// Algorithm 1's update step, and returns that priority. The interval is
+// clamped to the domain. Adding an empty interval is a no-op returning the
+// current max priority.
+func (h *Priority) Add(iv dist.Interval, v float64) int {
+	iv = iv.Intersect(dist.Whole(h.n))
+	if iv.Empty() {
+		return h.maxPri
+	}
+	h.maxPri++
+	h.entries = append(h.entries, Entry{Iv: iv, V: v, Pri: h.maxPri})
+	return h.maxPri
+}
+
+// AddAt appends an interval with an explicit priority. It is used when
+// transplanting the pieces of a tiling histogram into a priority histogram
+// at a single shared priority level (the reduction in Theorem 1's proof).
+func (h *Priority) AddAt(iv dist.Interval, v float64, pri int) {
+	iv = iv.Intersect(dist.Whole(h.n))
+	if iv.Empty() {
+		return
+	}
+	h.entries = append(h.entries, Entry{Iv: iv, V: v, Pri: pri})
+	if pri > h.maxPri {
+		h.maxPri = pri
+	}
+}
+
+// Clone returns a deep copy of the priority histogram.
+func (h *Priority) Clone() *Priority {
+	return &Priority{n: h.n, entries: append([]Entry(nil), h.entries...), maxPri: h.maxPri}
+}
+
+// Eval returns H(t): the value of the highest-priority interval containing
+// t, or 0 if no interval contains t. O(len(entries)) per call; use Flatten
+// for bulk evaluation.
+func (h *Priority) Eval(t int) float64 {
+	if t < 0 || t >= h.n {
+		panic(fmt.Sprintf("histogram: element %d outside domain [0,%d)", t, h.n))
+	}
+	best := 0
+	v := 0.0
+	for _, e := range h.entries {
+		if e.Pri >= best && e.Iv.Contains(t) {
+			best = e.Pri
+			v = e.V
+		}
+	}
+	return v
+}
+
+// Flatten converts the priority histogram into an equivalent tiling
+// histogram via a sweep over the distinct interval endpoints. Uncovered
+// stretches of the domain become pieces with value 0. The result has at
+// most 2*Len()+1 pieces before canonicalization; the returned histogram is
+// canonical (adjacent equal values merged), which also certifies the
+// paper's observation that a priority k-histogram is a tiling 2k-histogram.
+func (h *Priority) Flatten() *Tiling {
+	if len(h.entries) == 0 {
+		return FlatTiling(h.n, 0)
+	}
+	// Collect cut points.
+	cuts := make([]int, 0, 2*len(h.entries)+2)
+	cuts = append(cuts, 0, h.n)
+	for _, e := range h.entries {
+		cuts = append(cuts, e.Iv.Lo, e.Iv.Hi)
+	}
+	sort.Ints(cuts)
+	cuts = dedupInts(cuts)
+
+	bounds := []int{0}
+	var values []float64
+	for i := 0; i+1 < len(cuts); i++ {
+		seg := dist.Interval{Lo: cuts[i], Hi: cuts[i+1]}
+		if seg.Empty() {
+			continue
+		}
+		// Value at any point of seg; segments do not straddle endpoints.
+		v := h.Eval(seg.Lo)
+		bounds = append(bounds, seg.Hi)
+		values = append(values, v)
+	}
+	tl, err := NewTiling(bounds, values)
+	if err != nil {
+		panic(err) // unreachable: cut points derived from valid entries
+	}
+	return tl.Canonical()
+}
+
+// L2SqTo returns ||p - H||_2^2 by flattening first (O(k log k + k) after
+// the sweep) and evaluating piecewise with prefix moments.
+func (h *Priority) L2SqTo(p *dist.Distribution) float64 { return h.Flatten().L2SqTo(p) }
+
+// L1To returns ||p - H||_1 via the flattened representation.
+func (h *Priority) L1To(p *dist.Distribution) float64 { return h.Flatten().L1To(p) }
+
+// String renders the priority histogram for logs.
+func (h *Priority) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Priority(n=%d, len=%d)[", h.n, len(h.entries))
+	for i, e := range h.entries {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%v=%.4g@%d", e.Iv, e.V, e.Pri)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func dedupInts(a []int) []int {
+	if len(a) == 0 {
+		return a
+	}
+	out := a[:1]
+	for _, v := range a[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

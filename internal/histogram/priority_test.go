@@ -1,0 +1,208 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+)
+
+func TestPriorityEmpty(t *testing.T) {
+	h := NewPriority(8)
+	if h.N() != 8 || h.Len() != 0 || h.MaxPri() != 0 {
+		t.Fatal("fresh priority histogram malformed")
+	}
+	for i := 0; i < 8; i++ {
+		if h.Eval(i) != 0 {
+			t.Fatalf("empty histogram Eval(%d) != 0", i)
+		}
+	}
+	flat := h.Flatten()
+	if flat.Pieces() != 1 || flat.Eval(0) != 0 {
+		t.Error("empty histogram flattens to non-zero")
+	}
+}
+
+func TestPriorityPanicsOnBadDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPriority(0): want panic")
+		}
+	}()
+	NewPriority(0)
+}
+
+func TestPriorityAddAndEval(t *testing.T) {
+	h := NewPriority(10)
+	p1 := h.Add(dist.Interval{Lo: 0, Hi: 6}, 0.1)
+	p2 := h.Add(dist.Interval{Lo: 4, Hi: 8}, 0.2)
+	if p1 != 1 || p2 != 2 {
+		t.Fatalf("priorities = %d, %d, want 1, 2", p1, p2)
+	}
+	// Element 5 is covered by both; later (higher-priority) wins.
+	if h.Eval(5) != 0.2 {
+		t.Errorf("Eval(5) = %v, want 0.2", h.Eval(5))
+	}
+	if h.Eval(2) != 0.1 {
+		t.Errorf("Eval(2) = %v, want 0.1", h.Eval(2))
+	}
+	if h.Eval(9) != 0 {
+		t.Errorf("Eval(9) = %v, want 0 (uncovered)", h.Eval(9))
+	}
+}
+
+func TestPriorityAddClampsAndIgnoresEmpty(t *testing.T) {
+	h := NewPriority(4)
+	h.Add(dist.Interval{Lo: -5, Hi: 2}, 0.5)
+	if h.Entries()[0].Iv != (dist.Interval{Lo: 0, Hi: 2}) {
+		t.Error("interval not clamped to domain")
+	}
+	before := h.Len()
+	pri := h.Add(dist.Interval{Lo: 3, Hi: 3}, 0.9)
+	if h.Len() != before || pri != h.MaxPri() {
+		t.Error("empty interval add was not a no-op")
+	}
+}
+
+func TestPriorityEvalPanics(t *testing.T) {
+	h := NewPriority(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval out of range: want panic")
+		}
+	}()
+	h.Eval(4)
+}
+
+func TestPriorityFlattenMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(60)
+		h := NewPriority(n)
+		adds := rng.Intn(12)
+		for a := 0; a < adds; a++ {
+			lo := rng.Intn(n)
+			hi := lo + 1 + rng.Intn(n-lo)
+			h.Add(dist.Interval{Lo: lo, Hi: hi}, rng.Float64())
+		}
+		flat := h.Flatten()
+		if flat.N() != n {
+			t.Fatalf("flatten changed domain size")
+		}
+		for i := 0; i < n; i++ {
+			if got, want := flat.Eval(i), h.Eval(i); got != want {
+				t.Fatalf("trial %d: Flatten.Eval(%d) = %v, priority Eval = %v\n%v\n%v",
+					trial, i, got, want, h, flat)
+			}
+		}
+	}
+}
+
+// The paper's conversion bound: a priority k-histogram has a tiling
+// 2k-histogram representation. Flatten must respect that bound after
+// canonicalization.
+func TestPriorityFlattenPieceBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(100)
+		h := NewPriority(n)
+		k := 1 + rng.Intn(8)
+		for a := 0; a < k; a++ {
+			lo := rng.Intn(n)
+			hi := lo + 1 + rng.Intn(n-lo)
+			h.Add(dist.Interval{Lo: lo, Hi: hi}, 0.01+rng.Float64())
+		}
+		flat := h.Flatten()
+		// 2k pieces for the covered structure, plus potentially uncovered
+		// zero stretches at the ends; 2k+1 is the hard ceiling.
+		if flat.Pieces() > 2*k+1 {
+			t.Fatalf("flatten produced %d pieces from %d priority intervals", flat.Pieces(), k)
+		}
+	}
+}
+
+func TestPriorityAddAt(t *testing.T) {
+	h := NewPriority(10)
+	h.Add(dist.Interval{Lo: 0, Hi: 10}, 0.05)
+	// Transplant a tiling at one priority level above everything.
+	pri := h.MaxPri() + 1
+	h.AddAt(dist.Interval{Lo: 0, Hi: 5}, 0.15, pri)
+	h.AddAt(dist.Interval{Lo: 5, Hi: 10}, 0.05, pri)
+	if h.MaxPri() != pri {
+		t.Errorf("MaxPri = %d, want %d", h.MaxPri(), pri)
+	}
+	if h.Eval(2) != 0.15 || h.Eval(7) != 0.05 {
+		t.Error("AddAt entries do not dominate")
+	}
+	// Empty AddAt is a no-op.
+	before := h.Len()
+	h.AddAt(dist.Interval{Lo: 3, Hi: 3}, 1, 99)
+	if h.Len() != before {
+		t.Error("empty AddAt added an entry")
+	}
+}
+
+func TestPriorityClone(t *testing.T) {
+	h := NewPriority(6)
+	h.Add(dist.Interval{Lo: 0, Hi: 3}, 0.2)
+	c := h.Clone()
+	c.Add(dist.Interval{Lo: 3, Hi: 6}, 0.1)
+	if h.Len() != 1 || c.Len() != 2 {
+		t.Fatal("clone shares entry storage")
+	}
+	if h.MaxPri() != 1 || c.MaxPri() != 2 {
+		t.Fatal("clone shares priority counter")
+	}
+}
+
+func TestPriorityDistances(t *testing.T) {
+	p := dist.MustNew([]float64{0.25, 0.25, 0.25, 0.25})
+	h := NewPriority(4)
+	h.Add(dist.Interval{Lo: 0, Hi: 4}, 0.25)
+	if got := h.L2SqTo(p); got != 0 {
+		t.Errorf("exact cover L2Sq = %v, want 0", got)
+	}
+	if got := h.L1To(p); got != 0 {
+		t.Errorf("exact cover L1 = %v, want 0", got)
+	}
+	h2 := NewPriority(4)
+	if got := h2.L1To(p); math.Abs(got-1) > 1e-12 {
+		t.Errorf("empty histogram L1 = %v, want 1", got)
+	}
+}
+
+// Later adds with overlapping intervals must replicate the "recompute
+// neighbours" semantics used by the greedy learner: the flattened result
+// equals painting intervals in add order.
+func TestPriorityPaintSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(60)
+		h := NewPriority(n)
+		painted := make([]float64, n)
+		adds := 1 + rng.Intn(10)
+		for a := 0; a < adds; a++ {
+			lo := rng.Intn(n)
+			hi := lo + 1 + rng.Intn(n-lo)
+			v := rng.Float64()
+			h.Add(dist.Interval{Lo: lo, Hi: hi}, v)
+			for i := lo; i < hi; i++ {
+				painted[i] = v
+			}
+		}
+		for i := 0; i < n; i++ {
+			if h.Eval(i) != painted[i] {
+				t.Fatalf("paint semantics violated at %d", i)
+			}
+		}
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	h := NewPriority(4)
+	h.Add(dist.Interval{Lo: 0, Hi: 2}, 0.5)
+	if h.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,104 @@
+package histogram
+
+import "math"
+
+// ReduceL2 returns the best approximation of the histogram h by a tiling
+// histogram with at most k pieces, in the (unweighted) squared l2 sense
+// over the domain: it minimizes sum_i (h(i) - g(i))^2 over k-piece g.
+//
+// Because h is piecewise constant, an optimal g's boundaries can be chosen
+// among h's own boundaries, so the search is an exact dynamic program over
+// h's pieces — O(t^2 k) for a t-piece input, independent of the domain
+// size. If h already has at most k pieces it is returned as is.
+//
+// The learner uses this to convert its many-interval priority histogram
+// into a true k-piece histogram, and the distance estimator uses it so the
+// measured ||p - g||_2^2 upper-bounds the distance to the k-histogram
+// property.
+func ReduceL2(h *Tiling, k int) (*Tiling, error) {
+	if k < 1 {
+		return nil, ErrEmpty
+	}
+	t := h.Pieces()
+	if t <= k {
+		return h, nil
+	}
+
+	// Weighted prefix moments over h's pieces: lengths, sum h, sum h^2.
+	lenPfx := make([]float64, t+1)
+	sumPfx := make([]float64, t+1)
+	sqPfx := make([]float64, t+1)
+	for j := 0; j < t; j++ {
+		iv, v := h.Piece(j)
+		w := float64(iv.Len())
+		lenPfx[j+1] = lenPfx[j] + w
+		sumPfx[j+1] = sumPfx[j] + w*v
+		sqPfx[j+1] = sqPfx[j] + w*v*v
+	}
+	// sse of merging pieces [a, b) of h into one constant (their mean).
+	sse := func(a, b int) float64 {
+		w := lenPfx[b] - lenPfx[a]
+		s := sumPfx[b] - sumPfx[a]
+		v := (sqPfx[b] - sqPfx[a]) - s*s/w
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+
+	cost := make([][]float64, k+1)
+	arg := make([][]int, k+1)
+	for j := range cost {
+		cost[j] = make([]float64, t+1)
+		arg[j] = make([]int, t+1)
+		for b := range cost[j] {
+			cost[j][b] = math.Inf(1)
+		}
+	}
+	cost[0][0] = 0
+	for j := 1; j <= k; j++ {
+		for b := j; b <= t; b++ {
+			best := math.Inf(1)
+			bestA := -1
+			for a := j - 1; a < b; a++ {
+				if math.IsInf(cost[j-1][a], 1) {
+					continue
+				}
+				c := cost[j-1][a] + sse(a, b)
+				if c < best {
+					best = c
+					bestA = a
+				}
+			}
+			cost[j][b] = best
+			arg[j][b] = bestA
+		}
+	}
+
+	// Recover piece groups and build the reduced tiling.
+	groups := make([]int, k+1)
+	groups[k] = t
+	for j := k; j >= 1; j-- {
+		groups[j-1] = arg[j][groups[j]]
+	}
+	hb := h.Bounds()
+	bounds := make([]int, k+1)
+	values := make([]float64, k)
+	for j := 0; j <= k; j++ {
+		bounds[j] = hb[groups[j]]
+	}
+	for j := 0; j < k; j++ {
+		w := lenPfx[groups[j+1]] - lenPfx[groups[j]]
+		s := sumPfx[groups[j+1]] - sumPfx[groups[j]]
+		v := s / w
+		if v < 0 {
+			v = 0
+		}
+		values[j] = v
+	}
+	out, err := NewTiling(bounds, values)
+	if err != nil {
+		return nil, err
+	}
+	return out.Canonical(), nil
+}

@@ -1,0 +1,161 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+)
+
+func TestReduceValidation(t *testing.T) {
+	h := FlatTiling(8, 0.125)
+	if _, err := ReduceL2(h, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+}
+
+func TestReduceIdentityWhenSmallEnough(t *testing.T) {
+	h, _ := NewTiling([]int{0, 4, 8}, []float64{0.2, 0.05})
+	r, err := ReduceL2(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != h {
+		t.Error("k >= pieces should return the input unchanged")
+	}
+	r3, err := ReduceL2(h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Pieces() != 2 {
+		t.Error("over-budget reduce changed the histogram")
+	}
+}
+
+func TestReducePieceBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 16 + rng.Intn(100)
+		// Build a many-piece histogram from a random distribution.
+		p := dist.PerturbMultiplicative(dist.Zipf(n, 1.0), 0.3, rng)
+		h := FromDistribution(p)
+		k := 1 + rng.Intn(6)
+		r, err := ReduceL2(h, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Pieces() > k {
+			t.Fatalf("reduced to %d pieces, budget %d", r.Pieces(), k)
+		}
+		if r.N() != h.N() {
+			t.Fatal("domain changed")
+		}
+	}
+}
+
+// The reduction must be optimal: on small instances compare against brute
+// force over all boundary subsets of the input histogram.
+func TestReduceOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		// 4-6 pieces, reduce to 2-3.
+		t0 := 4 + rng.Intn(3)
+		n := t0 * 3
+		bounds := make([]int, t0+1)
+		for j := 1; j < t0; j++ {
+			bounds[j] = j * 3
+		}
+		bounds[t0] = n
+		values := make([]float64, t0)
+		for j := range values {
+			values[j] = rng.Float64()
+		}
+		h, err := NewTiling(bounds, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 2 + rng.Intn(2)
+		r, err := ReduceL2(h, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := l2sqBetween(h, r)
+
+		best := math.Inf(1)
+		// Brute force: choose k-1 interior boundaries among h's t0-1.
+		var rec func(chosen []int, next int)
+		rec = func(chosen []int, next int) {
+			if len(chosen) == k-1 {
+				full := append([]int{0}, chosen...)
+				full = append(full, n)
+				g := bestFitOfHistogram(h, full)
+				if e := l2sqBetween(h, g); e < best {
+					best = e
+				}
+				return
+			}
+			for j := next; j < t0; j++ {
+				rec(append(chosen, bounds[j]), j+1)
+			}
+		}
+		rec(nil, 1)
+		if got > best+1e-12 {
+			t.Fatalf("ReduceL2 error %v, brute force %v", got, best)
+		}
+	}
+}
+
+// l2sqBetween computes sum_i (a(i)-b(i))^2 by direct evaluation.
+func l2sqBetween(a, b *Tiling) float64 {
+	var s float64
+	for i := 0; i < a.N(); i++ {
+		d := a.Eval(i) - b.Eval(i)
+		s += d * d
+	}
+	return s
+}
+
+// bestFitOfHistogram builds the mean-valued tiling over the given bounds
+// approximating h.
+func bestFitOfHistogram(h *Tiling, bounds []int) *Tiling {
+	values := make([]float64, len(bounds)-1)
+	for j := 0; j+1 < len(bounds); j++ {
+		var s float64
+		for i := bounds[j]; i < bounds[j+1]; i++ {
+			s += h.Eval(i)
+		}
+		values[j] = s / float64(bounds[j+1]-bounds[j])
+	}
+	g, err := NewTiling(bounds, values)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Reducing an exact k-histogram's fine representation must recover it.
+func TestReduceRecoversExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(60)
+		k := 1 + rng.Intn(5)
+		p := dist.RandomKHistogram(n, k, rng)
+		// Over-segment: every element its own piece.
+		bounds := make([]int, n+1)
+		for i := range bounds {
+			bounds[i] = i
+		}
+		fine, err := BestFit(p, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ReduceL2(fine, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := r.L2SqTo(p); e > 1e-15 {
+			t.Fatalf("n=%d k=%d: reduce lost %v of an exact histogram", n, k, e)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package histogram implements the two histogram representations from
+// Section 1.1 of Indyk, Levi, Rubinfeld (PODS 2012): tiling histograms
+// (disjoint intervals covering the whole domain) and priority histograms
+// (overlapping intervals where the highest-priority interval wins), plus
+// error evaluation against explicit distributions.
+package histogram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"khist/internal/dist"
+)
+
+// Errors returned by histogram constructors.
+var (
+	ErrBadBounds = errors.New("histogram: bounds must start at 0, end at n, and strictly increase")
+	ErrBadValues = errors.New("histogram: need exactly one value per piece, all finite and non-negative")
+	ErrEmpty     = errors.New("histogram: histogram must have at least one piece")
+)
+
+// Tiling is a tiling k-histogram over [n]: a piecewise constant function
+// defined by bounds 0 = b_0 < b_1 < ... < b_k = n and one value per piece.
+// Piece j covers the half-open interval [b_j, b_{j+1}) with constant value
+// values[j]. The value is the per-element estimate H(i) of p_i.
+type Tiling struct {
+	bounds []int
+	values []float64
+}
+
+// NewTiling validates and constructs a tiling histogram. bounds must be
+// strictly increasing, starting at 0; the final bound is the domain size n.
+// len(values) must equal len(bounds)-1. Values must be finite and
+// non-negative (they estimate probabilities). Both slices are copied.
+func NewTiling(bounds []int, values []float64) (*Tiling, error) {
+	if len(bounds) < 2 {
+		return nil, ErrEmpty
+	}
+	if len(values) != len(bounds)-1 {
+		return nil, ErrBadValues
+	}
+	if bounds[0] != 0 {
+		return nil, ErrBadBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, ErrBadBounds
+		}
+	}
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, ErrBadValues
+		}
+	}
+	return &Tiling{
+		bounds: append([]int(nil), bounds...),
+		values: append([]float64(nil), values...),
+	}, nil
+}
+
+// FlatTiling returns the 1-piece histogram with constant value v over [n].
+func FlatTiling(n int, v float64) *Tiling {
+	t, err := NewTiling([]int{0, n}, []float64{v})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// BestFit returns the tiling histogram with the given bounds whose values
+// minimize the squared l2 distance to p: each piece's value is the mean
+// p(I)/|I| of the distribution over the piece (the paper notes this is the
+// l2-optimal choice for fixed intervals).
+func BestFit(p *dist.Distribution, bounds []int) (*Tiling, error) {
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != p.N() {
+		return nil, ErrBadBounds
+	}
+	values := make([]float64, len(bounds)-1)
+	for j := 0; j+1 < len(bounds); j++ {
+		iv := dist.Interval{Lo: bounds[j], Hi: bounds[j+1]}
+		if iv.Len() <= 0 {
+			return nil, ErrBadBounds
+		}
+		values[j] = p.Weight(iv) / float64(iv.Len())
+	}
+	return NewTiling(bounds, values)
+}
+
+// FromDistribution returns the exact tiling representation of a
+// distribution that is itself a k-histogram, with one piece per maximal
+// constant run of the pmf.
+func FromDistribution(p *dist.Distribution) *Tiling {
+	interior := p.Boundaries()
+	bounds := make([]int, 0, len(interior)+2)
+	bounds = append(bounds, 0)
+	bounds = append(bounds, interior...)
+	bounds = append(bounds, p.N())
+	values := make([]float64, len(bounds)-1)
+	for j := 0; j+1 < len(bounds); j++ {
+		values[j] = p.P(bounds[j])
+	}
+	t, err := NewTiling(bounds, values)
+	if err != nil {
+		panic(err) // unreachable: bounds derived from a valid pmf
+	}
+	return t
+}
+
+// N returns the domain size.
+func (t *Tiling) N() int { return t.bounds[len(t.bounds)-1] }
+
+// Pieces returns the number of pieces k.
+func (t *Tiling) Pieces() int { return len(t.values) }
+
+// Bounds returns a copy of the piece boundaries (length Pieces()+1).
+func (t *Tiling) Bounds() []int { return append([]int(nil), t.bounds...) }
+
+// Values returns a copy of the per-piece values (length Pieces()).
+func (t *Tiling) Values() []float64 { return append([]float64(nil), t.values...) }
+
+// Piece returns the j-th piece as an interval plus its value.
+func (t *Tiling) Piece(j int) (dist.Interval, float64) {
+	return dist.Interval{Lo: t.bounds[j], Hi: t.bounds[j+1]}, t.values[j]
+}
+
+// PieceIndex returns the index of the piece containing domain element i.
+// It panics if i is outside [0, n).
+func (t *Tiling) PieceIndex(i int) int {
+	if i < 0 || i >= t.N() {
+		panic(fmt.Sprintf("histogram: element %d outside domain [0,%d)", i, t.N()))
+	}
+	// Largest j with bounds[j] <= i.
+	j := sort.SearchInts(t.bounds, i+1) - 1
+	return j
+}
+
+// Eval returns H(i), the histogram's estimate at element i.
+func (t *Tiling) Eval(i int) float64 { return t.values[t.PieceIndex(i)] }
+
+// TotalMass returns sum_i H(i) = sum_j values[j] * |piece_j|.
+func (t *Tiling) TotalMass() float64 {
+	var total float64
+	for j, v := range t.values {
+		total += v * float64(t.bounds[j+1]-t.bounds[j])
+	}
+	return total
+}
+
+// L2SqTo returns ||p - H||_2^2 computed piece-by-piece in O(k) using the
+// prefix moments of p: for a piece I with value v,
+// sum_{i in I} (p_i - v)^2 = sum p_i^2 - 2 v p(I) + v^2 |I|.
+func (t *Tiling) L2SqTo(p *dist.Distribution) float64 {
+	if p.N() != t.N() {
+		panic("histogram: domain mismatch")
+	}
+	var total float64
+	for j, v := range t.values {
+		iv := dist.Interval{Lo: t.bounds[j], Hi: t.bounds[j+1]}
+		total += p.SumSquares(iv) - 2*v*p.Weight(iv) + v*v*float64(iv.Len())
+	}
+	if total < 0 {
+		return 0 // floating point guard; the quantity is a sum of squares
+	}
+	return total
+}
+
+// L1To returns ||p - H||_1. This needs a full pass over the domain since
+// absolute deviations do not telescope from prefix moments.
+func (t *Tiling) L1To(p *dist.Distribution) float64 {
+	if p.N() != t.N() {
+		panic("histogram: domain mismatch")
+	}
+	var total float64
+	for j, v := range t.values {
+		for i := t.bounds[j]; i < t.bounds[j+1]; i++ {
+			total += math.Abs(p.P(i) - v)
+		}
+	}
+	return total
+}
+
+// Distribution converts the histogram into a Distribution by clamping
+// negatives (none exist by construction) and normalizing the total mass.
+// It returns an error if the histogram has zero total mass.
+func (t *Tiling) Distribution() (*dist.Distribution, error) {
+	w := make([]float64, t.N())
+	for j, v := range t.values {
+		for i := t.bounds[j]; i < t.bounds[j+1]; i++ {
+			w[i] = v
+		}
+	}
+	return dist.FromWeights(w)
+}
+
+// Canonical returns an equivalent tiling histogram with adjacent
+// equal-valued pieces merged, so Pieces() is minimal for the represented
+// function.
+func (t *Tiling) Canonical() *Tiling {
+	bounds := []int{0}
+	var values []float64
+	for j := 0; j < len(t.values); j++ {
+		if j > 0 && t.values[j] == t.values[j-1] {
+			bounds[len(bounds)-1] = t.bounds[j+1]
+			continue
+		}
+		bounds = append(bounds, t.bounds[j+1])
+		values = append(values, t.values[j])
+	}
+	out, err := NewTiling(bounds, values)
+	if err != nil {
+		panic(err) // unreachable: derived from a valid tiling
+	}
+	return out
+}
+
+// String renders the histogram compactly for logs and error messages.
+func (t *Tiling) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tiling(n=%d, k=%d)[", t.N(), t.Pieces())
+	for j := range t.values {
+		if j > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "[%d,%d)=%.4g", t.bounds[j], t.bounds[j+1], t.values[j])
+	}
+	b.WriteString("]")
+	return b.String()
+}

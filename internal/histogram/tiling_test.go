@@ -1,0 +1,215 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"khist/internal/dist"
+)
+
+func TestNewTilingValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []int
+		values []float64
+		ok     bool
+	}{
+		{"ok", []int{0, 3, 5}, []float64{0.1, 0.35}, true},
+		{"ok single", []int{0, 5}, []float64{0.2}, true},
+		{"too few bounds", []int{0}, nil, false},
+		{"bad start", []int{1, 5}, []float64{0.2}, false},
+		{"not increasing", []int{0, 3, 3}, []float64{0.1, 0.1}, false},
+		{"decreasing", []int{0, 4, 2}, []float64{0.1, 0.1}, false},
+		{"value count", []int{0, 3, 5}, []float64{0.1}, false},
+		{"negative value", []int{0, 5}, []float64{-0.1}, false},
+		{"nan value", []int{0, 5}, []float64{math.NaN()}, false},
+		{"inf value", []int{0, 5}, []float64{math.Inf(1)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewTiling(tc.bounds, tc.values)
+			if tc.ok && err != nil {
+				t.Fatalf("NewTiling error = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("NewTiling error = nil, want error")
+			}
+		})
+	}
+}
+
+func TestTilingAccessors(t *testing.T) {
+	h, err := NewTiling([]int{0, 3, 5, 10}, []float64{0.1, 0.05, 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 10 || h.Pieces() != 3 {
+		t.Fatalf("N=%d Pieces=%d", h.N(), h.Pieces())
+	}
+	iv, v := h.Piece(1)
+	if iv != (dist.Interval{Lo: 3, Hi: 5}) || v != 0.05 {
+		t.Errorf("Piece(1) = %v, %v", iv, v)
+	}
+	// Defensive copies.
+	h.Bounds()[0] = 99
+	h.Values()[0] = 99
+	if h.bounds[0] != 0 || h.values[0] != 0.1 {
+		t.Error("accessors alias internal state")
+	}
+	// Eval across boundaries.
+	wantVals := []float64{0.1, 0.1, 0.1, 0.05, 0.05, 0.04, 0.04, 0.04, 0.04, 0.04}
+	for i, w := range wantVals {
+		if got := h.Eval(i); got != w {
+			t.Errorf("Eval(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := h.TotalMass(); math.Abs(got-(0.3+0.1+0.2)) > 1e-12 {
+		t.Errorf("TotalMass = %v, want 0.6", got)
+	}
+}
+
+func TestTilingEvalPanics(t *testing.T) {
+	h := FlatTiling(4, 0.25)
+	for _, i := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Eval(%d): want panic", i)
+				}
+			}()
+			h.Eval(i)
+		}()
+	}
+}
+
+func TestBestFit(t *testing.T) {
+	p := dist.MustNew([]float64{0.1, 0.3, 0.2, 0.4})
+	h, err := BestFit(p, []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Eval(0)-0.2) > 1e-12 || math.Abs(h.Eval(2)-0.3) > 1e-12 {
+		t.Errorf("best-fit values = %v", h.Values())
+	}
+	// BestFit must dominate any other value choice for the same bounds.
+	other, _ := NewTiling([]int{0, 2, 4}, []float64{0.15, 0.35})
+	if h.L2SqTo(p) > other.L2SqTo(p)+1e-15 {
+		t.Error("BestFit is not l2-optimal for its bounds")
+	}
+	if _, err := BestFit(p, []int{0, 5}); err == nil {
+		t.Error("bounds ending past n: want error")
+	}
+	if _, err := BestFit(p, []int{1, 4}); err == nil {
+		t.Error("bounds starting past 0: want error")
+	}
+}
+
+func TestFromDistribution(t *testing.T) {
+	p := dist.MustNew([]float64{0.1, 0.1, 0.3, 0.3, 0.2})
+	h := FromDistribution(p)
+	if h.Pieces() != 3 {
+		t.Fatalf("Pieces = %d, want 3", h.Pieces())
+	}
+	if h.L2SqTo(p) != 0 {
+		t.Errorf("exact representation has non-zero error %v", h.L2SqTo(p))
+	}
+	if h.L1To(p) != 0 {
+		t.Errorf("exact representation has non-zero l1 error")
+	}
+}
+
+func TestL2SqToMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(80)
+		p := dist.RandomKHistogram(n, 1+r.Intn(minInt(6, n)), r)
+		k := 1 + r.Intn(minInt(5, n))
+		bounds := dist.RandomBoundaries(n, k, r)
+		h, err := BestFit(p, bounds)
+		if err != nil {
+			return false
+		}
+		direct := dist.L2SqToFunc(p, h.Eval)
+		return math.Abs(h.L2SqTo(p)-direct) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL1ToMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(80)
+		p := dist.Zipf(n, 1.0)
+		k := 1 + rng.Intn(minInt(5, n))
+		h, err := BestFit(p, dist.RandomBoundaries(n, k, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := dist.L1ToFunc(p, h.Eval)
+		if math.Abs(h.L1To(p)-direct) > 1e-9 {
+			t.Fatalf("L1To = %v, direct = %v", h.L1To(p), direct)
+		}
+	}
+}
+
+func TestTilingDistribution(t *testing.T) {
+	h, _ := NewTiling([]int{0, 2, 4}, []float64{0.3, 0.2})
+	d, err := h.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.P(0)-0.3) > 1e-12 || math.Abs(d.P(2)-0.2) > 1e-12 {
+		t.Errorf("normalized pmf = %v", d.PMF())
+	}
+	zero := FlatTiling(4, 0)
+	if _, err := zero.Distribution(); err == nil {
+		t.Error("zero-mass histogram Distribution: want error")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	h, _ := NewTiling([]int{0, 2, 4, 6, 8}, []float64{0.1, 0.1, 0.2, 0.1})
+	c := h.Canonical()
+	if c.Pieces() != 3 {
+		t.Fatalf("canonical Pieces = %d, want 3", c.Pieces())
+	}
+	for i := 0; i < 8; i++ {
+		if c.Eval(i) != h.Eval(i) {
+			t.Fatalf("canonicalization changed Eval(%d)", i)
+		}
+	}
+	// Already-canonical histograms are unchanged.
+	c2 := c.Canonical()
+	if c2.Pieces() != c.Pieces() {
+		t.Error("double canonicalization changed piece count")
+	}
+}
+
+func TestPieceIndex(t *testing.T) {
+	h, _ := NewTiling([]int{0, 3, 5, 10}, []float64{1, 2, 3})
+	cases := map[int]int{0: 0, 2: 0, 3: 1, 4: 1, 5: 2, 9: 2}
+	for i, want := range cases {
+		if got := h.PieceIndex(i); got != want {
+			t.Errorf("PieceIndex(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestTilingString(t *testing.T) {
+	h := FlatTiling(4, 0.25)
+	if s := h.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package histtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+)
+
+func TestIdentityValidation(t *testing.T) {
+	s := dist.NewSampler(dist.Uniform(16), rand.New(rand.NewSource(1)))
+	if _, err := TestIdentityL2(s, dist.Uniform(16), 0, 1, 0); err == nil {
+		t.Error("eps=0: want error")
+	}
+	if _, err := TestIdentityL2(s, dist.Uniform(16), math.NaN(), 1, 0); err == nil {
+		t.Error("eps NaN: want error")
+	}
+	if _, err := TestIdentityL2(s, dist.Uniform(8), 0.2, 1, 0); err != ErrBadDomain {
+		t.Error("domain mismatch: want ErrBadDomain")
+	}
+	tiny := dist.NewSampler(dist.Uniform(1), rand.New(rand.NewSource(1)))
+	if _, err := TestIdentityL2(tiny, dist.Uniform(1), 0.2, 1, 0); err != ErrTinyDomain {
+		t.Error("tiny domain: want ErrTinyDomain")
+	}
+}
+
+func TestIdentityAcceptsEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial, q := range []*dist.Distribution{
+		dist.Uniform(128),
+		dist.Zipf(128, 1.1),
+		dist.RandomKHistogram(128, 4, rng),
+	} {
+		s := dist.NewSampler(q, rand.New(rand.NewSource(int64(10+trial))))
+		res, err := TestIdentityL2(s, q, 0.2, 0.2, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			t.Errorf("trial %d: rejected p == q (est %v vs threshold %v)",
+				trial, res.DistEstimate, res.Threshold)
+		}
+		if res.SamplesUsed <= 0 {
+			t.Error("no samples recorded")
+		}
+	}
+}
+
+func TestIdentityRejectsFar(t *testing.T) {
+	// p concentrated on few elements vs q uniform: l2 distance is large.
+	n := 128
+	q := dist.Uniform(n)
+	p := dist.UniformOn(n, dist.Interval{Lo: 0, Hi: 8})
+	if d := dist.L2(p, q); d < 0.3 {
+		t.Fatalf("workload not far: l2 = %v", d)
+	}
+	s := dist.NewSampler(p, rand.New(rand.NewSource(3)))
+	res, err := TestIdentityL2(s, q, 0.3, 0.2, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept {
+		t.Errorf("accepted a far pair (est %v vs threshold %v)",
+			res.DistEstimate, res.Threshold)
+	}
+}
+
+func TestIdentityEstimateTracksTruth(t *testing.T) {
+	n := 64
+	q := dist.Uniform(n)
+	p := dist.TwoLevelNoise(q, 0.8)
+	truth := dist.L2Sq(p, q)
+	s := dist.NewSampler(p, rand.New(rand.NewSource(4)))
+	res, err := TestIdentityL2(s, q, 0.2, 1, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DistEstimate-truth) > 0.5*truth+1e-4 {
+		t.Errorf("distance estimate %v, truth %v", res.DistEstimate, truth)
+	}
+}
+
+// Identity testing with q = uniform must agree with the uniformity tester
+// in both directions.
+func TestIdentityGeneralizesUniformity(t *testing.T) {
+	n := 256
+	u := dist.Uniform(n)
+	far := dist.HalfSupport(u, dist.Whole(n), rand.New(rand.NewSource(5)))
+
+	sU := dist.NewSampler(u, rand.New(rand.NewSource(6)))
+	idU, err := TestIdentityL2(sU, u, 0.25, 0.2, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sF := dist.NewSampler(far, rand.New(rand.NewSource(7)))
+	idF, err := TestIdentityL2(sF, u, 0.05, 0.2, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idU.Accept {
+		t.Error("identity vs uniform rejected the uniform source")
+	}
+	if idF.Accept {
+		t.Error("identity vs uniform accepted the half-support source")
+	}
+}

@@ -1,0 +1,377 @@
+package histtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+	"khist/internal/vopt"
+)
+
+// combL2 returns a distribution with a calibrated, large l2 distance from
+// every k-histogram: all mass on [0, 2t) with alternating heavy/zero
+// elements. Any piecewise-constant function must miss each element of the
+// comb by about half the tooth height.
+func combL2(n, t int) *dist.Distribution {
+	w := make([]float64, n)
+	for i := 0; i < 2*t; i += 2 {
+		w[i] = 1
+	}
+	d, err := dist.FromWeights(w)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func testerOpts(k int, eps float64, seed int64) Options {
+	return Options{
+		K: k, Eps: eps,
+		Rand:             rand.New(rand.NewSource(seed)),
+		SampleScale:      0.02,
+		MaxSamplesPerSet: 4000,
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	s := dist.NewSampler(dist.Uniform(16), rand.New(rand.NewSource(1)))
+	bad := []Options{
+		{K: 0, Eps: 0.1},
+		{K: 2, Eps: 0},
+		{K: 2, Eps: 1},
+		{K: 2, Eps: math.NaN()},
+		{K: 2, Eps: 0.1, SampleScale: -1},
+	}
+	for i, o := range bad {
+		if _, err := TestTilingL2(s, o); err == nil {
+			t.Errorf("case %d: TestTilingL2 accepted invalid options", i)
+		}
+		if _, err := TestTilingL1(s, o); err == nil {
+			t.Errorf("case %d: TestTilingL1 accepted invalid options", i)
+		}
+	}
+	tiny := dist.NewSampler(dist.Uniform(1), rand.New(rand.NewSource(1)))
+	if _, err := TestTilingL2(tiny, Options{K: 1, Eps: 0.1}); err != ErrTinyDomain {
+		t.Errorf("tiny domain: err = %v", err)
+	}
+}
+
+func TestL2TesterAcceptsHistograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		n := 64
+		k := 1 + rng.Intn(4)
+		d := dist.RandomKHistogram(n, k, rng)
+		s := dist.NewSampler(d, rand.New(rand.NewSource(int64(100+trial))))
+		res, err := TestTilingL2(s, testerOpts(k, 0.3, int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			t.Errorf("trial %d: rejected a true %d-histogram (partition %v)",
+				trial, k, res.Partition)
+		}
+		if len(res.Partition) > k {
+			t.Errorf("trial %d: accepted with %d > k intervals", trial, len(res.Partition))
+		}
+	}
+}
+
+func TestL2TesterAcceptsUniform(t *testing.T) {
+	s := dist.NewSampler(dist.Uniform(128), rand.New(rand.NewSource(3)))
+	res, err := TestTilingL2(s, testerOpts(1, 0.25, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accept {
+		t.Error("rejected the uniform distribution as a 1-histogram")
+	}
+	// The partition must be the whole domain in one interval.
+	if len(res.Partition) != 1 || res.Partition[0] != dist.Whole(128) {
+		t.Errorf("partition = %v", res.Partition)
+	}
+}
+
+func TestL2TesterRejectsFarInstances(t *testing.T) {
+	n, k := 64, 2
+	eps := 0.2
+	d := combL2(n, 8)
+	// Certify the instance is far in l2: distance > eps.
+	optSq, err := vopt.OptimalL2Error(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Sqrt(optSq) <= eps {
+		t.Fatalf("test workload not actually far: l2 distance %v <= %v", math.Sqrt(optSq), eps)
+	}
+	rejected := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		s := dist.NewSampler(d, rand.New(rand.NewSource(int64(200+trial))))
+		res, err := TestTilingL2(s, testerOpts(k, eps, int64(300+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			rejected++
+		}
+	}
+	if rejected < trials-1 {
+		t.Errorf("rejected only %d/%d far instances", rejected, trials)
+	}
+}
+
+func TestL1TesterAcceptsHistograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		n := 64
+		k := 1 + rng.Intn(4)
+		d := dist.RandomKHistogram(n, k, rng)
+		s := dist.NewSampler(d, rand.New(rand.NewSource(int64(400+trial))))
+		res, err := TestTilingL1(s, testerOpts(k, 0.3, int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			t.Errorf("trial %d: rejected a true %d-histogram (partition %v)",
+				trial, k, res.Partition)
+		}
+	}
+}
+
+func TestL1TesterRejectsFarInstances(t *testing.T) {
+	n, k := 64, 2
+	eps := 0.3
+	// Alternating two-level noise on uniform: l1 distance from any
+	// k-histogram stays near delta for k << n.
+	d := dist.TwoLevelNoise(dist.Uniform(n), 0.9)
+	opt, err := vopt.OptimalL1Error(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt <= eps {
+		t.Fatalf("test workload not actually far: l1 distance %v <= %v", opt, eps)
+	}
+	rejected := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		s := dist.NewSampler(d, rand.New(rand.NewSource(int64(500+trial))))
+		res, err := TestTilingL1(s, testerOpts(k, eps, int64(600+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			rejected++
+		}
+	}
+	if rejected < trials-1 {
+		t.Errorf("rejected only %d/%d far instances", rejected, trials)
+	}
+}
+
+// At k = n the property is trivial: every distribution is a tiling
+// n-histogram, so the tester must accept anything.
+func TestTesterTrivialAtKEqualsN(t *testing.T) {
+	n := 32
+	d := dist.Staircase(n)
+	s := dist.NewSampler(d, rand.New(rand.NewSource(7)))
+	res, err := TestTilingL2(s, testerOpts(n, 0.3, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accept {
+		t.Error("k = n tester rejected (property is trivial)")
+	}
+}
+
+// More pieces never hurt: if the tester accepts at k, it must overwhelmingly
+// accept at k+1 on the same distribution (monotonicity smoke test).
+func TestTesterMonotoneInK(t *testing.T) {
+	d := dist.RandomKHistogram(64, 3, rand.New(rand.NewSource(9)))
+	for _, k := range []int{3, 4, 6} {
+		s := dist.NewSampler(d, rand.New(rand.NewSource(10)))
+		res, err := TestTilingL2(s, testerOpts(k, 0.3, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			t.Errorf("k=%d: rejected a 3-histogram", k)
+		}
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	d := dist.RandomKHistogram(64, 3, rand.New(rand.NewSource(12)))
+	s := dist.NewSampler(d, rand.New(rand.NewSource(13)))
+	res, err := TestTilingL2(s, testerOpts(3, 0.3, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition intervals must be contiguous starting at 0.
+	cursor := 0
+	for _, iv := range res.Partition {
+		if iv.Lo != cursor {
+			t.Fatalf("partition gap: %v after cursor %d", iv, cursor)
+		}
+		if iv.Empty() {
+			t.Fatalf("empty partition interval %v", iv)
+		}
+		cursor = iv.Hi
+	}
+	if res.Accept && cursor != 64 {
+		t.Error("accepted without covering the domain")
+	}
+	if res.FlatnessCalls <= 0 {
+		t.Error("no flatness calls recorded")
+	}
+	if res.SamplesUsed != int64(res.R)*int64(res.M) {
+		t.Error("sample accounting mismatch")
+	}
+}
+
+func TestSampleComplexityPredictions(t *testing.T) {
+	opts := Options{K: 4, Eps: 0.25, SampleScale: 0.01, MaxSamplesPerSet: 5000}
+	d := dist.Uniform(256)
+	cs := dist.NewCountingSampler(dist.NewSampler(d, rand.New(rand.NewSource(15))))
+	res, err := TestTilingL2(cs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Count() != opts.SampleComplexityL2(256) {
+		t.Errorf("L2 draws %d != predicted %d", cs.Count(), opts.SampleComplexityL2(256))
+	}
+	if res.SamplesUsed != cs.Count() {
+		t.Error("result sample accounting mismatch")
+	}
+	cs.Reset()
+	if _, err := TestTilingL1(cs, opts); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Count() != opts.SampleComplexityL1(256) {
+		t.Errorf("L1 draws %d != predicted %d", cs.Count(), opts.SampleComplexityL1(256))
+	}
+	// Invalid options predict zero.
+	if (Options{K: 0, Eps: 0.5}).SampleComplexityL2(256) != 0 {
+		t.Error("invalid options should predict 0")
+	}
+}
+
+// The l1 tester's cost must scale like sqrt(n) (times sqrt(k)), while the
+// l2 tester's cost is polylogarithmic in n: growing n by 16x should grow
+// the l1 budget by ~4x but the l2 budget by well under 2x.
+func TestComplexityScalingShape(t *testing.T) {
+	opts := Options{K: 4, Eps: 0.25}
+	l1Small := float64(opts.SampleComplexityL1(1 << 10))
+	l1Large := float64(opts.SampleComplexityL1(1 << 14))
+	ratio := l1Large / l1Small
+	if ratio < 3 || ratio > 6 {
+		t.Errorf("l1 cost ratio for 16x domain growth = %v, want ~4", ratio)
+	}
+	l2Small := float64(opts.SampleComplexityL2(1 << 10))
+	l2Large := float64(opts.SampleComplexityL2(1 << 14))
+	if r := l2Large / l2Small; r > 2.5 {
+		t.Errorf("l2 cost ratio for 16x domain growth = %v, want polylog", r)
+	}
+}
+
+func TestUniformityTester(t *testing.T) {
+	// Uniform: accept.
+	u := dist.NewSampler(dist.Uniform(256), rand.New(rand.NewSource(16)))
+	res, err := TestUniformityL1(u, 0.3, 0.05, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accept {
+		t.Errorf("rejected uniform: coll prob %v vs threshold %v",
+			res.CollisionProb, res.Threshold)
+	}
+	// Half-support: far from uniform, reject.
+	far := dist.HalfSupport(dist.Uniform(256), dist.Whole(256), rand.New(rand.NewSource(17)))
+	fs := dist.NewSampler(far, rand.New(rand.NewSource(18)))
+	res2, err := TestUniformityL1(fs, 0.3, 0.05, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Accept {
+		t.Errorf("accepted half-support: coll prob %v vs threshold %v",
+			res2.CollisionProb, res2.Threshold)
+	}
+	// Validation.
+	if _, err := TestUniformityL1(u, 0, 1, 0); err == nil {
+		t.Error("eps=0: want error")
+	}
+	tiny := dist.NewSampler(dist.Uniform(1), rand.New(rand.NewSource(19)))
+	if _, err := TestUniformityL1(tiny, 0.3, 1, 0); err == nil {
+		t.Error("tiny domain: want error")
+	}
+}
+
+func TestFlatnessOracleEdgeCases(t *testing.T) {
+	// Single-element intervals are always flat.
+	e := dist.NewEmpirical([]int{0, 0, 0, 0}, 4)
+	sets := []*dist.Empirical{e}
+	if !flatL2(sets, dist.Interval{Lo: 0, Hi: 1}, 0.3, 4) {
+		t.Error("single element not flat (l2)")
+	}
+	if !flatL1(sets, dist.Interval{Lo: 0, Hi: 1}, 0.3, 2, 4) {
+		t.Error("single element not flat (l1)")
+	}
+	// Zero-hit intervals are light, hence flat.
+	if !flatL2(sets, dist.Interval{Lo: 2, Hi: 4}, 0.3, 4) {
+		t.Error("zero-hit interval not flat (l2)")
+	}
+	if !flatL1(sets, dist.Interval{Lo: 2, Hi: 4}, 0.3, 2, 4) {
+		t.Error("zero-hit interval not flat (l1)")
+	}
+	// A heavily colliding two-element interval with all mass on one
+	// element is not flat once it has plenty of hits.
+	heavy := make([]int, 1000)
+	big := dist.NewEmpirical(heavy, 4) // all samples on element 0
+	if flatL2([]*dist.Empirical{big}, dist.Interval{Lo: 0, Hi: 2}, 0.3, 1000) {
+		t.Error("point-mass interval reported flat (l2)")
+	}
+	if flatL1([]*dist.Empirical{big}, dist.Interval{Lo: 0, Hi: 2}, 0.3, 1, 4) {
+		t.Error("point-mass interval reported flat (l1)")
+	}
+}
+
+// Determinism: identical options and seeds give identical verdicts and
+// partitions.
+func TestTesterDeterministic(t *testing.T) {
+	d := dist.RandomKHistogram(96, 3, rand.New(rand.NewSource(30)))
+	run := func() *Result {
+		s := dist.NewSampler(d, rand.New(rand.NewSource(31)))
+		res, err := TestTilingL2(s, Options{
+			K: 3, Eps: 0.3, Rand: rand.New(rand.NewSource(32)),
+			SampleScale: 0.02, MaxSamplesPerSet: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Accept != b.Accept || len(a.Partition) != len(b.Partition) {
+		t.Fatal("same-seed tester runs differ")
+	}
+	for i := range a.Partition {
+		if a.Partition[i] != b.Partition[i] {
+			t.Fatal("same-seed partitions differ")
+		}
+	}
+}
+
+// The zero-mass region of a distribution must never block acceptance:
+// a distribution living on a tiny prefix is a 2-histogram.
+func TestTesterZeroMassTail(t *testing.T) {
+	d := dist.UniformOn(256, dist.Interval{Lo: 0, Hi: 8})
+	s := dist.NewSampler(d, rand.New(rand.NewSource(33)))
+	res, err := TestTilingL2(s, testerOpts(2, 0.3, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accept {
+		t.Errorf("rejected uniform-on-prefix (a 2-histogram); partition %v", res.Partition)
+	}
+}

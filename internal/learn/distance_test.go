@@ -1,0 +1,91 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+	"khist/internal/vopt"
+)
+
+func TestEstimateDistanceValidation(t *testing.T) {
+	s := dist.NewSampler(dist.Uniform(16), rand.New(rand.NewSource(1)))
+	if _, err := EstimateDistanceL2(s, Options{K: 0, Eps: 0.1}); err == nil {
+		t.Error("invalid options: want error")
+	}
+}
+
+func TestEstimateDistanceNearZeroOnHistograms(t *testing.T) {
+	d := dist.RandomKHistogram(64, 3, rand.New(rand.NewSource(2)))
+	s := dist.NewSampler(d, rand.New(rand.NewSource(3)))
+	est, err := EstimateDistanceL2(s, Options{
+		K: 3, Eps: 0.1, SampleScale: 0.05, MaxSamplesPerSet: 50000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True distance is 0; the estimate must be tiny.
+	if est.DistSq > 0.005 {
+		t.Errorf("estimated distance %v on an exact 3-histogram", est.DistSq)
+	}
+	if est.Histogram == nil || est.SamplesUsed <= 0 {
+		t.Error("metadata missing")
+	}
+}
+
+func TestEstimateDistanceTracksTruthOnFarInstances(t *testing.T) {
+	// A comb: large certified distance from every 2-histogram.
+	n := 64
+	w := make([]float64, n)
+	for i := 0; i < 16; i += 2 {
+		w[i] = 1
+	}
+	d, err := dist.FromWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := vopt.OptimalL2Error(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dist.NewSampler(d, rand.New(rand.NewSource(4)))
+	est, err := EstimateDistanceL2(s, Options{
+		K: 2, Eps: 0.05, SampleScale: 0.05, MaxSamplesPerSet: 50000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimate measures ||p - H||^2 for the learned H, which brackets
+	// [truth, truth + O(eps)]; with the comb's large truth the estimate
+	// must land in the right ballpark.
+	if est.DistSq < 0.3*truth || est.DistSq > 3*truth+0.05 {
+		t.Errorf("estimated %v, offline optimum %v", est.DistSq, truth)
+	}
+	if math.IsNaN(est.DistSq) {
+		t.Error("NaN estimate")
+	}
+}
+
+// Monotonicity smoke test: a far instance must estimate strictly larger
+// than an exact histogram under identical settings.
+func TestEstimateDistanceSeparates(t *testing.T) {
+	opts := Options{K: 2, Eps: 0.05, SampleScale: 0.05, MaxSamplesPerSet: 50000}
+	near := dist.RandomKHistogram(64, 2, rand.New(rand.NewSource(5)))
+	nEst, err := EstimateDistanceL2(dist.NewSampler(near, rand.New(rand.NewSource(6))), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 64)
+	for i := 0; i < 16; i += 2 {
+		w[i] = 1
+	}
+	far, _ := dist.FromWeights(w)
+	fEst, err := EstimateDistanceL2(dist.NewSampler(far, rand.New(rand.NewSource(7))), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fEst.DistSq <= nEst.DistSq {
+		t.Errorf("far estimate %v <= near estimate %v", fEst.DistSq, nEst.DistSq)
+	}
+}

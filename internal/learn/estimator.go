@@ -1,0 +1,95 @@
+package learn
+
+import (
+	"sort"
+
+	"khist/internal/dist"
+)
+
+// estimator bundles the two sample-based statistics of Algorithm 1:
+//
+//	y(I) = |S_I| / ell            (Step 2; estimates the weight p(I))
+//	z(I) = median_j coll(S^j_I) / C(m, 2)
+//	                              (Step 4; estimates sum_{i in I} p_i^2)
+//
+// Both are O(r) per interval thanks to per-set prefix sums built by
+// dist.Empirical, which is what makes the candidate scan affordable.
+type estimator struct {
+	weights *dist.Empirical   // the ell weight samples S
+	sets    []*dist.Empirical // the r collision sample sets S^1..S^r
+	scratch []float64         // reusable buffer for the median
+}
+
+// newEstimator draws all sample sets for one learner run.
+func newEstimator(s dist.Sampler, p params) *estimator {
+	es := &estimator{
+		weights: dist.NewEmpiricalFromSampler(s, p.ell),
+		sets:    make([]*dist.Empirical, p.r),
+		scratch: make([]float64, p.r),
+	}
+	for i := range es.sets {
+		es.sets[i] = dist.NewEmpiricalFromSampler(s, p.m)
+	}
+	return es
+}
+
+// samplesUsed returns the total number of draws the estimator consumed.
+func (es *estimator) samplesUsed() int64 {
+	total := int64(es.weights.M())
+	for _, e := range es.sets {
+		total += int64(e.M())
+	}
+	return total
+}
+
+// y returns the weight estimate y_I.
+func (es *estimator) y(iv dist.Interval) float64 {
+	return es.weights.FractionIn(iv)
+}
+
+// z returns the second-moment estimate z_I: the median over the r sets of
+// coll(S^j_I)/C(m, 2). The median is computed into the scratch buffer to
+// avoid per-call allocation (this is the innermost loop of the learner).
+func (es *estimator) z(iv dist.Interval) float64 {
+	for i, e := range es.sets {
+		denom := float64(e.M()) * float64(e.M()-1) / 2
+		if denom == 0 {
+			es.scratch[i] = 0
+			continue
+		}
+		es.scratch[i] = float64(e.SelfCollisions(iv)) / denom
+	}
+	s := es.scratch
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// cost returns the interval's contribution to the greedy objective:
+// c(I) = z_I - y_I^2/|I|, the sample estimate of
+// sum_{i in I} p_i^2 - p(I)^2/|I|, which is the SSE of the best constant
+// on I. Empty intervals cost 0.
+func (es *estimator) cost(iv dist.Interval) float64 {
+	if iv.Empty() {
+		return 0
+	}
+	y := es.y(iv)
+	return es.z(iv) - y*y/float64(iv.Len())
+}
+
+// value returns the per-element histogram value the learner assigns to a
+// committed interval: y_I / |I| (the paper's y_I is the interval's total
+// weight; the histogram stores the per-element constant).
+func (es *estimator) value(iv dist.Interval) float64 {
+	if iv.Empty() {
+		return 0
+	}
+	v := es.y(iv) / float64(iv.Len())
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,228 @@
+package learn
+
+import (
+	"sort"
+
+	"khist/internal/dist"
+	"khist/internal/histogram"
+)
+
+// Result is the output of a learner run.
+type Result struct {
+	// Priority is the priority histogram exactly as Algorithm 1 builds it:
+	// one batch of (J, I_L, I_R) entries per iteration, later batches at
+	// higher priority.
+	Priority *histogram.Priority
+	// Tiling is the flattened, canonical tiling histogram equivalent to
+	// Priority. Most callers want this.
+	Tiling *histogram.Tiling
+	// SamplesUsed is the total number of oracle draws consumed.
+	SamplesUsed int64
+	// Iterations is the number of greedy iterations performed (q).
+	Iterations int
+	// CandidatesScanned counts interval cost evaluations across all
+	// iterations, the dominant running-time term.
+	CandidatesScanned int64
+	// Ell, R, M expose the derived sample-set sizes (weight samples,
+	// number of collision sets, samples per collision set) for
+	// sample-complexity experiments.
+	Ell, R, M int
+}
+
+// Greedy runs Algorithm 1: q = k ln(1/eps) iterations, each scanning every
+// interval [a, b) of the domain and committing the one that minimizes the
+// estimated best-fit SSE of the induced tiling. Sample complexity
+// O~((k/eps)^2 log n); running time O~((k/eps)^2 n^2).
+func Greedy(s dist.Sampler, opts Options) (*Result, error) {
+	return run(s, opts, false)
+}
+
+// FastGreedy runs the Theorem 2 variant: identical to Greedy except that
+// candidate interval endpoints are restricted to the set T' of sampled
+// values and their immediate neighbours, reducing the scan from C(n, 2)
+// intervals to C(3*ell+1, 2) and the total running time to
+// O~((k/eps)^2 log n), at an additive error of 8 eps instead of 5 eps.
+func FastGreedy(s dist.Sampler, opts Options) (*Result, error) {
+	return run(s, opts, true)
+}
+
+func run(s dist.Sampler, opts Options, fast bool) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := s.N()
+	if n < 2 {
+		return nil, ErrTinyDomain
+	}
+	p := opts.derive(n)
+	es := newEstimator(s, p)
+	return runWithEstimator(es, n, p.q, opts, fast)
+}
+
+// FromSamples runs the greedy learner on pre-collected samples instead of
+// a live oracle: weightSamples plays the role of the ell weight-estimate
+// draws and each element of collisionSets the role of one of the r
+// collision sets. This is how the streaming layer (internal/stream)
+// extracts a histogram from its reservoir without re-sampling. fast
+// selects the Theorem 2 candidate restriction.
+//
+// Options' sample-size fields (SampleScale, MaxSamplesPerSet) are ignored;
+// K, Eps and Iterations control the greedy itself.
+func FromSamples(n int, weightSamples []int, collisionSets [][]int, opts Options, fast bool) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, ErrTinyDomain
+	}
+	if len(weightSamples) < 2 || len(collisionSets) == 0 {
+		return nil, ErrNoSamples
+	}
+	es := &estimator{
+		weights: dist.NewEmpirical(weightSamples, n),
+		sets:    make([]*dist.Empirical, len(collisionSets)),
+		scratch: make([]float64, len(collisionSets)),
+	}
+	for i, set := range collisionSets {
+		if len(set) < 2 {
+			return nil, ErrNoSamples
+		}
+		es.sets[i] = dist.NewEmpirical(set, n)
+	}
+	q := opts.Iterations
+	if q <= 0 {
+		q = opts.derive(n).q
+	}
+	return runWithEstimator(es, n, q, opts, fast)
+}
+
+func runWithEstimator(es *estimator, n, q int, opts Options, fast bool) (*Result, error) {
+	// Candidate endpoints. Full scan: every position. Fast scan: T', the
+	// sampled values and their +-1 neighbours (plus the domain ends so the
+	// scan can always express "everything left/right of a sample").
+	var endpoints []int
+	if fast {
+		endpoints = candidateEndpoints(es.weights, n)
+	} else {
+		endpoints = make([]int, n+1)
+		for i := range endpoints {
+			endpoints[i] = i
+		}
+	}
+
+	part := newPartition(n, es)
+	prio := histogram.NewPriority(n)
+	prio.Add(dist.Whole(n), es.value(dist.Whole(n)))
+
+	var scanned int64
+	// Per-iteration scratch, indexed by domain position.
+	leftIdx := make([]int, n+1)      // tile index containing a
+	leftCost := make([]float64, n+1) // cost of [tileLo, a)
+	endIdx := make([]int, n+1)       // tile index containing b-1
+	endCost := make([]float64, n+1)  // cost of [b, tileHi)
+
+	for it := 0; it < q; it++ {
+		// Precompute clip costs for every candidate endpoint. The left
+		// clip depends only on a and the current partition; the right clip
+		// only on b.
+		for _, a := range endpoints {
+			if a >= n {
+				continue
+			}
+			ia := part.tileIndex(a)
+			leftIdx[a] = ia
+			leftCost[a] = es.cost(dist.Interval{Lo: part.bounds[ia], Hi: a})
+		}
+		for _, b := range endpoints {
+			if b < 1 {
+				continue
+			}
+			ib := part.tileIndex(b - 1)
+			endIdx[b] = ib
+			endCost[b] = es.cost(dist.Interval{Lo: b, Hi: part.bounds[ib+1]})
+		}
+
+		sc := scanCandidates(es, part, endpoints, n, leftIdx, endIdx, leftCost, endCost, opts.Parallelism)
+		scanned += sc.scanned
+		bestA, bestB := sc.a, sc.b
+		if bestA < 0 {
+			break // no candidates (degenerate endpoint set)
+		}
+		// Capture the pre-commit neighbour extents for the priority
+		// histogram mirror: I_L and I_R are clips of the tiles J cuts.
+		loA := part.bounds[leftIdx[bestA]]
+		hiB := part.bounds[endIdx[bestB]+1]
+		part.commit(bestA, bestB, es)
+
+		// Mirror the commit into the priority histogram, paper-style: the
+		// chosen J and the recomputed neighbours I_L, I_R all enter at the
+		// next priority level.
+		pri := prio.MaxPri() + 1
+		ja := dist.Interval{Lo: bestA, Hi: bestB}
+		prio.AddAt(ja, es.value(ja), pri)
+		if loA < bestA {
+			il := dist.Interval{Lo: loA, Hi: bestA}
+			prio.AddAt(il, es.value(il), pri)
+		}
+		if hiB > bestB {
+			ir := dist.Interval{Lo: bestB, Hi: hiB}
+			prio.AddAt(ir, es.value(ir), pri)
+		}
+	}
+
+	tiling, err := histogram.NewTiling(part.bounds, part.values)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Priority:          prio,
+		Tiling:            tiling.Canonical(),
+		SamplesUsed:       es.samplesUsed(),
+		Iterations:        q,
+		CandidatesScanned: scanned,
+		Ell:               es.weights.M(),
+		R:                 len(es.sets),
+		M:                 setSize(es.sets),
+	}, nil
+}
+
+// candidateEndpoints builds the Theorem 2 endpoint set: every distinct
+// sampled value and its immediate neighbours, clamped to the domain, plus
+// 0 and n, sorted and deduplicated. (The paper's closed-interval set T'
+// translates to half-open endpoints by also including value+1, which the
+// +-1 expansion covers.)
+func candidateEndpoints(weights *dist.Empirical, n int) []int {
+	distinct := weights.DistinctValues()
+	set := make(map[int]struct{}, 3*len(distinct)+2)
+	add := func(v int) {
+		if v < 0 {
+			v = 0
+		}
+		if v > n {
+			v = n
+		}
+		set[v] = struct{}{}
+	}
+	add(0)
+	add(n)
+	for _, v := range distinct {
+		add(v - 1)
+		add(v)
+		add(v + 1)
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// setSize returns the (common) size of the collision sets, or the first
+// set's size if they differ (FromSamples allows ragged sets).
+func setSize(sets []*dist.Empirical) int {
+	if len(sets) == 0 {
+		return 0
+	}
+	return sets[0].M()
+}

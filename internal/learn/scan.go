@@ -1,0 +1,116 @@
+package learn
+
+import (
+	"sync"
+
+	"khist/internal/dist"
+)
+
+// scanOutcome is the winner of one candidate scan.
+type scanOutcome struct {
+	delta   float64
+	a, b    int
+	scanned int64
+}
+
+// better reports whether candidate x beats y under the deterministic
+// ordering: strictly smaller delta, ties broken toward the
+// lexicographically smaller (a, b). This makes the parallel scan's result
+// identical to the serial scan's (which keeps the first minimum in
+// endpoint order).
+func (x scanOutcome) better(y scanOutcome) bool {
+	if y.a < 0 {
+		return x.a >= 0
+	}
+	if x.a < 0 {
+		return false
+	}
+	if x.delta != y.delta {
+		return x.delta < y.delta
+	}
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	return x.b < y.b
+}
+
+// scanCandidates evaluates every candidate interval [a, b) with a, b drawn
+// from the endpoint set and returns the cost-minimizing one. With
+// workers > 1 the scan is split across goroutines, each with its own
+// estimator scratch buffer; the outcome is deterministic regardless of
+// worker count.
+func scanCandidates(
+	es *estimator,
+	part *partition,
+	endpoints []int,
+	n int,
+	leftIdx, endIdx []int,
+	leftCost, endCost []float64,
+	workers int,
+) scanOutcome {
+	if workers <= 1 {
+		return scanRange(es, part, endpoints, n, leftIdx, endIdx, leftCost, endCost, 0, 1)
+	}
+	results := make([]scanOutcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker clones the estimator's scratch so concurrent
+			// median computations do not race; the tabulated sample sets
+			// are read-only and shared.
+			wes := &estimator{
+				weights: es.weights,
+				sets:    es.sets,
+				scratch: make([]float64, len(es.scratch)),
+			}
+			results[w] = scanRange(wes, part, endpoints, n, leftIdx, endIdx, leftCost, endCost, w, workers)
+		}(w)
+	}
+	wg.Wait()
+	best := scanOutcome{a: -1, b: -1}
+	var total int64
+	for _, r := range results {
+		total += r.scanned
+		if r.better(best) {
+			best = r
+		}
+	}
+	best.scanned = total
+	return best
+}
+
+// scanRange scans the stripe of start endpoints with index = stripe mod
+// stride. Striping balances work: small a values have many candidate ends.
+func scanRange(
+	es *estimator,
+	part *partition,
+	endpoints []int,
+	n int,
+	leftIdx, endIdx []int,
+	leftCost, endCost []float64,
+	stripe, stride int,
+) scanOutcome {
+	best := scanOutcome{a: -1, b: -1}
+	for i := stripe; i < len(endpoints); i += stride {
+		a := endpoints[i]
+		if a >= n {
+			continue
+		}
+		for _, b := range endpoints {
+			if b <= a {
+				continue
+			}
+			mid := es.cost(dist.Interval{Lo: a, Hi: b})
+			best.scanned++
+			delta := part.candidateDelta(a, b, leftIdx[a], endIdx[b], leftCost[a], mid, endCost[b])
+			cand := scanOutcome{delta: delta, a: a, b: b}
+			if cand.better(best) {
+				cand.scanned = best.scanned
+				best = cand
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,125 @@
+// Package lower implements the Theorem 5 lower-bound construction: a pair
+// of distribution families that require Omega(sqrt(k n)) samples to
+// distinguish, even though one family consists of exact tiling
+// k-histograms and the other of distributions Theta(1/k)-far (in l1) from
+// every tiling k-histogram.
+//
+// Construction (Section 4.1): divide [n] into k equal intervals. In the
+// YES instance the interval masses alternate 0 and 2/k (so about half the
+// intervals carry mass) and every massive interval is internally uniform.
+// The NO instance additionally picks one massive interval at random and
+// re-randomizes it to live on a uniform random half of its elements with
+// doubled per-element mass. Distinguishing the two reduces to uniformity
+// testing on a Theta(n/k)-element interval that receives only a Theta(1/k)
+// fraction of samples, which forces Omega(sqrt(n/k)) hits and hence
+// Omega(sqrt(n k)) total samples.
+package lower
+
+import (
+	"errors"
+	"math/rand"
+
+	"khist/internal/dist"
+)
+
+// ErrBadShape rejects parameter combinations the construction cannot
+// realise (need at least 2 intervals, each with at least 2 elements).
+var ErrBadShape = errors.New("lower: need k >= 2 and n >= 4k")
+
+// Instance is one draw from the Theorem 5 family.
+type Instance struct {
+	// D is the distribution.
+	D *dist.Distribution
+	// IsNo reports whether D is a NO instance (far from k-histograms).
+	IsNo bool
+	// Blocks is the common block partition of the construction.
+	Blocks []dist.Interval
+	// Tampered is the re-randomized block for NO instances (zero Interval
+	// for YES instances).
+	Tampered dist.Interval
+}
+
+// blocks splits [n] into k near-equal intervals (sizes differ by at most
+// one).
+func blocks(n, k int) []dist.Interval {
+	out := make([]dist.Interval, k)
+	for j := 0; j < k; j++ {
+		out[j] = dist.Interval{Lo: j * n / k, Hi: (j + 1) * n / k}
+	}
+	return out
+}
+
+// yesPMF builds the alternating-block pmf shared by both instances before
+// tampering: even-indexed blocks carry equal mass, odd-indexed blocks are
+// empty, and massive blocks are internally uniform.
+func yesPMF(bs []dist.Interval) []float64 {
+	n := bs[len(bs)-1].Hi
+	heavy := (len(bs) + 1) / 2 // number of even indices
+	w := make([]float64, n)
+	for j, b := range bs {
+		if j%2 == 1 {
+			continue
+		}
+		per := 1 / float64(heavy) / float64(b.Len())
+		for i := b.Lo; i < b.Hi; i++ {
+			w[i] = per
+		}
+	}
+	return w
+}
+
+// Yes returns a YES instance: an exact tiling k-histogram (alternating
+// uniform and empty blocks). It is deterministic given (n, k).
+func Yes(n, k int) (*Instance, error) {
+	if k < 2 || n < 4*k {
+		return nil, ErrBadShape
+	}
+	bs := blocks(n, k)
+	d, err := dist.New(yesPMF(bs))
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{D: d, Blocks: bs}, nil
+}
+
+// No returns a NO instance: the YES pmf with one uniformly chosen massive
+// block re-randomized onto half of its elements at doubled mass. The
+// result is a distribution whose l1 distance from every tiling k-histogram
+// is Theta(1/k) (the tampered block alone contributes about
+// mass(block) = 2/k of deviation from any constant on that block).
+func No(n, k int, rng *rand.Rand) (*Instance, error) {
+	if k < 2 || n < 4*k {
+		return nil, ErrBadShape
+	}
+	bs := blocks(n, k)
+	pmf := yesPMF(bs)
+
+	// Choose a massive (even-indexed) block.
+	heavy := (k + 1) / 2
+	target := bs[2*rng.Intn(heavy)]
+
+	// Zero a random half of its elements; double the rest. Pair positions
+	// so mass is preserved exactly.
+	idx := rng.Perm(target.Len())
+	half := target.Len() / 2
+	for j := 0; j < half; j++ {
+		from := target.Lo + idx[j]
+		to := target.Lo + idx[half+j]
+		pmf[to] += pmf[from]
+		pmf[from] = 0
+	}
+	d, err := dist.New(pmf)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{D: d, IsNo: true, Blocks: bs, Tampered: target}, nil
+}
+
+// Draw returns a YES or NO instance with equal probability, the
+// distinguishing game the lower bound is about.
+func Draw(n, k int, rng *rand.Rand) (*Instance, error) {
+	if rng.Intn(2) == 0 {
+		return Yes(n, k)
+	}
+	return No(n, k, rng)
+}

@@ -1,0 +1,166 @@
+package lower
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"khist/internal/collision"
+	"khist/internal/dist"
+	"khist/internal/vopt"
+)
+
+func TestYesIsExactKHistogram(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{64, 4}, {128, 8}, {100, 5}, {64, 2}} {
+		inst, err := Yes(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.IsNo {
+			t.Error("YES instance marked NO")
+		}
+		if !inst.D.IsKHistogram(tc.k) {
+			t.Errorf("n=%d k=%d: YES instance has %d pieces", tc.n, tc.k, inst.D.Pieces())
+		}
+		// Mass alternates: odd blocks empty, even blocks equal mass.
+		for j, b := range inst.Blocks {
+			w := inst.D.Weight(b)
+			if j%2 == 1 && w != 0 {
+				t.Errorf("odd block %d has mass %v", j, w)
+			}
+			if j%2 == 0 && w == 0 {
+				t.Errorf("even block %d empty", j)
+			}
+		}
+	}
+}
+
+func TestYesRejectsBadShape(t *testing.T) {
+	if _, err := Yes(64, 1); err == nil {
+		t.Error("k=1: want error")
+	}
+	if _, err := Yes(7, 2); err == nil {
+		t.Error("n<4k: want error")
+	}
+	if _, err := No(7, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("No with n<4k: want error")
+	}
+}
+
+func TestNoIsFarFromKHistograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		n, k := 64, 4
+		inst, err := No(n, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inst.IsNo || inst.Tampered.Empty() {
+			t.Fatal("NO instance metadata malformed")
+		}
+		// Certified far: l1 distance from best k-histogram is Theta(1/k).
+		d, err := vopt.OptimalL1Error(inst.D, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0.5/float64(k) {
+			t.Errorf("NO instance only %v-far in l1, want >= %v", d, 0.5/float64(k))
+		}
+	}
+}
+
+func TestNoPreservesBlockMasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 96, 6
+	yes, err := Yes(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	no, err := No(n, k, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, b := range yes.Blocks {
+		if math.Abs(yes.D.Weight(b)-no.D.Weight(b)) > 1e-12 {
+			t.Errorf("block %d mass changed: %v vs %v", j, yes.D.Weight(b), no.D.Weight(b))
+		}
+	}
+	// Inside the tampered block: half zero, half doubled.
+	zero := 0
+	for i := no.Tampered.Lo; i < no.Tampered.Hi; i++ {
+		if no.D.P(i) == 0 {
+			zero++
+		}
+	}
+	if zero != no.Tampered.Len()/2 {
+		t.Errorf("tampered block has %d zeros, want %d", zero, no.Tampered.Len()/2)
+	}
+}
+
+func TestDrawBothSides(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	yes, no := 0, 0
+	for i := 0; i < 200; i++ {
+		inst, err := Draw(64, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.IsNo {
+			no++
+		} else {
+			yes++
+		}
+	}
+	if yes < 60 || no < 60 {
+		t.Errorf("Draw unbalanced: yes=%d no=%d", yes, no)
+	}
+}
+
+// The information-theoretic heart of the lower bound: with few samples the
+// collision statistic inside the tampered block cannot tell YES from NO,
+// while with many samples it can. This is the distinguisher experiment E8
+// uses; here we smoke-test both regimes.
+func TestDistinguishabilityRegimes(t *testing.T) {
+	n, k := 256, 4
+	yes, err := Yes(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The statistic: observed collision probability over each massive
+	// block, maximized over blocks (NO instances double one block's norm).
+	statistic := func(d *dist.Distribution, m int, seed int64) float64 {
+		s := dist.NewSampler(d, rand.New(rand.NewSource(seed)))
+		e := dist.NewEmpiricalFromSampler(s, m)
+		worst := 0.0
+		for j := 0; j < k; j += 2 {
+			iv := dist.Interval{Lo: j * n / k, Hi: (j + 1) * n / k}
+			if est, _, ok := collision.ObservedCollisionProb(e, iv); ok && est > worst {
+				worst = est
+			}
+		}
+		return worst
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	// Plenty of samples (>> sqrt(nk)): YES and NO statistics separate.
+	const big = 20000
+	var yesStat, noStat float64
+	const reps = 10
+	for i := 0; i < reps; i++ {
+		noInst, err := No(n, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yesStat += statistic(yes.D, big, int64(600+i))
+		noStat += statistic(noInst.D, big, int64(700+i))
+	}
+	yesStat /= reps
+	noStat /= reps
+	// NO doubles the conditional norm on the tampered block: the max-block
+	// statistic should be clearly larger.
+	if noStat < yesStat*1.5 {
+		t.Errorf("with %d samples NO stat %v not separated from YES stat %v",
+			big, noStat, yesStat)
+	}
+}

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// CountMin is a count-min sketch with conservative update: a depth x width
+// matrix of counters; each item hashes to one counter per row; point
+// estimates take the minimum over rows. For width w = ceil(e/eps) and
+// depth d = ceil(ln(1/delta)), the estimate of any item's count exceeds
+// the truth by more than eps*N (N = total added weight) with probability
+// at most delta.
+type CountMin struct {
+	depth, width int
+	rows         [][]uint64
+	seeds        []uint64
+	total        uint64
+}
+
+// NewCountMin returns a sketch with the given shape, seeded from rng.
+func NewCountMin(depth, width int, rng *rand.Rand) (*CountMin, error) {
+	if depth <= 0 || width <= 0 {
+		return nil, ErrBadShape
+	}
+	cm := &CountMin{
+		depth: depth,
+		width: width,
+		rows:  make([][]uint64, depth),
+		seeds: make([]uint64, depth),
+	}
+	for i := range cm.rows {
+		cm.rows[i] = make([]uint64, width)
+		cm.seeds[i] = rng.Uint64()
+	}
+	return cm, nil
+}
+
+// NewCountMinForError returns a sketch sized for additive error eps*N with
+// failure probability delta per query.
+func NewCountMinForError(eps, delta float64, rng *rand.Rand) (*CountMin, error) {
+	if !(eps > 0 && eps < 1) || !(delta > 0 && delta < 1) {
+		return nil, ErrBadShape
+	}
+	width := int(math.Ceil(math.E / eps))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	return NewCountMin(depth, width, rng)
+}
+
+// hash maps the item into row i's counters.
+func (cm *CountMin) hash(i int, item uint64) int {
+	h := fnv.New64a()
+	var buf [16]byte
+	seed := cm.seeds[i]
+	for b := 0; b < 8; b++ {
+		buf[b] = byte(seed >> (8 * b))
+		buf[8+b] = byte(item >> (8 * b))
+	}
+	h.Write(buf[:])
+	return int(h.Sum64() % uint64(cm.width))
+}
+
+// Add increments the item's count by c (c > 0) using conservative update:
+// only counters currently at the minimum are raised, which tightens
+// estimates without affecting the guarantee.
+func (cm *CountMin) Add(item uint64, c uint64) {
+	if c == 0 {
+		return
+	}
+	cm.total += c
+	// First pass: find current estimate.
+	est := uint64(math.MaxUint64)
+	idx := make([]int, cm.depth)
+	for i := 0; i < cm.depth; i++ {
+		idx[i] = cm.hash(i, item)
+		if v := cm.rows[i][idx[i]]; v < est {
+			est = v
+		}
+	}
+	target := est + c
+	for i := 0; i < cm.depth; i++ {
+		if cm.rows[i][idx[i]] < target {
+			cm.rows[i][idx[i]] = target
+		}
+	}
+}
+
+// Estimate returns the sketch's (over-)estimate of the item's total count.
+func (cm *CountMin) Estimate(item uint64) uint64 {
+	est := uint64(math.MaxUint64)
+	for i := 0; i < cm.depth; i++ {
+		if v := cm.rows[i][cm.hash(i, item)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Total returns the total weight added to the sketch.
+func (cm *CountMin) Total() uint64 { return cm.total }
+
+// Counters returns the number of counters held (memory footprint proxy).
+func (cm *CountMin) Counters() int { return cm.depth * cm.width }

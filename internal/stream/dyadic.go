@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"math/rand"
+
+	"khist/internal/dist"
+)
+
+// Dyadic answers approximate range-count queries over [n] under a stream
+// of point increments, using one count-min sketch per dyadic level. A
+// range [lo, hi) decomposes into at most 2*log2(n) dyadic intervals, each
+// a single point query at its level, so the range estimate inherits the
+// per-point guarantee times O(log n).
+//
+// This is the sketch structure that lets TGIK02-style algorithms evaluate
+// interval weights y_I over a stream without storing it; the Maintainer
+// uses it for exact-memory-bounded interval weight queries.
+type Dyadic struct {
+	n      int
+	levels []*CountMin // levels[l] indexes blocks of size 1<<l
+	bits   int
+	total  uint64
+}
+
+// NewDyadic returns a dyadic range sketch for domain [0, n) where each
+// level's count-min is sized depth x width.
+func NewDyadic(n, depth, width int, rng *rand.Rand) (*Dyadic, error) {
+	if n <= 0 {
+		return nil, ErrBadDomain
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	d := &Dyadic{n: n, bits: bits, levels: make([]*CountMin, bits+1)}
+	for l := range d.levels {
+		cm, err := NewCountMin(depth, width, rng)
+		if err != nil {
+			return nil, err
+		}
+		d.levels[l] = cm
+	}
+	return d, nil
+}
+
+// N returns the domain size.
+func (d *Dyadic) N() int { return d.n }
+
+// Add increments element v's count by c across every dyadic level.
+func (d *Dyadic) Add(v int, c uint64) {
+	if v < 0 || v >= d.n || c == 0 {
+		return
+	}
+	d.total += c
+	for l := 0; l <= d.bits; l++ {
+		d.levels[l].Add(uint64(v>>l), c)
+	}
+}
+
+// Total returns the total weight added.
+func (d *Dyadic) Total() uint64 { return d.total }
+
+// RangeEstimate returns the estimated total count of elements in iv, via
+// the canonical dyadic decomposition (at most 2 blocks per level).
+func (d *Dyadic) RangeEstimate(iv dist.Interval) uint64 {
+	iv = iv.Intersect(dist.Whole(d.n))
+	if iv.Empty() {
+		return 0
+	}
+	var sum uint64
+	lo, hi := iv.Lo, iv.Hi
+	// Greedy canonical decomposition: repeatedly take the largest dyadic
+	// block aligned at lo that fits within [lo, hi).
+	for lo < hi {
+		l := 0
+		// Largest level where lo is aligned and the block fits.
+		for l < d.bits && lo&((1<<(l+1))-1) == 0 && lo+(1<<(l+1)) <= hi {
+			l++
+		}
+		sum += d.levels[l].Estimate(uint64(lo >> l))
+		lo += 1 << l
+	}
+	return sum
+}
+
+// FractionIn returns the estimated fraction of the stream that landed in
+// iv (the streaming analogue of Empirical.FractionIn).
+func (d *Dyadic) FractionIn(iv dist.Interval) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return float64(d.RangeEstimate(iv)) / float64(d.total)
+}
+
+// Counters returns the total number of counters across all levels.
+func (d *Dyadic) Counters() int {
+	c := 0
+	for _, cm := range d.levels {
+		c += cm.Counters()
+	}
+	return c
+}

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrBadEps rejects quantile accuracies outside (0, 1).
+var ErrBadEps = errors.New("stream: quantile eps must lie in (0, 1)")
+
+// GK is a Greenwald-Khanna epsilon-approximate quantile summary over a
+// stream of ints: Query(phi) returns a value whose rank is within
+// eps * n of phi * n, using O((1/eps) log(eps n)) space. It powers the
+// streaming equi-depth baseline (equi-depth boundaries are quantiles).
+type GK struct {
+	eps     float64
+	n       int64
+	entries []gkEntry // sorted by v
+	pending int       // inserts since last compression
+}
+
+// gkEntry is a GK tuple: value, g = rmin(v_i) - rmin(v_{i-1}), and
+// delta = rmax(v_i) - rmin(v_i).
+type gkEntry struct {
+	v        int
+	g, delta int64
+}
+
+// NewGK returns an empty summary with rank error eps * n.
+func NewGK(eps float64) (*GK, error) {
+	if !(eps > 0 && eps < 1) {
+		return nil, ErrBadEps
+	}
+	return &GK{eps: eps}, nil
+}
+
+// N returns the number of inserted values.
+func (g *GK) N() int64 { return g.n }
+
+// Size returns the number of stored tuples (the space footprint).
+func (g *GK) Size() int { return len(g.entries) }
+
+// Insert adds one value to the summary.
+func (g *GK) Insert(v int) {
+	g.n++
+	// Find insertion position: first entry with entry.v >= v.
+	pos := sort.Search(len(g.entries), func(i int) bool { return g.entries[i].v >= v })
+	var delta int64
+	if pos != 0 && pos != len(g.entries) {
+		delta = int64(2 * g.eps * float64(g.n))
+	}
+	e := gkEntry{v: v, g: 1, delta: delta}
+	g.entries = append(g.entries, gkEntry{})
+	copy(g.entries[pos+1:], g.entries[pos:])
+	g.entries[pos] = e
+
+	g.pending++
+	if float64(g.pending) >= 1/(2*g.eps) {
+		g.compress()
+		g.pending = 0
+	}
+}
+
+// compress merges adjacent tuples whose combined uncertainty stays within
+// the 2 eps n budget, keeping the summary small.
+func (g *GK) compress() {
+	if len(g.entries) < 3 {
+		return
+	}
+	budget := int64(2 * g.eps * float64(g.n))
+	out := g.entries[:0]
+	out = append(out, g.entries[0])
+	for i := 1; i < len(g.entries); i++ {
+		e := g.entries[i]
+		last := &out[len(out)-1]
+		// Keep the maximum element exactly; merge last into e when safe.
+		if i < len(g.entries) && len(out) > 1 && last.g+e.g+e.delta <= budget {
+			e.g += last.g
+			out[len(out)-1] = e
+		} else {
+			out = append(out, e)
+		}
+	}
+	g.entries = out
+}
+
+// Query returns a value whose rank is within eps*n of phi*n, for
+// phi in [0, 1]. It returns 0 when the summary is empty.
+func (g *GK) Query(phi float64) int {
+	if len(g.entries) == 0 {
+		return 0
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := int64(phi*float64(g.n)) + int64(g.eps*float64(g.n))
+	var rmin int64
+	for i, e := range g.entries {
+		rmin += e.g
+		if rmin+e.delta > target {
+			if i == 0 {
+				return e.v
+			}
+			return g.entries[i-1].v
+		}
+	}
+	return g.entries[len(g.entries)-1].v
+}
+
+// Quantiles returns the k-1 interior quantile values (j/k for j=1..k-1),
+// the boundary positions of a k-bucket equi-depth histogram.
+func (g *GK) Quantiles(k int) []int {
+	if k < 2 {
+		return nil
+	}
+	out := make([]int, k-1)
+	for j := 1; j < k; j++ {
+		out[j-1] = g.Query(float64(j) / float64(k))
+	}
+	return out
+}

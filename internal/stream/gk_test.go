@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"khist/internal/dist"
+)
+
+func TestGKValidation(t *testing.T) {
+	if _, err := NewGK(0); err == nil {
+		t.Error("eps=0: want error")
+	}
+	if _, err := NewGK(1); err == nil {
+		t.Error("eps=1: want error")
+	}
+}
+
+func TestGKEmpty(t *testing.T) {
+	g, err := NewGK(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Query(0.5) != 0 || g.N() != 0 || g.Size() != 0 {
+		t.Error("empty summary misbehaves")
+	}
+	if g.Quantiles(1) != nil {
+		t.Error("Quantiles(1) should be nil")
+	}
+}
+
+// rankOf returns the rank (number of elements <=) of v in sorted data.
+func rankOf(sorted []int, v int) int {
+	return sort.SearchInts(sorted, v+1)
+}
+
+func TestGKRankAccuracy(t *testing.T) {
+	const eps = 0.02
+	for _, tc := range []struct {
+		name string
+		gen  func(rng *rand.Rand, i int) int
+	}{
+		{"uniform", func(rng *rand.Rand, i int) int { return rng.Intn(10000) }},
+		{"sorted", func(rng *rand.Rand, i int) int { return i }},
+		{"reverse", func(rng *rand.Rand, i int) int { return 50000 - i }},
+		{"skewed", func(rng *rand.Rand, i int) int {
+			v := rng.Intn(100)
+			if rng.Intn(10) == 0 {
+				v = 100 + rng.Intn(10000)
+			}
+			return v
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			g, err := NewGK(eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 50000
+			data := make([]int, n)
+			for i := 0; i < n; i++ {
+				data[i] = tc.gen(rng, i)
+				g.Insert(data[i])
+			}
+			sorted := append([]int(nil), data...)
+			sort.Ints(sorted)
+			for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				got := g.Query(phi)
+				rank := rankOf(sorted, got)
+				target := phi * n
+				// Allow a modestly loosened rank window (the classical GK
+				// guarantee is eps*n; boundary conventions cost a bit).
+				if float64(rank) < target-2*eps*n-1 || float64(rank) > target+2*eps*n+1 {
+					t.Errorf("phi=%v: value %d has rank %d, want %v +- %v",
+						phi, got, rank, target, eps*n)
+				}
+			}
+			// Space must be far below n.
+			if g.Size() > n/10 {
+				t.Errorf("summary size %d for %d inserts", g.Size(), n)
+			}
+		})
+	}
+}
+
+func TestGKQuantilesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, _ := NewGK(0.05)
+	for i := 0; i < 20000; i++ {
+		g.Insert(rng.Intn(1000))
+	}
+	qs := g.Quantiles(8)
+	if len(qs) != 7 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Fatalf("quantiles not monotone: %v", qs)
+		}
+	}
+}
+
+func TestExtractEquiDepth(t *testing.T) {
+	truth := dist.Zipf(256, 1.1)
+	src := dist.NewSampler(truth, rand.New(rand.NewSource(3)))
+	m, err := NewMaintainer(MaintainerOptions{
+		N: 256, K: 8, Eps: 0.1, ReservoirSize: 20000,
+		Rand: rand.New(rand.NewSource(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any observation: error.
+	if _, err := m.ExtractEquiDepth(); err != ErrTooFewObservations {
+		t.Errorf("err = %v, want ErrTooFewObservations", err)
+	}
+	for i := 0; i < 200000; i++ {
+		m.Observe(src.Sample())
+	}
+	h, err := m.ExtractEquiDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Pieces() > 8 {
+		t.Errorf("equi-depth pieces = %d", h.Pieces())
+	}
+	// Bucket populations should be roughly balanced: each bucket within a
+	// factor ~3 of 1/k (quantile + sketch error slack; the first Zipf
+	// element alone holds ~1/7 of the mass, so perfect balance is
+	// impossible — just check no bucket is starved or bloated).
+	for j := 0; j < h.Pieces(); j++ {
+		iv, _ := h.Piece(j)
+		w := truth.Weight(iv)
+		if w < 0.02 || w > 0.5 {
+			t.Errorf("bucket %d (%v) holds %v of the mass", j, iv, w)
+		}
+	}
+	// The v-optimal extraction must beat equi-depth in l2^2 on this
+	// skewed workload (the paper's motivating comparison, streaming
+	// edition).
+	vopt, err := m.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vopt.L2SqTo(truth) > h.L2SqTo(truth) {
+		t.Errorf("v-optimal extract %v worse than equi-depth %v",
+			vopt.L2SqTo(truth), h.L2SqTo(truth))
+	}
+}

@@ -1,0 +1,170 @@
+package stream
+
+import (
+	"errors"
+	"math/rand"
+
+	"khist/internal/dist"
+	"khist/internal/histogram"
+	"khist/internal/learn"
+)
+
+// ErrTooFewObservations is returned by Extract before the maintainer has
+// seen enough elements to split its reservoir into estimate sets.
+var ErrTooFewObservations = errors.New("stream: too few observations to extract a histogram")
+
+// MaintainerOptions configures a streaming histogram maintainer.
+type MaintainerOptions struct {
+	// N is the domain size of the stream elements.
+	N int
+	// K and Eps configure the extracted histogram (as learn.Options).
+	K   int
+	Eps float64
+	// ReservoirSize bounds the memory. It is split at extraction time
+	// into one weight-estimate chunk and CollisionSets collision chunks.
+	// Zero means 32768.
+	ReservoirSize int
+	// CollisionSets is the number of collision chunks r. Zero means 9.
+	CollisionSets int
+	// Rand seeds the reservoir and the extraction shuffle. Nil means a
+	// fixed-seed source.
+	Rand *rand.Rand
+}
+
+func (o MaintainerOptions) withDefaults() MaintainerOptions {
+	if o.ReservoirSize == 0 {
+		o.ReservoirSize = 32768
+	}
+	if o.CollisionSets == 0 {
+		o.CollisionSets = 9
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// Maintainer consumes a stream of elements of [0, n) in one pass with
+// O(ReservoirSize + log(n) * sketch) memory and can produce a
+// near-v-optimal k-histogram of the empirical stream distribution at any
+// time. It is the sampling counterpart of the TGIK02 sketch maintainer:
+// the reservoir supplies the collision statistics that Section 3's greedy
+// needs, and a dyadic count-min sketch tracks interval weights exactly
+// over the whole stream (not just the sample), tightening weight
+// estimates for heavy ranges.
+type Maintainer struct {
+	opts MaintainerOptions
+	res  *Reservoir
+	dy   *Dyadic
+	gk   *GK
+}
+
+// NewMaintainer returns an empty streaming maintainer.
+func NewMaintainer(opts MaintainerOptions) (*Maintainer, error) {
+	opts = opts.withDefaults()
+	if opts.N < 2 {
+		return nil, ErrBadDomain
+	}
+	if opts.ReservoirSize < 2*(opts.CollisionSets+1) {
+		return nil, ErrBadCapacity
+	}
+	res, err := NewReservoir(opts.ReservoirSize, opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	dy, err := NewDyadic(opts.N, 4, 1024, opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	qeps := opts.Eps / 4
+	if !(qeps > 0 && qeps < 1) {
+		qeps = 0.01
+	}
+	gk, err := NewGK(qeps)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintainer{opts: opts, res: res, dy: dy, gk: gk}, nil
+}
+
+// Observe consumes one stream element.
+func (m *Maintainer) Observe(v int) {
+	if v < 0 || v >= m.opts.N {
+		return // ignore out-of-domain events rather than poisoning state
+	}
+	m.res.Observe(v)
+	m.dy.Add(v, 1)
+	m.gk.Insert(v)
+}
+
+// Seen returns the number of (in-domain) elements observed.
+func (m *Maintainer) Seen() int64 { return m.res.Seen() }
+
+// MemoryItems reports the summary footprint: reservoir slots plus sketch
+// counters. It is independent of the stream length.
+func (m *Maintainer) MemoryItems() int { return m.res.Cap() + m.dy.Counters() }
+
+// Weight returns the estimated fraction of the stream inside iv, from the
+// dyadic sketch: it covers the entire stream (not just the reservoir) with
+// sketch-bounded one-sided error.
+func (m *Maintainer) Weight(iv dist.Interval) float64 {
+	return m.dy.FractionIn(iv)
+}
+
+// Extract runs the greedy learner over the current reservoir contents and
+// returns the resulting tiling histogram of the stream's empirical
+// distribution. The reservoir is shuffled and split into one weight chunk
+// (half the items) and CollisionSets equal collision chunks; histogram
+// extraction does not consume or reset the summary state, so Extract can
+// be called repeatedly as the stream evolves.
+func (m *Maintainer) Extract() (*histogram.Tiling, error) {
+	items := m.res.Shuffled()
+	r := m.opts.CollisionSets
+	if len(items) < 2*(r+1) {
+		return nil, ErrTooFewObservations
+	}
+	weightChunk := items[:len(items)/2]
+	rest := items[len(items)/2:]
+	chunk := len(rest) / r
+	sets := make([][]int, r)
+	for i := 0; i < r; i++ {
+		sets[i] = rest[i*chunk : (i+1)*chunk]
+	}
+	res, err := learn.FromSamples(m.opts.N, weightChunk, sets, learn.Options{
+		K: m.opts.K, Eps: m.opts.Eps,
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	return res.Tiling, nil
+}
+
+// ExtractEquiDepth returns the classical streaming equi-depth histogram
+// of the stream so far: boundaries from the Greenwald-Khanna quantile
+// summary (eps/4 rank accuracy), piece values from the dyadic weight
+// sketch. It is the baseline Extract is compared against in experiment
+// E11 — equi-depth placement needs no collision statistics, but it
+// optimizes bucket *population*, not the v-optimal criterion.
+func (m *Maintainer) ExtractEquiDepth() (*histogram.Tiling, error) {
+	if m.gk.N() == 0 {
+		return nil, ErrTooFewObservations
+	}
+	n := m.opts.N
+	bounds := []int{0}
+	for _, q := range m.gk.Quantiles(m.opts.K) {
+		b := q + 1 // boundary after the quantile value
+		if b > n {
+			b = n
+		}
+		if b > bounds[len(bounds)-1] && b < n {
+			bounds = append(bounds, b)
+		}
+	}
+	bounds = append(bounds, n)
+	values := make([]float64, len(bounds)-1)
+	for j := 0; j+1 < len(bounds); j++ {
+		iv := dist.Interval{Lo: bounds[j], Hi: bounds[j+1]}
+		values[j] = m.dy.FractionIn(iv) / float64(iv.Len())
+	}
+	return histogram.NewTiling(bounds, values)
+}

@@ -1,0 +1,80 @@
+// Package stream provides the streaming substrate that the paper's
+// Section 3 algorithm descends from (Thaper, Guha, Indyk, Koudas, SIGMOD
+// 2002: dynamic histograms over update streams): bounded-memory summaries
+// of an element stream from which a near-v-optimal histogram can be
+// extracted at any time.
+//
+// Three summaries are provided:
+//
+//   - Reservoir: classic uniform reservoir sampling. Feeding its contents
+//     to the greedy learner (learn.FromSamples) yields the one-pass,
+//     bounded-memory histogram maintainer Maintainer.
+//   - CountMin: a conservative-update count-min sketch for point
+//     frequency estimates under arbitrary positive increments.
+//   - Dyadic: a stack of count-min sketches over dyadic levels answering
+//     range-count queries in O(log n) sketch probes, the classical
+//     building block for sketch-based histogram algorithms.
+package stream
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Errors returned by stream summaries.
+var (
+	ErrBadCapacity = errors.New("stream: capacity must be positive")
+	ErrBadShape    = errors.New("stream: sketch depth and width must be positive")
+	ErrBadDomain   = errors.New("stream: domain size must be positive")
+)
+
+// Reservoir maintains a uniform sample of fixed capacity over a stream of
+// elements (Vitter's algorithm R). Deterministic given its *rand.Rand.
+type Reservoir struct {
+	cap   int
+	seen  int64
+	items []int
+	rng   *rand.Rand
+}
+
+// NewReservoir returns an empty reservoir with the given capacity.
+func NewReservoir(capacity int, rng *rand.Rand) (*Reservoir, error) {
+	if capacity <= 0 {
+		return nil, ErrBadCapacity
+	}
+	return &Reservoir{cap: capacity, items: make([]int, 0, capacity), rng: rng}, nil
+}
+
+// Observe offers one stream element to the reservoir.
+func (r *Reservoir) Observe(v int) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, v)
+		return
+	}
+	// Replace a uniform position with probability cap/seen.
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.items[j] = v
+	}
+}
+
+// Len returns the number of items currently held (min(cap, seen)).
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Seen returns the total number of elements observed.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Cap returns the reservoir capacity.
+func (r *Reservoir) Cap() int { return r.cap }
+
+// Items returns a copy of the current sample.
+func (r *Reservoir) Items() []int { return append([]int(nil), r.items...) }
+
+// Shuffled returns a copy of the current sample in uniformly random order
+// (the reservoir stores items in arrival-biased positions; downstream
+// consumers that split the sample into chunks need exchangeability).
+func (r *Reservoir) Shuffled() []int {
+	out := r.Items()
+	r.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

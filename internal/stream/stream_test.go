@@ -1,0 +1,360 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+	"khist/internal/vopt"
+)
+
+func TestReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("capacity 0: want error")
+	}
+}
+
+func TestReservoirFillsThenHolds(t *testing.T) {
+	r, err := NewReservoir(10, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Observe(i)
+	}
+	if r.Len() != 5 || r.Seen() != 5 {
+		t.Fatalf("Len=%d Seen=%d", r.Len(), r.Seen())
+	}
+	for i := 0; i < 1000; i++ {
+		r.Observe(i)
+	}
+	if r.Len() != 10 || r.Cap() != 10 {
+		t.Fatalf("Len=%d after overflow", r.Len())
+	}
+	if r.Seen() != 1005 {
+		t.Fatalf("Seen=%d", r.Seen())
+	}
+}
+
+// Uniformity: each stream position must end up in the reservoir with
+// probability cap/stream; check via per-element inclusion frequencies.
+func TestReservoirUniform(t *testing.T) {
+	const capN, stream, reps = 16, 160, 3000
+	counts := make([]int, stream)
+	// One shared RNG across reps: sequentially seeded math/rand sources
+	// have correlated early outputs, which would bias fixed positions.
+	rng := rand.New(rand.NewSource(99))
+	for rep := 0; rep < reps; rep++ {
+		r, err := NewReservoir(capN, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < stream; i++ {
+			r.Observe(i)
+		}
+		for _, v := range r.Items() {
+			counts[v]++
+		}
+	}
+	want := float64(reps) * float64(capN) / float64(stream) // 300
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("position %d included %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestReservoirShuffledPreservesMultiset(t *testing.T) {
+	r, _ := NewReservoir(50, rand.New(rand.NewSource(3)))
+	for i := 0; i < 50; i++ {
+		r.Observe(i % 7)
+	}
+	a := map[int]int{}
+	for _, v := range r.Items() {
+		a[v]++
+	}
+	b := map[int]int{}
+	for _, v := range r.Shuffled() {
+		b[v]++
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatal("Shuffled changed the multiset")
+		}
+	}
+}
+
+func TestCountMinValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := NewCountMin(0, 8, rng); err == nil {
+		t.Error("depth 0: want error")
+	}
+	if _, err := NewCountMin(4, 0, rng); err == nil {
+		t.Error("width 0: want error")
+	}
+	if _, err := NewCountMinForError(0, 0.1, rng); err == nil {
+		t.Error("eps 0: want error")
+	}
+	if _, err := NewCountMinForError(0.1, 0, rng); err == nil {
+		t.Error("delta 0: want error")
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cm, err := NewCountMin(4, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]uint64{}
+	zipf := rand.NewZipf(rng, 1.3, 1, 1023)
+	for i := 0; i < 20000; i++ {
+		v := zipf.Uint64()
+		truth[v]++
+		cm.Add(v, 1)
+	}
+	if cm.Total() != 20000 {
+		t.Fatalf("Total=%d", cm.Total())
+	}
+	for v, c := range truth {
+		if est := cm.Estimate(v); est < c {
+			t.Fatalf("underestimate: item %d truth %d est %d", v, c, est)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	eps, delta := 0.01, 0.01
+	cm, err := NewCountMinForError(eps, delta, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 50000
+	truth := map[uint64]uint64{}
+	zipf := rand.NewZipf(rng, 1.2, 1, 4095)
+	for i := 0; i < total; i++ {
+		v := zipf.Uint64()
+		truth[v]++
+		cm.Add(v, 1)
+	}
+	// Across all queried items, overestimates beyond eps*N must be rare
+	// (expected <= delta fraction; allow 3x slack).
+	bad := 0
+	for v, c := range truth {
+		if float64(cm.Estimate(v)-c) > eps*total {
+			bad++
+		}
+	}
+	if float64(bad) > 3*delta*float64(len(truth))+1 {
+		t.Errorf("%d/%d items exceeded the eps*N bound", bad, len(truth))
+	}
+}
+
+func TestCountMinZeroAddIsNoop(t *testing.T) {
+	cm, _ := NewCountMin(2, 8, rand.New(rand.NewSource(7)))
+	cm.Add(3, 0)
+	if cm.Total() != 0 || cm.Estimate(3) != 0 {
+		t.Error("Add(x, 0) changed state")
+	}
+}
+
+func TestDyadicValidation(t *testing.T) {
+	if _, err := NewDyadic(0, 2, 8, rand.New(rand.NewSource(8))); err == nil {
+		t.Error("n=0: want error")
+	}
+}
+
+func TestDyadicRangeExactOnSparseStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d, err := NewDyadic(256, 4, 2048, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]uint64, 256)
+	for i := 0; i < 2000; i++ {
+		v := rng.Intn(256)
+		truth[v]++
+		d.Add(v, 1)
+	}
+	if d.Total() != 2000 {
+		t.Fatalf("Total=%d", d.Total())
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Intn(256)
+		hi := lo + rng.Intn(256-lo)
+		iv := dist.Interval{Lo: lo, Hi: hi}
+		var want uint64
+		for i := lo; i < hi; i++ {
+			want += truth[i]
+		}
+		got := d.RangeEstimate(iv)
+		if got < want {
+			t.Fatalf("range underestimate: %v got %d want %d", iv, got, want)
+		}
+		// With width 2048 and only 256 distinct items, collisions are
+		// rare: demand near-exactness.
+		if float64(got-want) > 0.02*float64(d.Total()) {
+			t.Fatalf("range overestimate too large: %v got %d want %d", iv, got, want)
+		}
+	}
+	// Degenerate queries.
+	if d.RangeEstimate(dist.Interval{Lo: 5, Hi: 5}) != 0 {
+		t.Error("empty range non-zero")
+	}
+	if d.RangeEstimate(dist.Interval{Lo: -9, Hi: 0}) != 0 {
+		t.Error("out-of-domain range non-zero")
+	}
+}
+
+func TestDyadicFraction(t *testing.T) {
+	d, _ := NewDyadic(64, 4, 1024, rand.New(rand.NewSource(10)))
+	if d.FractionIn(dist.Whole(64)) != 0 {
+		t.Error("empty sketch fraction != 0")
+	}
+	for i := 0; i < 32; i++ {
+		d.Add(i, 1)
+	}
+	if f := d.FractionIn(dist.Interval{Lo: 0, Hi: 32}); math.Abs(f-1) > 1e-9 {
+		t.Errorf("fraction = %v, want 1", f)
+	}
+	if d.Counters() <= 0 {
+		t.Error("Counters")
+	}
+}
+
+// Domain sizes that are not powers of two must still decompose correctly.
+func TestDyadicNonPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d, err := NewDyadic(100, 4, 1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d.Add(i, 1)
+	}
+	if got := d.RangeEstimate(dist.Interval{Lo: 0, Hi: 100}); got < 100 {
+		t.Errorf("full-range estimate %d < 100", got)
+	}
+	if got := d.RangeEstimate(dist.Interval{Lo: 97, Hi: 100}); got < 3 {
+		t.Errorf("tail-range estimate %d < 3", got)
+	}
+}
+
+func TestMaintainerValidation(t *testing.T) {
+	if _, err := NewMaintainer(MaintainerOptions{N: 1, K: 2, Eps: 0.1}); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := NewMaintainer(MaintainerOptions{N: 64, K: 2, Eps: 0.1, ReservoirSize: 3}); err == nil {
+		t.Error("tiny reservoir: want error")
+	}
+}
+
+func TestMaintainerExtractTooFew(t *testing.T) {
+	m, err := NewMaintainer(MaintainerOptions{N: 64, K: 2, Eps: 0.2, ReservoirSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(1)
+	if _, err := m.Extract(); err != ErrTooFewObservations {
+		t.Errorf("err = %v, want ErrTooFewObservations", err)
+	}
+}
+
+func TestMaintainerEndToEnd(t *testing.T) {
+	truth := dist.RandomKHistogram(128, 4, rand.New(rand.NewSource(12)))
+	src := dist.NewSampler(truth, rand.New(rand.NewSource(13)))
+	m, err := NewMaintainer(MaintainerOptions{
+		N: 128, K: 4, Eps: 0.1,
+		ReservoirSize: 20000,
+		Rand:          rand.New(rand.NewSource(14)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stream = 300000
+	for i := 0; i < stream; i++ {
+		m.Observe(src.Sample())
+	}
+	if m.Seen() != stream {
+		t.Fatalf("Seen=%d", m.Seen())
+	}
+	// Memory is bounded regardless of stream length.
+	if m.MemoryItems() > 20000+64*1024 {
+		t.Errorf("memory items = %d", m.MemoryItems())
+	}
+	h, err := m.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errSq := h.L2SqTo(truth); errSq > 0.01 {
+		t.Errorf("streaming histogram error %v", errSq)
+	}
+	// Weight queries cover the whole stream.
+	iv := dist.Interval{Lo: 0, Hi: 64}
+	if got := m.Weight(iv); math.Abs(got-truth.Weight(iv)) > 0.05 {
+		t.Errorf("Weight(%v) = %v, truth %v", iv, got, truth.Weight(iv))
+	}
+	// Out-of-domain observations are ignored.
+	m.Observe(-1)
+	m.Observe(128)
+	if m.Seen() != stream {
+		t.Error("out-of-domain observations counted")
+	}
+}
+
+// The extracted histogram should be in the same quality league as the
+// offline optimum computed on the full empirical stream.
+func TestMaintainerVsOffline(t *testing.T) {
+	truth := dist.PerturbMultiplicative(
+		dist.RandomKHistogram(96, 4, rand.New(rand.NewSource(15))), 0.2,
+		rand.New(rand.NewSource(16)))
+	src := dist.NewSampler(truth, rand.New(rand.NewSource(17)))
+	m, err := NewMaintainer(MaintainerOptions{
+		N: 96, K: 4, Eps: 0.1, ReservoirSize: 20000,
+		Rand: rand.New(rand.NewSource(18)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		m.Observe(src.Sample())
+	}
+	h, err := m.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := vopt.OptimalL2Error(truth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L2SqTo(truth) > opt+0.02 {
+		t.Errorf("streaming error %v vs offline optimum %v", h.L2SqTo(truth), opt)
+	}
+	// Repeated extraction works and is consistent in quality.
+	h2, err := m.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.L2SqTo(truth) > opt+0.02 {
+		t.Error("second extraction degraded")
+	}
+}
+
+// Defaults: zero ReservoirSize and CollisionSets fall back sensibly.
+func TestMaintainerDefaults(t *testing.T) {
+	m, err := NewMaintainer(MaintainerOptions{N: 32, K: 2, Eps: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.res.Cap() != 32768 {
+		t.Errorf("default reservoir = %d", m.res.Cap())
+	}
+	for i := 0; i < 1000; i++ {
+		m.Observe(i % 32)
+	}
+	if _, err := m.Extract(); err != nil {
+		t.Errorf("extract with defaults: %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+package vopt
+
+import (
+	"container/heap"
+	"math"
+
+	"khist/internal/dist"
+	"khist/internal/histogram"
+)
+
+// GreedyMerge returns a tiling histogram with at most k pieces built by
+// bottom-up merging: start from n singleton pieces and repeatedly merge the
+// adjacent pair whose merge increases the SSE the least, until k pieces
+// remain. O(n log n) time. It is not optimal but is a standard fast
+// approximation and serves as an ablation baseline against the exact DP.
+func GreedyMerge(p *dist.Distribution, k int) (*histogram.Tiling, error) {
+	n := p.N()
+	if k < 1 || k > n {
+		return nil, ErrBadK
+	}
+	if k == n {
+		bounds := make([]int, n+1)
+		for i := range bounds {
+			bounds[i] = i
+		}
+		return histogram.BestFit(p, bounds)
+	}
+
+	// Doubly linked list of segments plus a heap of candidate merges.
+	type segment struct {
+		lo, hi     int // piece interval [lo, hi)
+		prev, next int // indices into segs; -1 at ends
+		alive      bool
+	}
+	segs := make([]segment, n, 2*n)
+	for i := 0; i < n; i++ {
+		segs[i] = segment{lo: i, hi: i + 1, prev: i - 1, next: i + 1, alive: true}
+	}
+	segs[n-1].next = -1
+
+	sse := func(lo, hi int) float64 {
+		iv := dist.Interval{Lo: lo, Hi: hi}
+		w := p.Weight(iv)
+		v := p.SumSquares(iv) - w*w/float64(hi-lo)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	mergeCost := func(a, b int) float64 {
+		return sse(segs[a].lo, segs[b].hi) - sse(segs[a].lo, segs[a].hi) - sse(segs[b].lo, segs[b].hi)
+	}
+
+	h := &mergeHeap{}
+	push := func(a, b int) {
+		heap.Push(h, mergeCand{cost: mergeCost(a, b), left: a, right: b})
+	}
+	for i := 0; i+1 < n; i++ {
+		push(i, i+1)
+	}
+
+	pieces := n
+	for pieces > k && h.Len() > 0 {
+		c := heap.Pop(h).(mergeCand)
+		a, b := c.left, c.right
+		// Entries referencing merged-away segments are stale; neighbours
+		// keep their extents, so their surviving entries remain valid.
+		if !segs[a].alive || !segs[b].alive {
+			continue
+		}
+		// Merge a and b into a new segment appended at the end.
+		ni := len(segs)
+		segs = append(segs, segment{
+			lo: segs[a].lo, hi: segs[b].hi,
+			prev: segs[a].prev, next: segs[b].next, alive: true,
+		})
+		segs[a].alive = false
+		segs[b].alive = false
+		if pr := segs[ni].prev; pr >= 0 {
+			segs[pr].next = ni
+			push(pr, ni)
+		}
+		if nx := segs[ni].next; nx >= 0 {
+			segs[nx].prev = ni
+			push(ni, nx)
+		}
+		pieces--
+	}
+
+	// Walk the list from the leftmost alive segment.
+	start := -1
+	for i := range segs {
+		if segs[i].alive && segs[i].lo == 0 {
+			start = i
+			break
+		}
+	}
+	bounds := []int{0}
+	for i := start; i != -1; i = segs[i].next {
+		bounds = append(bounds, segs[i].hi)
+	}
+	return histogram.BestFit(p, bounds)
+}
+
+type mergeCand struct {
+	cost        float64
+	left, right int
+}
+
+type mergeHeap []mergeCand
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeCand)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// EquiWidth returns the k-piece histogram with equal-width pieces and
+// best-fit values for the empirical distribution of the samples. This is
+// the naive baseline: boundaries ignore the data entirely.
+func EquiWidth(e *dist.Empirical, k int) (*histogram.Tiling, error) {
+	n := e.N()
+	if k < 1 || k > n {
+		return nil, ErrBadK
+	}
+	bounds := make([]int, 0, k+1)
+	for j := 0; j <= k; j++ {
+		bounds = append(bounds, j*n/k)
+	}
+	bounds = dedupBounds(bounds)
+	values := make([]float64, len(bounds)-1)
+	m := float64(e.M())
+	for j := 0; j+1 < len(bounds); j++ {
+		iv := dist.Interval{Lo: bounds[j], Hi: bounds[j+1]}
+		if m > 0 {
+			values[j] = float64(e.Hits(iv)) / m / float64(iv.Len())
+		}
+	}
+	return histogram.NewTiling(bounds, values)
+}
+
+// EquiDepth returns a histogram whose boundaries are the empirical
+// (j/k)-quantiles of the samples, the classical sampled equi-depth
+// histogram of Chaudhuri, Motwani and Narasayya (SIGMOD 1998), with
+// best-fit values from the empirical masses. Duplicate quantile positions
+// collapse, so the result may have fewer than k pieces.
+func EquiDepth(e *dist.Empirical, k int) (*histogram.Tiling, error) {
+	n := e.N()
+	if k < 1 || k > n {
+		return nil, ErrBadK
+	}
+	m := e.M()
+	bounds := []int{0}
+	if m > 0 {
+		for j := 1; j < k; j++ {
+			target := int64(math.Ceil(float64(j) * float64(m) / float64(k)))
+			// Smallest b with cumulative hits >= target.
+			lo, hi := 0, n
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if e.Hits(dist.Interval{Lo: 0, Hi: mid}) >= target {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			bounds = append(bounds, lo)
+		}
+	}
+	bounds = append(bounds, n)
+	bounds = dedupBounds(bounds)
+	values := make([]float64, len(bounds)-1)
+	for j := 0; j+1 < len(bounds); j++ {
+		iv := dist.Interval{Lo: bounds[j], Hi: bounds[j+1]}
+		if m > 0 {
+			values[j] = float64(e.Hits(iv)) / float64(m) / float64(iv.Len())
+		}
+	}
+	return histogram.NewTiling(bounds, values)
+}
+
+// dedupBounds removes repeated boundary positions while keeping 0 and n.
+func dedupBounds(bounds []int) []int {
+	out := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b > out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

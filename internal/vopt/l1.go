@@ -1,0 +1,159 @@
+package vopt
+
+import (
+	"container/heap"
+	"math"
+
+	"khist/internal/dist"
+	"khist/internal/histogram"
+)
+
+// OptimalL1 returns a tiling histogram with at most k pieces minimizing
+// ||p - H||_1 exactly over unconstrained piece values, via dynamic
+// programming. The optimal value of a fixed piece is the median of the
+// pmf entries it covers, so the per-interval cost table is built with an
+// incremental two-heap running median in O(n^2 log n) total time.
+//
+// The minimum over unconstrained values lower-bounds the l1 distance of p
+// from the *property* of being a k-histogram distribution (the min over
+// normalized k-histograms), since normalization is an extra constraint.
+// The harness uses it to certify far instances for the l1 tester.
+func OptimalL1(p *dist.Distribution, k int) (*histogram.Tiling, error) {
+	n := p.N()
+	if k < 1 || k > n {
+		return nil, ErrBadK
+	}
+	// sae[a][b-1] = min_v sum_{i in [a,b)} |p_i - v|.
+	sae := make([][]float64, n)
+	med := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		sae[a] = make([]float64, n+1)
+		med[a] = make([]float64, n+1)
+		rm := newRunningMedian()
+		for b := a + 1; b <= n; b++ {
+			rm.push(p.P(b - 1))
+			sae[a][b] = rm.sumAbsDev()
+			med[a][b] = rm.median()
+		}
+	}
+
+	cost := make([][]float64, k+1)
+	arg := make([][]int, k+1)
+	for j := range cost {
+		cost[j] = make([]float64, n+1)
+		arg[j] = make([]int, n+1)
+		for b := range cost[j] {
+			cost[j][b] = math.Inf(1)
+		}
+	}
+	cost[0][0] = 0
+	for j := 1; j <= k; j++ {
+		for b := j; b <= n; b++ {
+			best := math.Inf(1)
+			bestA := -1
+			for a := j - 1; a < b; a++ {
+				if math.IsInf(cost[j-1][a], 1) {
+					continue
+				}
+				c := cost[j-1][a] + sae[a][b]
+				if c < best {
+					best = c
+					bestA = a
+				}
+			}
+			cost[j][b] = best
+			arg[j][b] = bestA
+		}
+	}
+
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	for j := k; j >= 1; j-- {
+		bounds[j-1] = arg[j][bounds[j]]
+	}
+	values := make([]float64, k)
+	for j := 0; j < k; j++ {
+		values[j] = med[bounds[j]][bounds[j+1]]
+	}
+	return histogram.NewTiling(bounds, values)
+}
+
+// OptimalL1Error returns the minimal achievable ||p - H||_1 over tiling
+// histograms with at most k pieces and unconstrained values.
+func OptimalL1Error(p *dist.Distribution, k int) (float64, error) {
+	h, err := OptimalL1(p, k)
+	if err != nil {
+		return 0, err
+	}
+	return h.L1To(p), nil
+}
+
+// runningMedian maintains the median and the sum of absolute deviations
+// from the median of a growing multiset, using a max-heap of the lower
+// half and a min-heap of the upper half.
+type runningMedian struct {
+	low  *floatHeap // max-heap (negated values)
+	high *floatHeap // min-heap
+	sumL float64    // sum of low half
+	sumH float64    // sum of high half
+}
+
+func newRunningMedian() *runningMedian {
+	return &runningMedian{low: &floatHeap{}, high: &floatHeap{}}
+}
+
+func (r *runningMedian) push(x float64) {
+	if r.low.Len() == 0 || x <= -(*r.low)[0] {
+		heap.Push(r.low, -x)
+		r.sumL += x
+	} else {
+		heap.Push(r.high, x)
+		r.sumH += x
+	}
+	// Rebalance so that low has either the same count as high or one more.
+	for r.low.Len() > r.high.Len()+1 {
+		v := -heap.Pop(r.low).(float64)
+		r.sumL -= v
+		heap.Push(r.high, v)
+		r.sumH += v
+	}
+	for r.high.Len() > r.low.Len() {
+		v := heap.Pop(r.high).(float64)
+		r.sumH -= v
+		heap.Push(r.low, -v)
+		r.sumL += v
+	}
+}
+
+// median returns the lower median (an actual element), which minimizes the
+// sum of absolute deviations just as well as any point in the median
+// interval.
+func (r *runningMedian) median() float64 {
+	if r.low.Len() == 0 {
+		return 0
+	}
+	return -(*r.low)[0]
+}
+
+// sumAbsDev returns sum |x_i - median| over all pushed values, computed
+// from the half sums in O(1).
+func (r *runningMedian) sumAbsDev() float64 {
+	m := r.median()
+	nl, nh := float64(r.low.Len()), float64(r.high.Len())
+	return (m*nl - r.sumL) + (r.sumH - m*nh)
+}
+
+// floatHeap is a min-heap of float64 (store negated values for max-heap).
+type floatHeap []float64
+
+func (h floatHeap) Len() int            { return len(h) }
+func (h floatHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *floatHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,301 @@
+package vopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+	"khist/internal/histogram"
+)
+
+func TestOptimalL2Validation(t *testing.T) {
+	p := dist.Uniform(8)
+	if _, err := OptimalL2(p, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := OptimalL2(p, 9); err == nil {
+		t.Error("k>n: want error")
+	}
+}
+
+func TestOptimalL2ExactOnHistograms(t *testing.T) {
+	// A true k-histogram must be recovered with zero error at budget k.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(56)
+		k := 1 + rng.Intn(6)
+		p := dist.RandomKHistogram(n, k, rng)
+		h, err := OptimalL2(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := h.L2SqTo(p); e > 1e-15 {
+			t.Errorf("n=%d k=%d: optimal error %v on exact k-histogram", n, k, e)
+		}
+	}
+}
+
+func TestOptimalL2MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(8) // tiny domains: brute force is exponential
+		k := 1 + rng.Intn(3)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() + 0.01
+		}
+		p, err := dist.FromWeights(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpErr, err := OptimalL2Error(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf := BruteForceL2(p, k)
+		if math.Abs(dpErr-bf) > 1e-12 {
+			t.Errorf("n=%d k=%d: DP %v vs brute force %v", n, k, dpErr, bf)
+		}
+	}
+}
+
+func TestOptimalL2Monotone(t *testing.T) {
+	// More pieces can only help.
+	p := dist.Zipf(40, 1.1)
+	prev := math.Inf(1)
+	for k := 1; k <= 10; k++ {
+		e, err := OptimalL2Error(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prev+1e-15 {
+			t.Errorf("k=%d: error %v > error at k-1 %v", k, e, prev)
+		}
+		prev = e
+	}
+	// At k = n the error must be 0.
+	e, err := OptimalL2Error(p, p.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-18 {
+		t.Errorf("k=n error = %v, want 0", e)
+	}
+}
+
+func TestOptimalL1Validation(t *testing.T) {
+	p := dist.Uniform(8)
+	if _, err := OptimalL1(p, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := OptimalL1(p, 9); err == nil {
+		t.Error("k>n: want error")
+	}
+}
+
+func TestOptimalL1ExactOnHistograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(40)
+		k := 1 + rng.Intn(5)
+		p := dist.RandomKHistogram(n, k, rng)
+		e, err := OptimalL1Error(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > 1e-15 {
+			t.Errorf("n=%d k=%d: optimal l1 error %v on exact k-histogram", n, k, e)
+		}
+	}
+}
+
+func TestOptimalL1MedianBeatsBestFitMean(t *testing.T) {
+	// For fixed bounds the median value minimizes l1, so the l1-optimal
+	// histogram must never lose to the l2-optimal one in l1 distance.
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(40)
+		k := 2 + rng.Intn(4)
+		p := dist.PerturbMultiplicative(dist.RandomKHistogram(n, k, rng), 0.4, rng)
+		l1h, err := OptimalL1(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2h, err := OptimalL2(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l1h.L1To(p) > l2h.L1To(p)+1e-12 {
+			t.Errorf("l1-optimal %v worse than l2-optimal %v in l1",
+				l1h.L1To(p), l2h.L1To(p))
+		}
+	}
+}
+
+func TestOptimalL1SmallHandCase(t *testing.T) {
+	// p = (0.4, 0.4, 0.1, 0.1), k=2: perfect split at 2, error 0.
+	p := dist.MustNew([]float64{0.4, 0.4, 0.1, 0.1})
+	e, err := OptimalL1Error(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-15 {
+		t.Errorf("error = %v, want 0", e)
+	}
+	// k=1: median of (0.4,0.4,0.1,0.1) -> lower median 0.1 or 0.4; SAE =
+	// 0.6 either way (|0.3|*2 from the other level).
+	e1, err := OptimalL1Error(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e1-0.6) > 1e-12 {
+		t.Errorf("k=1 error = %v, want 0.6", e1)
+	}
+}
+
+func TestGreedyMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(56)
+		k := 1 + rng.Intn(6)
+		p := dist.RandomKHistogram(n, k, rng)
+		h, err := GreedyMerge(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Pieces() > k {
+			t.Fatalf("GreedyMerge produced %d pieces, budget %d", h.Pieces(), k)
+		}
+		// Greedy merge recovers exact histograms: merging two segments
+		// inside a flat run costs 0, so zero-cost merges happen first.
+		if e := h.L2SqTo(p); e > 1e-15 {
+			t.Errorf("n=%d k=%d: greedy-merge error %v on exact k-histogram", n, k, e)
+		}
+	}
+}
+
+func TestGreedyMergeVsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 10; trial++ {
+		n := 16 + rng.Intn(32)
+		k := 2 + rng.Intn(4)
+		p := dist.PerturbMultiplicative(dist.Zipf(n, 1.0), 0.3, rng)
+		gm, err := GreedyMerge(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalL2Error(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gm.L2SqTo(p) < opt-1e-12 {
+			t.Fatalf("greedy merge beat the exact optimum: %v < %v", gm.L2SqTo(p), opt)
+		}
+	}
+}
+
+func TestGreedyMergeEdges(t *testing.T) {
+	p := dist.Uniform(8)
+	if _, err := GreedyMerge(p, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	h, err := GreedyMerge(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L2SqTo(p) > 1e-18 {
+		t.Error("k=n greedy merge should be exact")
+	}
+	h1, err := GreedyMerge(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Pieces() != 1 || h1.L2SqTo(p) > 1e-18 {
+		t.Error("k=1 on uniform should be exact single piece")
+	}
+}
+
+func TestEquiWidth(t *testing.T) {
+	e := dist.NewEmpirical([]int{0, 0, 1, 4, 5, 6, 7}, 8)
+	h, err := EquiWidth(e, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Pieces() != 4 {
+		t.Fatalf("Pieces = %d, want 4", h.Pieces())
+	}
+	// Piece [0,2) holds 3 of 7 samples: value = 3/7/2.
+	if got, want := h.Eval(0), 3.0/7/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Eval(0) = %v, want %v", got, want)
+	}
+	if _, err := EquiWidth(e, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	// k > n collapses duplicates rather than erroring only when k <= n;
+	// k=n works.
+	if _, err := EquiWidth(e, 9); err == nil {
+		t.Error("k>n: want error")
+	}
+}
+
+func TestEquiDepth(t *testing.T) {
+	// Samples heavily concentrated on element 0.
+	samples := make([]int, 100)
+	for i := 60; i < 100; i++ {
+		samples[i] = 1 + (i % 7)
+	}
+	e := dist.NewEmpirical(samples, 8)
+	h, err := EquiDepth(e, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Pieces() > 4 {
+		t.Fatalf("Pieces = %d, want <= 4", h.Pieces())
+	}
+	// First boundary must isolate the heavy element quickly: the first
+	// piece should be narrow.
+	bounds := h.Bounds()
+	if bounds[1] > 2 {
+		t.Errorf("equi-depth first boundary at %d; expected <= 2 given 60%% mass on 0", bounds[1])
+	}
+	// Total mass of the histogram approximates 1.
+	if math.Abs(h.TotalMass()-1) > 1e-9 {
+		t.Errorf("TotalMass = %v", h.TotalMass())
+	}
+}
+
+func TestEquiDepthNoSamples(t *testing.T) {
+	e := dist.NewEmpirical(nil, 8)
+	h, err := EquiDepth(e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalMass() != 0 {
+		t.Error("no-sample equi-depth should be all zero")
+	}
+}
+
+// The DP must produce a histogram whose L2 error matches the reported
+// optimal error (internal consistency between OptimalL2 and BestFit).
+func TestOptimalL2SelfConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	p := dist.PerturbMultiplicative(dist.Geometric(48, 0.9), 0.2, rng)
+	for k := 1; k <= 6; k++ {
+		h, err := OptimalL2(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := OptimalL2Error(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(h.L2SqTo(p)-e) > 1e-15 {
+			t.Errorf("k=%d: histogram error %v != reported %v", k, h.L2SqTo(p), e)
+		}
+		if h.Pieces() > k {
+			t.Errorf("k=%d: %d pieces", k, h.Pieces())
+		}
+		var _ *histogram.Tiling = h
+	}
+}
