@@ -37,6 +37,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *k < 1 || (*pmf == "" && *gen == "khist" && *k > *n) {
+		fmt.Fprintln(os.Stderr, "khist-learn: -k must satisfy 1 <= k (and k <= n for -gen khist)")
+		os.Exit(1)
+	}
 	d, err := loadDistribution(*pmf, *gen, *n, *k, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "khist-learn:", err)

@@ -1,0 +1,3 @@
+module khist
+
+go 1.24

@@ -1,0 +1,190 @@
+// Package dist is the distribution substrate of the khist module: explicit
+// probability mass functions over the discrete domain [n] = {0, ..., n-1},
+// i.i.d. samplers, empirical sample tabulations, synthetic workload
+// generators, and distances.
+//
+// The design follows the access model of Indyk, Levi, Rubinfeld (PODS
+// 2012). The paper's sub-linear algorithms see an unknown distribution
+// only through the Sampler interface; everything else here exists to
+// build ground-truth distributions, to tabulate drawn samples so that the
+// interval statistics the algorithms consume (hit counts, pairwise
+// collision counts) are O(1) per query, and to measure the results.
+//
+// A Distribution carries prefix sums of its mass and of its squared mass,
+// so interval weight p(I), interval second moments sum_{i in I} p_i^2 and
+// the squared norm ||p||_2^2 are all O(1) after the O(n) construction. An
+// Empirical carries the same prefix structure over sample occurrence
+// counts. NewSampler returns a Walker alias-method sampler with O(n)
+// setup and O(1) per draw. All randomness flows through explicit
+// *rand.Rand sources, so identical seeds reproduce identical results.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the Distribution constructors.
+var (
+	ErrEmptyDomain = errors.New("dist: domain must have at least 1 element")
+	ErrBadMass     = errors.New("dist: pmf entries must be finite and non-negative")
+	ErrNotNormal   = errors.New("dist: pmf must sum to 1")
+	ErrZeroMass    = errors.New("dist: total weight must be positive")
+)
+
+// normTolerance is the slack allowed on sum(pmf) == 1 in New: wide enough
+// to absorb accumulated floating-point error from O(n)-term summations,
+// tight enough to reject genuinely unnormalized inputs.
+const normTolerance = 1e-9
+
+// Distribution is a validated, immutable probability mass function over
+// [n] with O(1) interval weights and second moments via prefix sums.
+type Distribution struct {
+	pmf   []float64
+	cum   []float64 // cum[i] = sum of pmf[:i]; length n+1
+	cumSq []float64 // cumSq[i] = sum of pmf[j]^2 for j < i; length n+1
+}
+
+// New validates pmf as a distribution over [len(pmf)]: every entry finite
+// and non-negative, total mass 1 up to floating-point tolerance. The
+// slice is copied.
+func New(pmf []float64) (*Distribution, error) {
+	if len(pmf) == 0 {
+		return nil, ErrEmptyDomain
+	}
+	var sum float64
+	for _, p := range pmf {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return nil, ErrBadMass
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > normTolerance {
+		return nil, fmt.Errorf("%w (got %v)", ErrNotNormal, sum)
+	}
+	return build(append([]float64(nil), pmf...)), nil
+}
+
+// MustNew is New but panics on error, for literals known valid at compile
+// time (tests, examples, generators).
+func MustNew(pmf []float64) *Distribution {
+	d, err := New(pmf)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FromWeights normalizes non-negative weights into a distribution. It
+// returns an error if any weight is negative or non-finite, or if the
+// total is zero.
+func FromWeights(w []float64) (*Distribution, error) {
+	if len(w) == 0 {
+		return nil, ErrEmptyDomain
+	}
+	var sum float64
+	for _, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, ErrBadMass
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, ErrZeroMass
+	}
+	pmf := make([]float64, len(w))
+	for i, v := range w {
+		pmf[i] = v / sum
+	}
+	return build(pmf), nil
+}
+
+// mustFromWeights is FromWeights for generator-internal weights that are
+// non-negative with positive total by construction.
+func mustFromWeights(w []float64) *Distribution {
+	d, err := FromWeights(w)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// build takes ownership of pmf and precomputes the prefix moments.
+func build(pmf []float64) *Distribution {
+	n := len(pmf)
+	d := &Distribution{
+		pmf:   pmf,
+		cum:   make([]float64, n+1),
+		cumSq: make([]float64, n+1),
+	}
+	for i, p := range pmf {
+		d.cum[i+1] = d.cum[i] + p
+		d.cumSq[i+1] = d.cumSq[i] + p*p
+	}
+	return d
+}
+
+// N returns the domain size n.
+func (d *Distribution) N() int { return len(d.pmf) }
+
+// P returns the probability mass p_i of element i. It panics if i is
+// outside [0, n).
+func (d *Distribution) P(i int) float64 { return d.pmf[i] }
+
+// PMF returns a copy of the probability mass function.
+func (d *Distribution) PMF() []float64 { return append([]float64(nil), d.pmf...) }
+
+// Weight returns the interval mass p(I) = sum_{i in I} p_i in O(1). The
+// interval is clipped to the domain; empty intervals weigh 0.
+func (d *Distribution) Weight(iv Interval) float64 {
+	iv = iv.Intersect(Whole(d.N()))
+	if iv.Empty() {
+		return 0
+	}
+	if iv.Len() == 1 {
+		// Exact, not cum[Lo+1]-cum[Lo]: prefix-sum cancellation would leave
+		// ~ulp residue, and singleton pieces (k = n histograms) must have
+		// exactly zero SSE.
+		return d.pmf[iv.Lo]
+	}
+	return d.cum[iv.Hi] - d.cum[iv.Lo]
+}
+
+// SumSquares returns the interval second moment sum_{i in I} p_i^2 in
+// O(1). The interval is clipped to the domain.
+func (d *Distribution) SumSquares(iv Interval) float64 {
+	iv = iv.Intersect(Whole(d.N()))
+	if iv.Empty() {
+		return 0
+	}
+	if iv.Len() == 1 {
+		return d.pmf[iv.Lo] * d.pmf[iv.Lo] // exact; see Weight
+	}
+	return d.cumSq[iv.Hi] - d.cumSq[iv.Lo]
+}
+
+// L2NormSq returns the squared l2 norm ||p||_2^2 = sum_i p_i^2 in O(1).
+func (d *Distribution) L2NormSq() float64 { return d.cumSq[d.N()] }
+
+// Pieces returns the minimal number of pieces of the pmf viewed as a
+// tiling histogram: maximal constant runs of mass.
+func (d *Distribution) Pieces() int { return len(d.Boundaries()) + 1 }
+
+// IsKHistogram reports whether the distribution is a tiling k-histogram,
+// i.e. its pmf is piecewise constant with at most k pieces.
+func (d *Distribution) IsKHistogram(k int) bool { return d.Pieces() <= k }
+
+// Boundaries returns the interior piece boundaries of the pmf viewed as a
+// tiling histogram: every position i in (0, n) with p_i != p_{i-1}, in
+// increasing order. A distribution is a tiling k-histogram iff it has at
+// most k-1 interior boundaries.
+func (d *Distribution) Boundaries() []int {
+	var out []int
+	for i := 1; i < len(d.pmf); i++ {
+		if d.pmf[i] != d.pmf[i-1] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

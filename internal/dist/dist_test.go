@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		pmf  []float64
+		ok   bool
+	}{
+		{"valid", []float64{0.25, 0.25, 0.5}, true},
+		{"singleton", []float64{1}, true},
+		{"with zeros", []float64{0, 1, 0}, true},
+		{"empty", nil, false},
+		{"negative", []float64{0.5, 0.6, -0.1}, false},
+		{"nan", []float64{0.5, math.NaN()}, false},
+		{"inf", []float64{0.5, math.Inf(1)}, false},
+		{"under-normalized", []float64{0.3, 0.3}, false},
+		{"over-normalized", []float64{0.8, 0.8}, false},
+		{"fp slack", []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, true},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.pmf)
+		if (err == nil) != tc.ok {
+			t.Errorf("New(%s): err = %v, want ok=%t", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	pmf := []float64{0.5, 0.5}
+	d := MustNew(pmf)
+	pmf[0] = 99
+	if d.P(0) != 0.5 {
+		t.Error("New aliased its input slice")
+	}
+	got := d.PMF()
+	got[1] = 99
+	if d.P(1) != 0.5 {
+		t.Error("PMF aliased the internal slice")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew on an invalid pmf did not panic")
+		}
+	}()
+	MustNew([]float64{0.1})
+}
+
+func TestFromWeights(t *testing.T) {
+	d, err := FromWeights([]float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.25, 0.5}
+	for i, w := range want {
+		if d.P(i) != w {
+			t.Errorf("P(%d) = %v, want %v", i, d.P(i), w)
+		}
+	}
+	for name, w := range map[string][]float64{
+		"all zero": {0, 0},
+		"negative": {1, -1},
+		"empty":    nil,
+		"nan":      {1, math.NaN()},
+	} {
+		if _, err := FromWeights(w); err == nil {
+			t.Errorf("FromWeights(%s): want error", name)
+		}
+	}
+}
+
+// Interval weight and second moment from prefix sums must agree with the
+// naive O(|I|) loops on every interval of a random distribution.
+func TestPrefixMomentsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := PerturbMultiplicative(Zipf(60, 1.0), 0.5, rng)
+	n := d.N()
+	for lo := 0; lo <= n; lo++ {
+		for hi := lo; hi <= n; hi++ {
+			iv := Interval{Lo: lo, Hi: hi}
+			var w, sq float64
+			for i := lo; i < hi; i++ {
+				w += d.P(i)
+				sq += d.P(i) * d.P(i)
+			}
+			if got := d.Weight(iv); math.Abs(got-w) > 1e-12 {
+				t.Fatalf("Weight(%v) = %v, naive %v", iv, got, w)
+			}
+			if got := d.SumSquares(iv); math.Abs(got-sq) > 1e-12 {
+				t.Fatalf("SumSquares(%v) = %v, naive %v", iv, got, sq)
+			}
+		}
+	}
+	if math.Abs(d.L2NormSq()-d.SumSquares(Whole(n))) > 1e-15 {
+		t.Error("L2NormSq disagrees with SumSquares over the whole domain")
+	}
+}
+
+// Singleton intervals must be exact, not prefix-sum differences: a k = n
+// histogram has exactly zero SSE on every piece.
+func TestSingletonMomentsExact(t *testing.T) {
+	d := Zipf(40, 1.1)
+	for i := 0; i < d.N(); i++ {
+		iv := Interval{Lo: i, Hi: i + 1}
+		if d.Weight(iv) != d.P(i) {
+			t.Fatalf("Weight singleton %d not exact", i)
+		}
+		if d.SumSquares(iv) != d.P(i)*d.P(i) {
+			t.Fatalf("SumSquares singleton %d not exact", i)
+		}
+	}
+}
+
+func TestWeightClipsToDomain(t *testing.T) {
+	d := Uniform(4)
+	if got := d.Weight(Interval{Lo: -10, Hi: 10}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("clipped whole-domain weight = %v", got)
+	}
+	if d.Weight(Interval{Lo: 3, Hi: 2}) != 0 {
+		t.Error("reversed interval weight != 0")
+	}
+	if d.SumSquares(Interval{Lo: 9, Hi: 12}) != 0 {
+		t.Error("out-of-domain second moment != 0")
+	}
+}
+
+func TestBoundariesAndPieces(t *testing.T) {
+	d := MustNew([]float64{0.1, 0.1, 0.3, 0.3, 0.2})
+	b := d.Boundaries()
+	if len(b) != 2 || b[0] != 2 || b[1] != 4 {
+		t.Errorf("Boundaries = %v, want [2 4]", b)
+	}
+	if d.Pieces() != 3 {
+		t.Errorf("Pieces = %d, want 3", d.Pieces())
+	}
+	if !d.IsKHistogram(3) || d.IsKHistogram(2) {
+		t.Error("IsKHistogram thresholds wrong")
+	}
+	if Uniform(8).Pieces() != 1 {
+		t.Error("uniform is not a 1-histogram")
+	}
+	if Staircase(8).Pieces() != 8 {
+		t.Error("staircase is not an n-histogram")
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 2, Hi: 5}
+	if iv.Len() != 3 || iv.Empty() {
+		t.Error("Len/Empty on a proper interval")
+	}
+	if !iv.Contains(2) || !iv.Contains(4) || iv.Contains(5) || iv.Contains(1) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if (Interval{Lo: 3, Hi: 3}).Len() != 0 || !(Interval{Lo: 4, Hi: 1}).Empty() {
+		t.Error("degenerate intervals")
+	}
+	got := iv.Intersect(Interval{Lo: 4, Hi: 9})
+	if got != (Interval{Lo: 4, Hi: 5}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	disjoint := iv.Intersect(Interval{Lo: 7, Hi: 9})
+	if !disjoint.Empty() || disjoint.Len() != 0 {
+		t.Errorf("disjoint Intersect = %v, want empty with Len 0", disjoint)
+	}
+	if Whole(7) != (Interval{Lo: 0, Hi: 7}) {
+		t.Error("Whole")
+	}
+	if iv.String() != "[2,5)" {
+		t.Errorf("String = %q", iv.String())
+	}
+}

@@ -1,0 +1,59 @@
+package dist
+
+import "math"
+
+// checkSameDomain panics when two distributions disagree on n: distance
+// between different domains is a programming error, not a data condition.
+func checkSameDomain(p, q *Distribution) {
+	if p.N() != q.N() {
+		panic("dist: domain size mismatch")
+	}
+}
+
+// L1 returns ||p - q||_1 = sum_i |p_i - q_i|.
+func L1(p, q *Distribution) float64 {
+	checkSameDomain(p, q)
+	var total float64
+	for i, pi := range p.pmf {
+		total += math.Abs(pi - q.pmf[i])
+	}
+	return total
+}
+
+// L2Sq returns ||p - q||_2^2 = sum_i (p_i - q_i)^2, the v-optimal
+// ("least squares") criterion.
+func L2Sq(p, q *Distribution) float64 {
+	checkSameDomain(p, q)
+	var total float64
+	for i, pi := range p.pmf {
+		d := pi - q.pmf[i]
+		total += d * d
+	}
+	return total
+}
+
+// L2 returns ||p - q||_2.
+func L2(p, q *Distribution) float64 { return math.Sqrt(L2Sq(p, q)) }
+
+// TV returns the total variation distance ||p - q||_1 / 2.
+func TV(p, q *Distribution) float64 { return L1(p, q) / 2 }
+
+// L1ToFunc returns sum_i |p_i - f(i)| for an arbitrary estimate f, such
+// as a histogram's Eval.
+func L1ToFunc(p *Distribution, f func(int) float64) float64 {
+	var total float64
+	for i, pi := range p.pmf {
+		total += math.Abs(pi - f(i))
+	}
+	return total
+}
+
+// L2SqToFunc returns sum_i (p_i - f(i))^2 for an arbitrary estimate f.
+func L2SqToFunc(p *Distribution, f func(int) float64) float64 {
+	var total float64
+	for i, pi := range p.pmf {
+		d := pi - f(i)
+		total += d * d
+	}
+	return total
+}

@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Distance identities: TV = L1/2, L2Sq = L2^2, and all metrics are
+// symmetric, non-negative, and zero exactly on identical arguments.
+func TestDistanceIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(50)
+		p := PerturbMultiplicative(Zipf(n, 1.0), 0.5, rng)
+		q := RandomKHistogram(n, 1+rng.Intn(min(6, n)), rng)
+
+		l1 := L1(p, q)
+		if got := TV(p, q); math.Abs(got-l1/2) > 1e-15 {
+			t.Fatalf("TV = %v, L1/2 = %v", got, l1/2)
+		}
+		l2 := L2(p, q)
+		if got := L2Sq(p, q); math.Abs(got-l2*l2) > 1e-15 {
+			t.Fatalf("L2Sq = %v, L2^2 = %v", got, l2*l2)
+		}
+		if L1(p, q) != L1(q, p) || L2Sq(p, q) != L2Sq(q, p) {
+			t.Fatal("distances not symmetric")
+		}
+		if l1 < 0 || l2 < 0 {
+			t.Fatal("negative distance")
+		}
+		if L1(p, p) != 0 || L2Sq(q, q) != 0 || TV(p, p) != 0 {
+			t.Fatal("self-distance not zero")
+		}
+	}
+}
+
+func TestDistanceKnownValues(t *testing.T) {
+	p := MustNew([]float64{1, 0})
+	q := MustNew([]float64{0, 1})
+	if L1(p, q) != 2 || TV(p, q) != 1 || L2Sq(p, q) != 2 {
+		t.Errorf("disjoint point masses: L1=%v TV=%v L2Sq=%v", L1(p, q), TV(p, q), L2Sq(p, q))
+	}
+}
+
+func TestDistanceDomainMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("domain mismatch did not panic")
+		}
+	}()
+	L1(Uniform(4), Uniform(5))
+}
+
+// The *ToFunc variants must agree with the pairwise distances when f is
+// another distribution's pmf.
+func TestDistancesToFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := PerturbMultiplicative(Zipf(30, 1.0), 0.4, rng)
+	q := RandomKHistogram(30, 4, rng)
+	f := func(i int) float64 { return q.P(i) }
+	if got, want := L1ToFunc(p, f), L1(p, q); math.Abs(got-want) > 1e-15 {
+		t.Errorf("L1ToFunc = %v, L1 = %v", got, want)
+	}
+	if got, want := L2SqToFunc(p, f), L2Sq(p, q); math.Abs(got-want) > 1e-15 {
+		t.Errorf("L2SqToFunc = %v, L2Sq = %v", got, want)
+	}
+	// Against a non-distribution estimate (a histogram-style constant).
+	if got := L1ToFunc(Uniform(10), func(int) float64 { return 0.1 }); got != 0 {
+		t.Errorf("L1ToFunc against the exact constant = %v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package dist
+
+import "fmt"
+
+// Empirical tabulates a multiset of samples from [n] so that the interval
+// statistics the paper's algorithms consume are O(1) per query after the
+// O(n + m) construction:
+//
+//   - Hits(I): the number of samples landing in I (prefix sums of the
+//     occurrence counts);
+//   - SelfCollisions(I): coll(S_I) = sum_{i in I} C(occ_i, 2), the number
+//     of unordered sample pairs that collide on an element of I (prefix
+//     sums of per-element pair counts) — the Goldreich-Ron collision
+//     statistic of the paper's Section 2.
+type Empirical struct {
+	n       int
+	m       int
+	occ     []int64
+	cumHits []int64 // cumHits[i] = samples with value < i; length n+1
+	cumColl []int64 // cumColl[i] = sum of C(occ_v, 2) for v < i; length n+1
+}
+
+// NewEmpirical tabulates samples over domain size n. It panics if any
+// sample lies outside [0, n): samples are produced by Samplers over the
+// same domain, so an out-of-range value is an internal invariant
+// violation, not an input error.
+func NewEmpirical(samples []int, n int) *Empirical {
+	if n < 0 {
+		panic("dist: negative domain size")
+	}
+	e := &Empirical{
+		n:       n,
+		m:       len(samples),
+		occ:     make([]int64, n),
+		cumHits: make([]int64, n+1),
+		cumColl: make([]int64, n+1),
+	}
+	for _, v := range samples {
+		if v < 0 || v >= n {
+			panic(fmt.Sprintf("dist: sample %d outside domain [0,%d)", v, n))
+		}
+		e.occ[v]++
+	}
+	for v, c := range e.occ {
+		e.cumHits[v+1] = e.cumHits[v] + c
+		e.cumColl[v+1] = e.cumColl[v] + c*(c-1)/2
+	}
+	return e
+}
+
+// NewEmpiricalFromSampler draws m samples from s and tabulates them.
+func NewEmpiricalFromSampler(s Sampler, m int) *Empirical {
+	return NewEmpirical(Draw(s, m), s.N())
+}
+
+// N returns the domain size.
+func (e *Empirical) N() int { return e.n }
+
+// M returns the total number of tabulated samples.
+func (e *Empirical) M() int { return e.m }
+
+// Occ returns the occurrence count of element v (0 if v is outside the
+// domain).
+func (e *Empirical) Occ(v int) int64 {
+	if v < 0 || v >= e.n {
+		return 0
+	}
+	return e.occ[v]
+}
+
+// Hits returns |S_I|, the number of samples landing in the interval, in
+// O(1). The interval is clipped to the domain.
+func (e *Empirical) Hits(iv Interval) int64 {
+	iv = iv.Intersect(Whole(e.n))
+	if iv.Empty() {
+		return 0
+	}
+	return e.cumHits[iv.Hi] - e.cumHits[iv.Lo]
+}
+
+// SelfCollisions returns coll(S_I) = sum_{i in I} C(occ_i, 2), the number
+// of colliding sample pairs inside the interval, in O(1). The interval is
+// clipped to the domain.
+func (e *Empirical) SelfCollisions(iv Interval) int64 {
+	iv = iv.Intersect(Whole(e.n))
+	if iv.Empty() {
+		return 0
+	}
+	return e.cumColl[iv.Hi] - e.cumColl[iv.Lo]
+}
+
+// FractionIn returns |S_I| / m, the empirical weight estimate of the
+// interval (0 when no samples were tabulated).
+func (e *Empirical) FractionIn(iv Interval) float64 {
+	if e.m == 0 {
+		return 0
+	}
+	return float64(e.Hits(iv)) / float64(e.m)
+}
+
+// Distribution returns the empirical distribution of the samples: the
+// occurrence counts normalized by m. It returns an error when no samples
+// were tabulated.
+func (e *Empirical) Distribution() (*Distribution, error) {
+	w := make([]float64, e.n)
+	for v, c := range e.occ {
+		w[v] = float64(c)
+	}
+	return FromWeights(w)
+}
+
+// DistinctValues returns the sampled values with at least one occurrence,
+// in increasing order. This is the paper's set T of Theorem 2, from which
+// the fast learner builds its candidate endpoints.
+func (e *Empirical) DistinctValues() []int {
+	var out []int
+	for v, c := range e.occ {
+		if c > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEmpiricalSmallCase(t *testing.T) {
+	e := NewEmpirical([]int{0, 0, 2, 2, 2, 5}, 6)
+	if e.N() != 6 || e.M() != 6 {
+		t.Fatalf("N=%d M=%d", e.N(), e.M())
+	}
+	if e.Occ(0) != 2 || e.Occ(1) != 0 || e.Occ(2) != 3 || e.Occ(5) != 1 {
+		t.Error("occurrence counts wrong")
+	}
+	if e.Occ(-1) != 0 || e.Occ(6) != 0 {
+		t.Error("out-of-domain Occ != 0")
+	}
+	if e.Hits(Whole(6)) != 6 {
+		t.Error("whole-domain hits")
+	}
+	if e.Hits(Interval{Lo: 0, Hi: 3}) != 5 {
+		t.Error("prefix hits")
+	}
+	// coll = C(2,2)=1 on 0, C(3,2)=3 on 2, C(1,2)=0 on 5.
+	if e.SelfCollisions(Whole(6)) != 4 {
+		t.Errorf("SelfCollisions = %d, want 4", e.SelfCollisions(Whole(6)))
+	}
+	if e.SelfCollisions(Interval{Lo: 2, Hi: 3}) != 3 {
+		t.Error("single-element collisions")
+	}
+	if got := e.FractionIn(Interval{Lo: 0, Hi: 3}); math.Abs(got-5.0/6) > 1e-15 {
+		t.Errorf("FractionIn = %v", got)
+	}
+	dv := e.DistinctValues()
+	if len(dv) != 3 || dv[0] != 0 || dv[1] != 2 || dv[2] != 5 {
+		t.Errorf("DistinctValues = %v", dv)
+	}
+}
+
+// Prefix-sum interval statistics must agree with naive recounts on every
+// interval of a random sample set.
+func TestEmpiricalPrefixSumsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40
+	samples := make([]int, 5000)
+	for i := range samples {
+		samples[i] = rng.Intn(n)
+	}
+	e := NewEmpirical(samples, n)
+	for lo := 0; lo <= n; lo++ {
+		for hi := lo; hi <= n; hi++ {
+			iv := Interval{Lo: lo, Hi: hi}
+			var hits, coll int64
+			for v := lo; v < hi; v++ {
+				c := e.Occ(v)
+				hits += c
+				coll += c * (c - 1) / 2
+			}
+			if got := e.Hits(iv); got != hits {
+				t.Fatalf("Hits(%v) = %d, naive %d", iv, got, hits)
+			}
+			if got := e.SelfCollisions(iv); got != coll {
+				t.Fatalf("SelfCollisions(%v) = %d, naive %d", iv, got, coll)
+			}
+		}
+	}
+}
+
+func TestEmpiricalEmptyAndClipped(t *testing.T) {
+	e := NewEmpirical(nil, 4)
+	if e.M() != 0 || e.Hits(Whole(4)) != 0 || e.FractionIn(Whole(4)) != 0 {
+		t.Error("empty tabulation statistics not zero")
+	}
+	if e.DistinctValues() != nil {
+		t.Error("empty tabulation has distinct values")
+	}
+	e2 := NewEmpirical([]int{1, 1}, 4)
+	if e2.Hits(Interval{Lo: -5, Hi: 99}) != 2 {
+		t.Error("clipped interval hits")
+	}
+	if e2.SelfCollisions(Interval{Lo: 3, Hi: 1}) != 0 {
+		t.Error("reversed interval collisions")
+	}
+}
+
+func TestEmpiricalOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range sample did not panic")
+		}
+	}()
+	NewEmpirical([]int{4}, 4)
+}
+
+func TestEmpiricalFromSampler(t *testing.T) {
+	d := Zipf(32, 1.0)
+	e1 := NewEmpiricalFromSampler(NewSampler(d, rand.New(rand.NewSource(5))), 1000)
+	e2 := NewEmpiricalFromSampler(NewSampler(d, rand.New(rand.NewSource(5))), 1000)
+	if e1.M() != 1000 || e1.N() != 32 {
+		t.Fatalf("M=%d N=%d", e1.M(), e1.N())
+	}
+	for v := 0; v < 32; v++ {
+		if e1.Occ(v) != e2.Occ(v) {
+			t.Fatal("same-seed tabulations differ")
+		}
+	}
+}
+
+func TestEmpiricalDistribution(t *testing.T) {
+	e := NewEmpirical([]int{0, 0, 3}, 4)
+	d, err := e.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.P(0)-2.0/3) > 1e-15 || d.P(1) != 0 || math.Abs(d.P(3)-1.0/3) > 1e-15 {
+		t.Errorf("empirical distribution pmf = %v", d.PMF())
+	}
+	if _, err := NewEmpirical(nil, 4).Distribution(); err == nil {
+		t.Error("empty tabulation should not normalize")
+	}
+}

@@ -1,0 +1,241 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Errors returned by the parameterized generators.
+var (
+	ErrBadSpec   = errors.New("dist: k-histogram spec boundaries must strictly increase inside (0, n) with one mass per piece")
+	ErrBadMix    = errors.New("dist: mixture needs matching domains and non-negative weights with positive total")
+	ErrBadPieces = errors.New("dist: piece count must lie in [1, n]")
+)
+
+// Uniform returns the uniform distribution over [n].
+func Uniform(n int) *Distribution {
+	pmf := make([]float64, n)
+	p := 1 / float64(n)
+	for i := range pmf {
+		pmf[i] = p
+	}
+	return MustNew(pmf)
+}
+
+// UniformOn returns the distribution uniform on the interval iv (clipped
+// to [0, n)) and zero elsewhere. It panics if the clipped interval is
+// empty.
+func UniformOn(n int, iv Interval) *Distribution {
+	iv = iv.Intersect(Whole(n))
+	if iv.Empty() {
+		panic("dist: UniformOn on an empty interval")
+	}
+	w := make([]float64, n)
+	for i := iv.Lo; i < iv.Hi; i++ {
+		w[i] = 1
+	}
+	return mustFromWeights(w)
+}
+
+// Zipf returns the Zipf distribution with exponent s over [n]:
+// p_i proportional to 1/(i+1)^s.
+func Zipf(n int, s float64) *Distribution {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+	}
+	return mustFromWeights(w)
+}
+
+// Geometric returns the truncated geometric distribution with ratio r
+// over [n]: p_i proportional to r^i. It panics unless 0 < r <= 1.
+func Geometric(n int, r float64) *Distribution {
+	if !(r > 0 && r <= 1) {
+		panic(fmt.Sprintf("dist: geometric ratio %v outside (0, 1]", r))
+	}
+	w := make([]float64, n)
+	v := 1.0
+	for i := range w {
+		w[i] = v
+		v *= r
+	}
+	return mustFromWeights(w)
+}
+
+// Staircase returns the distribution with p_i proportional to i+1: every
+// adjacent pair of elements has distinct mass, so it is an n-histogram
+// and nothing smaller.
+func Staircase(n int) *Distribution {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	return mustFromWeights(w)
+}
+
+// HalfSupport re-randomizes d inside the interval iv (clipped to the
+// domain): a uniformly chosen half of the interval's elements lose their
+// mass to the other half, pairwise, preserving total mass exactly. This
+// is the tampering operation of the paper's Theorem 5 lower bound; on a
+// uniform interval it produces a distribution that is far from uniform in
+// l1 while keeping all interval statistics outside iv unchanged.
+func HalfSupport(d *Distribution, iv Interval, rng *rand.Rand) *Distribution {
+	iv = iv.Intersect(Whole(d.N()))
+	pmf := d.PMF()
+	half := iv.Len() / 2
+	if half == 0 {
+		return MustNew(pmf)
+	}
+	idx := rng.Perm(iv.Len())
+	for j := 0; j < half; j++ {
+		from := iv.Lo + idx[j]
+		to := iv.Lo + idx[half+j]
+		pmf[to] += pmf[from]
+		pmf[from] = 0
+	}
+	return MustNew(pmf)
+}
+
+// RandomBoundaries returns uniformly random tiling bounds for k pieces
+// over [n]: 0 = b_0 < b_1 < ... < b_k = n with the k-1 interior
+// boundaries drawn uniformly without replacement. It panics unless
+// 1 <= k <= n.
+func RandomBoundaries(n, k int, rng *rand.Rand) []int {
+	if k < 1 || k > n {
+		panic(ErrBadPieces)
+	}
+	perm := rng.Perm(n - 1) // interior candidates 1..n-1, zero-based
+	bounds := make([]int, 0, k+1)
+	bounds = append(bounds, 0)
+	for _, p := range perm[:k-1] {
+		bounds = append(bounds, p+1)
+	}
+	bounds = append(bounds, n)
+	sort.Ints(bounds)
+	return bounds
+}
+
+// RandomKHistogram returns a random tiling k-histogram distribution over
+// [n]: uniformly random piece boundaries and piece masses proportional to
+// 0.1 + Uniform[0, 1) (the floor keeps every piece sampleable, which the
+// learning experiments rely on). It panics unless 1 <= k <= n.
+func RandomKHistogram(n, k int, rng *rand.Rand) *Distribution {
+	bounds := RandomBoundaries(n, k, rng)
+	w := make([]float64, n)
+	for j := 0; j+1 < len(bounds); j++ {
+		mass := 0.1 + rng.Float64()
+		per := mass / float64(bounds[j+1]-bounds[j])
+		for i := bounds[j]; i < bounds[j+1]; i++ {
+			w[i] = per
+		}
+	}
+	return mustFromWeights(w)
+}
+
+// KHistogramFromSpec builds the tiling k-histogram over [n] with the
+// given interior boundaries and piece masses: piece j spans
+// [interior[j-1], interior[j]) (with 0 and n as outer bounds) and spreads
+// masses[j] uniformly over its elements. len(masses) must equal
+// len(interior)+1, the interior boundaries must strictly increase inside
+// (0, n), and the masses must form a distribution.
+func KHistogramFromSpec(n int, interior []int, masses []float64) (*Distribution, error) {
+	if n < 1 {
+		return nil, ErrEmptyDomain
+	}
+	if len(masses) != len(interior)+1 {
+		return nil, ErrBadSpec
+	}
+	prev := 0
+	for _, b := range interior {
+		if b <= prev || b >= n {
+			return nil, ErrBadSpec
+		}
+		prev = b
+	}
+	var sum float64
+	for _, m := range masses {
+		if math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+			return nil, ErrBadMass
+		}
+		sum += m
+	}
+	if math.Abs(sum-1) > normTolerance {
+		return nil, fmt.Errorf("%w (piece masses sum to %v)", ErrNotNormal, sum)
+	}
+	bounds := make([]int, 0, len(interior)+2)
+	bounds = append(bounds, 0)
+	bounds = append(bounds, interior...)
+	bounds = append(bounds, n)
+	pmf := make([]float64, n)
+	for j, m := range masses {
+		per := m / float64(bounds[j+1]-bounds[j])
+		for i := bounds[j]; i < bounds[j+1]; i++ {
+			pmf[i] = per
+		}
+	}
+	return New(pmf)
+}
+
+// Mixture returns the normalized mixture sum_j weights[j] * ds[j]. All
+// components must share a domain; weights must be non-negative with a
+// positive total.
+func Mixture(ds []*Distribution, weights []float64) (*Distribution, error) {
+	if len(ds) == 0 || len(ds) != len(weights) {
+		return nil, ErrBadMix
+	}
+	n := ds[0].N()
+	var total float64
+	for j, d := range ds {
+		if d.N() != n {
+			return nil, ErrBadMix
+		}
+		wj := weights[j]
+		if math.IsNaN(wj) || math.IsInf(wj, 0) || wj < 0 {
+			return nil, ErrBadMix
+		}
+		total += wj
+	}
+	if total <= 0 {
+		return nil, ErrBadMix
+	}
+	w := make([]float64, n)
+	for j, d := range ds {
+		for i := 0; i < n; i++ {
+			w[i] += weights[j] * d.pmf[i]
+		}
+	}
+	return FromWeights(w)
+}
+
+// PerturbMultiplicative returns d with every mass multiplied by an
+// independent uniform factor in [1-delta, 1+delta], renormalized. Zero
+// masses stay zero; for delta < 1 the result keeps d's support. This is
+// the "rough" workload of the experiments: close to d in shape but with
+// every flat piece broken into distinct values.
+func PerturbMultiplicative(d *Distribution, delta float64, rng *rand.Rand) *Distribution {
+	w := make([]float64, d.N())
+	for i := range w {
+		w[i] = d.pmf[i] * (1 + delta*(2*rng.Float64()-1))
+	}
+	return mustFromWeights(w)
+}
+
+// TwoLevelNoise returns d with masses alternately scaled by 1+delta (even
+// elements) and 1-delta (odd elements), renormalized. Applied to the
+// uniform distribution with even n this leaves an l1 distance of exactly
+// delta from uniform, and close to delta from every k-histogram with
+// k << n — the canonical "far" instance for the l1 tester.
+func TwoLevelNoise(d *Distribution, delta float64) *Distribution {
+	w := make([]float64, d.N())
+	for i := range w {
+		if i%2 == 0 {
+			w[i] = d.pmf[i] * (1 + delta)
+		} else {
+			w[i] = d.pmf[i] * (1 - delta)
+		}
+	}
+	return mustFromWeights(w)
+}

@@ -1,0 +1,216 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Every generator must return a valid distribution (New-level invariants)
+// for a spread of parameters.
+func TestGeneratorsNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gens := map[string]*Distribution{
+		"uniform":    Uniform(17),
+		"uniform-1":  Uniform(1),
+		"uniform-on": UniformOn(40, Interval{Lo: 5, Hi: 9}),
+		"zipf":       Zipf(33, 1.3),
+		"zipf-0":     Zipf(12, 0), // degenerates to uniform
+		"geometric":  Geometric(25, 0.9),
+		"geom-1":     Geometric(9, 1),
+		"staircase":  Staircase(21),
+		"half":       HalfSupport(Uniform(30), Whole(30), rng),
+		"random-k":   RandomKHistogram(50, 5, rng),
+		"perturbed":  PerturbMultiplicative(Zipf(28, 1.0), 0.3, rng),
+		"two-level":  TwoLevelNoise(Uniform(26), 0.7),
+	}
+	for name, d := range gens {
+		var sum float64
+		for i := 0; i < d.N(); i++ {
+			if d.P(i) < 0 {
+				t.Errorf("%s: negative mass at %d", name, i)
+			}
+			sum += d.P(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: total mass %v", name, sum)
+		}
+	}
+}
+
+func TestUniformOnSupport(t *testing.T) {
+	d := UniformOn(16, Interval{Lo: 4, Hi: 8})
+	for i := 0; i < 16; i++ {
+		want := 0.0
+		if i >= 4 && i < 8 {
+			want = 0.25
+		}
+		if d.P(i) != want {
+			t.Errorf("P(%d) = %v, want %v", i, d.P(i), want)
+		}
+	}
+	if d.Pieces() != 3 {
+		t.Errorf("uniform-on-interior pieces = %d, want 3", d.Pieces())
+	}
+}
+
+func TestZipfAndGeometricShape(t *testing.T) {
+	z := Zipf(16, 1.1)
+	g := Geometric(16, 0.8)
+	for i := 1; i < 16; i++ {
+		if z.P(i) >= z.P(i-1) {
+			t.Fatalf("zipf not decreasing at %d", i)
+		}
+		if g.P(i) >= g.P(i-1) {
+			t.Fatalf("geometric not decreasing at %d", i)
+		}
+	}
+	if math.Abs(g.P(1)/g.P(0)-0.8) > 1e-12 {
+		t.Error("geometric ratio wrong")
+	}
+}
+
+func TestHalfSupportPreservesOutside(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := Zipf(40, 1.0)
+	iv := Interval{Lo: 10, Hi: 30}
+	d := HalfSupport(base, iv, rng)
+	for i := 0; i < 40; i++ {
+		if iv.Contains(i) {
+			continue
+		}
+		if d.P(i) != base.P(i) {
+			t.Fatalf("mass outside the interval changed at %d", i)
+		}
+	}
+	if math.Abs(d.Weight(iv)-base.Weight(iv)) > 1e-12 {
+		t.Error("interval mass not preserved")
+	}
+	zeros := 0
+	for i := iv.Lo; i < iv.Hi; i++ {
+		if d.P(i) == 0 {
+			zeros++
+		}
+	}
+	if zeros != iv.Len()/2 {
+		t.Errorf("zeroed %d of %d elements, want half", zeros, iv.Len())
+	}
+}
+
+func TestRandomBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		k := 1 + rng.Intn(n)
+		b := RandomBoundaries(n, k, rng)
+		if len(b) != k+1 || b[0] != 0 || b[len(b)-1] != n {
+			t.Fatalf("bounds %v for n=%d k=%d", b, n, k)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("bounds not strictly increasing: %v", b)
+			}
+		}
+	}
+}
+
+func TestRandomKHistogramIsKHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(100)
+		k := 1 + rng.Intn(min(8, n))
+		d := RandomKHistogram(n, k, rng)
+		if d.Pieces() > k {
+			t.Fatalf("n=%d k=%d: %d pieces", n, k, d.Pieces())
+		}
+	}
+	// Determinism under a fixed seed.
+	a := RandomKHistogram(64, 4, rand.New(rand.NewSource(5)))
+	b := RandomKHistogram(64, 4, rand.New(rand.NewSource(5)))
+	if L1(a, b) != 0 {
+		t.Error("same-seed RandomKHistogram differ")
+	}
+}
+
+func TestKHistogramFromSpec(t *testing.T) {
+	d, err := KHistogramFromSpec(8, []int{4, 6}, []float64{0.5, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P(0) != 0.125 || d.P(5) != 0.125 || d.P(7) != 0.125 {
+		t.Errorf("pmf = %v", d.PMF())
+	}
+	if d.Pieces() > 3 {
+		t.Errorf("pieces = %d", d.Pieces())
+	}
+	bad := []struct {
+		name     string
+		interior []int
+		masses   []float64
+	}{
+		{"mass count", []int{4}, []float64{1}},
+		{"unsorted", []int{6, 4}, []float64{0.5, 0.25, 0.25}},
+		{"boundary at 0", []int{0}, []float64{0.5, 0.5}},
+		{"boundary at n", []int{8}, []float64{0.5, 0.5}},
+		{"not normalized", []int{4}, []float64{0.5, 0.6}},
+		{"negative mass", []int{4}, []float64{1.5, -0.5}},
+	}
+	for _, tc := range bad {
+		if _, err := KHistogramFromSpec(8, tc.interior, tc.masses); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestMixture(t *testing.T) {
+	u := Uniform(4)
+	p := MustNew([]float64{1, 0, 0, 0})
+	mix, err := Mixture([]*Distribution{u, p}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mix.P(0)-0.625) > 1e-12 || math.Abs(mix.P(1)-0.125) > 1e-12 {
+		t.Errorf("mixture pmf = %v", mix.PMF())
+	}
+	if _, err := Mixture([]*Distribution{u, Uniform(5)}, []float64{1, 1}); err == nil {
+		t.Error("domain mismatch: want error")
+	}
+	if _, err := Mixture([]*Distribution{u}, []float64{0}); err == nil {
+		t.Error("zero weights: want error")
+	}
+	if _, err := Mixture(nil, nil); err == nil {
+		t.Error("empty mixture: want error")
+	}
+}
+
+func TestPerturbMultiplicative(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := MustNew([]float64{0.5, 0.5, 0, 0})
+	d := PerturbMultiplicative(base, 0.4, rng)
+	if d.P(2) != 0 || d.P(3) != 0 {
+		t.Error("perturbation created mass out of nothing")
+	}
+	// Ratio to the base stays within the multiplicative band (up to the
+	// renormalization factor, bounded by the same band).
+	for i := 0; i < 2; i++ {
+		r := d.P(i) / base.P(i)
+		if r < (1-0.4)/(1+0.4) || r > (1+0.4)/(1-0.4) {
+			t.Errorf("element %d scaled by %v, outside the delta band", i, r)
+		}
+	}
+}
+
+func TestTwoLevelNoise(t *testing.T) {
+	n := 64
+	d := TwoLevelNoise(Uniform(n), 0.5)
+	// Mass alternates high/low and l1 distance from uniform is delta.
+	if d.P(0) <= d.P(1) {
+		t.Error("two-level noise not alternating")
+	}
+	if got := L1(d, Uniform(n)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("l1 from uniform = %v, want 0.5", got)
+	}
+	if d.Pieces() != n {
+		t.Errorf("pieces = %d, want %d", d.Pieces(), n)
+	}
+}

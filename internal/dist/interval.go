@@ -1,0 +1,45 @@
+package dist
+
+import "fmt"
+
+// Interval is the half-open interval [Lo, Hi) over the domain. Intervals
+// with Hi <= Lo are empty.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Whole returns the interval covering the whole domain [0, n).
+func Whole(n int) Interval { return Interval{Lo: 0, Hi: n} }
+
+// Len returns the number of elements in the interval (0 if empty).
+func (iv Interval) Len() int {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Empty reports whether the interval contains no elements.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Contains reports whether element i lies in [Lo, Hi).
+func (iv Interval) Contains(i int) bool { return iv.Lo <= i && i < iv.Hi }
+
+// Intersect returns the intersection of two intervals. An empty result is
+// canonicalized to Lo == Hi so Len is never negative.
+func (iv Interval) Intersect(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// String renders the interval in half-open notation.
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }

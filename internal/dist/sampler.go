@@ -1,0 +1,152 @@
+package dist
+
+import "math/rand"
+
+// Sampler yields i.i.d. draws from a distribution over [N()]. It is the
+// only access the paper's sub-linear algorithms have to the unknown
+// distribution: they never read a pmf.
+type Sampler interface {
+	// Sample returns one draw from the distribution.
+	Sample() int
+	// N returns the domain size.
+	N() int
+}
+
+// aliasSampler draws in O(1) via Walker's alias method: a fair die over n
+// columns, each column holding at most two outcomes.
+type aliasSampler struct {
+	n     int
+	prob  []float64 // acceptance probability of column i's primary outcome
+	alias []int     // the column's secondary outcome
+	rng   *rand.Rand
+}
+
+// NewSampler returns an O(1)-per-draw alias-method sampler for d, with
+// O(n) deterministic setup. Identical (d, seed) pairs reproduce identical
+// draw sequences.
+func NewSampler(d *Distribution, rng *rand.Rand) Sampler {
+	n := d.N()
+	a := &aliasSampler{
+		n:     n,
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+		rng:   rng,
+	}
+
+	// Vose's stable construction: scale each mass to mean 1, then
+	// repeatedly pair a deficient ("small") column with a surplus
+	// ("large") one. Worklists are LIFO slices, so the construction is
+	// deterministic.
+	total := d.cum[n]
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		scaled[i] = d.pmf[i] / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are exactly-full columns up to rounding.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+func (a *aliasSampler) Sample() int {
+	i := a.rng.Intn(a.n)
+	if a.rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+func (a *aliasSampler) N() int { return a.n }
+
+// CountingSampler wraps a Sampler with a draw counter, for
+// sample-complexity accounting in experiments and tests.
+type CountingSampler struct {
+	inner Sampler
+	count int64
+}
+
+// NewCountingSampler wraps s with a draw counter starting at zero.
+func NewCountingSampler(s Sampler) *CountingSampler {
+	return &CountingSampler{inner: s}
+}
+
+// Sample draws from the wrapped sampler and increments the counter.
+func (c *CountingSampler) Sample() int {
+	c.count++
+	return c.inner.Sample()
+}
+
+// N returns the wrapped sampler's domain size.
+func (c *CountingSampler) N() int { return c.inner.N() }
+
+// Count returns the number of draws since construction or the last Reset.
+func (c *CountingSampler) Count() int64 { return c.count }
+
+// Reset zeroes the draw counter.
+func (c *CountingSampler) Reset() { c.count = 0 }
+
+// BudgetSampler wraps a Sampler with a soft draw budget: draws past the
+// budget still succeed (so callers need no error handling on the hot
+// path) but latch the Exceeded flag.
+type BudgetSampler struct {
+	inner  Sampler
+	budget int64
+	drawn  int64
+}
+
+// NewBudgetSampler wraps s with the given draw budget.
+func NewBudgetSampler(s Sampler, budget int64) *BudgetSampler {
+	return &BudgetSampler{inner: s, budget: budget}
+}
+
+// Sample draws from the wrapped sampler, counting against the budget.
+func (b *BudgetSampler) Sample() int {
+	b.drawn++
+	return b.inner.Sample()
+}
+
+// N returns the wrapped sampler's domain size.
+func (b *BudgetSampler) N() int { return b.inner.N() }
+
+// Exceeded reports whether more draws than the budget have been made.
+func (b *BudgetSampler) Exceeded() bool { return b.drawn > b.budget }
+
+// Drawn returns the number of draws made so far.
+func (b *BudgetSampler) Drawn() int64 { return b.drawn }
+
+// Draw collects m draws from s into a slice.
+func Draw(s Sampler, m int) []int {
+	out := make([]int, 0, max(m, 0))
+	for i := 0; i < m; i++ {
+		out = append(out, s.Sample())
+	}
+	return out
+}

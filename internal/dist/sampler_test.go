@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Identical seeds must reproduce identical draw sequences.
+func TestSamplerDeterministic(t *testing.T) {
+	d := Zipf(256, 1.1)
+	a := NewSampler(d, rand.New(rand.NewSource(7)))
+	b := NewSampler(d, rand.New(rand.NewSource(7)))
+	for i := 0; i < 10000; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatalf("same-seed samplers diverged at draw %d", i)
+		}
+	}
+	if a.N() != 256 {
+		t.Errorf("N = %d", a.N())
+	}
+}
+
+// Chi-square goodness of fit: with m draws the statistic
+// sum_i (obs_i - m p_i)^2 / (m p_i) over cells with expectation >= 5 is
+// approximately chi-square with ~cells-1 degrees of freedom; its value
+// should land near the degrees of freedom, far below a generous 2x bound.
+func TestSamplerChiSquare(t *testing.T) {
+	for name, d := range map[string]*Distribution{
+		"uniform":   Uniform(64),
+		"zipf":      Zipf(64, 1.0),
+		"half-zero": MustNew(append(make([]float64, 32), Uniform(32).PMF()...)),
+	} {
+		s := NewSampler(d, rand.New(rand.NewSource(11)))
+		const m = 200000
+		e := NewEmpiricalFromSampler(s, m)
+		var chi2 float64
+		cells := 0
+		for i := 0; i < d.N(); i++ {
+			exp := float64(m) * d.P(i)
+			if exp < 5 {
+				if d.P(i) == 0 && e.Occ(i) != 0 {
+					t.Fatalf("%s: sampled a zero-mass element %d", name, i)
+				}
+				continue
+			}
+			diff := float64(e.Occ(i)) - exp
+			chi2 += diff * diff / exp
+			cells++
+		}
+		df := float64(cells - 1)
+		// P(chi2 > 2 df) is astronomically small at these df (~60).
+		if chi2 > 2*df {
+			t.Errorf("%s: chi-square %v over %v degrees of freedom", name, chi2, df)
+		}
+	}
+}
+
+// The alias table must place zero probability on zero-mass elements and
+// the exact mass elsewhere; verify the table directly on a tiny pmf.
+func TestSamplerMatchesPMF(t *testing.T) {
+	d := MustNew([]float64{0.5, 0, 0.25, 0.25})
+	s := NewSampler(d, rand.New(rand.NewSource(13)))
+	const m = 400000
+	counts := make([]int, d.N())
+	for i := 0; i < m; i++ {
+		counts[s.Sample()]++
+	}
+	for i, c := range counts {
+		got := float64(c) / m
+		if math.Abs(got-d.P(i)) > 0.005 {
+			t.Errorf("element %d frequency %v vs mass %v", i, got, d.P(i))
+		}
+	}
+}
+
+func TestSamplerSingletonDomain(t *testing.T) {
+	s := NewSampler(Uniform(1), rand.New(rand.NewSource(17)))
+	for i := 0; i < 100; i++ {
+		if s.Sample() != 0 {
+			t.Fatal("singleton domain sampler left the domain")
+		}
+	}
+}
+
+func TestCountingSampler(t *testing.T) {
+	cs := NewCountingSampler(NewSampler(Uniform(8), rand.New(rand.NewSource(19))))
+	if cs.Count() != 0 || cs.N() != 8 {
+		t.Error("fresh counting sampler state")
+	}
+	for i := 0; i < 25; i++ {
+		cs.Sample()
+	}
+	if cs.Count() != 25 {
+		t.Errorf("Count = %d, want 25", cs.Count())
+	}
+	cs.Reset()
+	if cs.Count() != 0 {
+		t.Error("Reset did not zero the counter")
+	}
+}
+
+func TestBudgetSampler(t *testing.T) {
+	bs := NewBudgetSampler(NewSampler(Uniform(8), rand.New(rand.NewSource(23))), 3)
+	for i := 0; i < 3; i++ {
+		bs.Sample()
+	}
+	if bs.Exceeded() {
+		t.Error("exceeded at exactly the budget")
+	}
+	if v := bs.Sample(); v < 0 || v >= 8 {
+		t.Error("over-budget draw returned garbage")
+	}
+	if !bs.Exceeded() || bs.Drawn() != 4 || bs.N() != 8 {
+		t.Error("budget accounting wrong")
+	}
+}
+
+func TestDraw(t *testing.T) {
+	d := Uniform(16)
+	a := Draw(NewSampler(d, rand.New(rand.NewSource(29))), 50)
+	b := Draw(NewSampler(d, rand.New(rand.NewSource(29))), 50)
+	if len(a) != 50 {
+		t.Fatalf("Draw returned %d samples", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed Draw sequences differ")
+		}
+		if a[i] < 0 || a[i] >= 16 {
+			t.Fatal("draw outside domain")
+		}
+	}
+	if len(Draw(NewSampler(d, rand.New(rand.NewSource(31))), 0)) != 0 {
+		t.Error("Draw(0) not empty")
+	}
+}
