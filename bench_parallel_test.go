@@ -1,0 +1,101 @@
+package khist_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"khist"
+)
+
+// benchWorkerCounts is the scaling grid recorded in BENCH_parallel.json:
+// the same workload at increasing Parallelism. Results are bit-identical
+// across the grid, so the ratio of ns/op is pure parallel speedup.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkLearnParallel measures the learner's parallel scaling on a
+// large-domain workload (n = 2^16): set drawing, tabulation, clip-cost
+// precompute, and the candidate scan all split across workers.
+func BenchmarkLearnParallel(b *testing.B) {
+	n := 1 << 16
+	d := khist.RandomKHistogram(n, 8, rand.New(rand.NewSource(1)))
+	run := func(b *testing.B, workers int) {
+		s := khist.NewSampler(d, rand.New(rand.NewSource(2)))
+		res, err := khist.Learn(s, khist.LearnOptions{
+			K: 8, Eps: 0.1,
+			Rand:             rand.New(rand.NewSource(3)),
+			SampleScale:      0.02,
+			MaxSamplesPerSet: 1200,
+			Iterations:       2,
+			Parallelism:      workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Tiling == nil {
+			b.Fatal("no tiling")
+		}
+	}
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			run(b, workers) // untimed warm-up: pay one-time heap growth
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkTestL2Parallel measures the l2 tester's parallel scaling: the
+// r = 16 ln(6 n^2) collision sets are drawn and tabulated concurrently
+// and the flatness statistics fan out per set.
+func BenchmarkTestL2Parallel(b *testing.B) {
+	n := 1 << 16
+	d := khist.RandomKHistogram(n, 6, rand.New(rand.NewSource(4)))
+	run := func(b *testing.B, workers int) {
+		s := khist.NewSampler(d, rand.New(rand.NewSource(5)))
+		res, err := khist.TestKHistogramL2(s, khist.TestOptions{
+			K: 6, Eps: 0.25,
+			Rand:             rand.New(rand.NewSource(6)),
+			SampleScale:      0.02,
+			MaxSamplesPerSet: 4000,
+			Parallelism:      workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Accept
+	}
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			run(b, workers) // untimed warm-up: pay one-time heap growth
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkEmpiricalParallel measures parallel tabulation in isolation.
+func BenchmarkEmpiricalParallel(b *testing.B) {
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]int, 1<<20)
+	for i := range samples {
+		samples[i] = rng.Intn(n)
+	}
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			khist.NewEmpiricalParallel(samples, n, workers) // warm-up
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := khist.NewEmpiricalParallel(samples, n, workers)
+				if e.M() != len(samples) {
+					b.Fatal("lost samples")
+				}
+			}
+		})
+	}
+}

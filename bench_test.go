@@ -154,7 +154,7 @@ func BenchmarkIdentityTester(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := khist.NewSampler(q, rand.New(rand.NewSource(int64(i))))
-		if _, err := khist.TestIdentity(s, q, 0.25, 0.05, 2000); err != nil {
+		if _, err := khist.TestIdentity(s, q, nil, 0.25, 0.05, 2000, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

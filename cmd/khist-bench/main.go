@@ -1,0 +1,158 @@
+// Command khist-bench converts `go test -bench` output for the parallel-
+// scaling benchmarks into a machine-readable JSON report, so the perf
+// trajectory accumulates across commits (CI uploads the file as an
+// artifact; see .github/workflows/ci.yml).
+//
+// It parses lines of the form
+//
+//	BenchmarkLearnParallel/workers=4-8    1    123456789 ns/op
+//
+// groups them by benchmark family, and computes each row's speedup
+// relative to the family's workers=1 row. Host metadata (CPU count,
+// GOMAXPROCS, the cpu: line go test prints) is recorded because parallel
+// speedup is only meaningful relative to the cores that were available.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Parallel' -benchtime 2x . | khist-bench -out BENCH_parallel.json
+//	khist-bench -in bench.txt -out BENCH_parallel.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Family     string  `json:"family"`
+	Workers    int     `json:"workers"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Speedup is ns/op at workers=1 divided by this row's ns/op, within
+	// the same family; 0 when the family has no workers=1 row.
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the file schema of BENCH_parallel.json.
+type Report struct {
+	GoOS       string   `json:"goos"`
+	GoArch     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	NumCPU     int      `json:"num_cpu"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Note       string   `json:"note,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+var workersPart = regexp.MustCompile(`/workers=(\d+)`)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "benchmark output file (default: stdin)")
+		out = flag.String("out", "", "JSON report file (default: stdout)")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if report.NumCPU == 1 {
+		report.Note = "single-CPU host: wall-clock speedup is not observable here; " +
+			"compare ns/op across worker counts on a multi-core runner"
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			report.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		res := Result{Name: m[1], Family: m[1], Iterations: iters, NsPerOp: ns}
+		if wm := workersPart.FindStringSubmatch(m[1]); wm != nil {
+			res.Workers, _ = strconv.Atoi(wm[1])
+			res.Family = m[1][:strings.Index(m[1], "/workers=")]
+		}
+		report.Results = append(report.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Speedup relative to the family's workers=1 row.
+	base := map[string]float64{}
+	for _, res := range report.Results {
+		if res.Workers == 1 {
+			base[res.Family] = res.NsPerOp
+		}
+	}
+	for i := range report.Results {
+		res := &report.Results[i]
+		if b, ok := base[res.Family]; ok && res.NsPerOp > 0 {
+			res.Speedup = b / res.NsPerOp
+		}
+	}
+	return report, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "khist-bench:", err)
+	os.Exit(1)
+}

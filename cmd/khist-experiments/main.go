@@ -18,17 +18,19 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"khist/internal/experiment"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "small sweeps and trial counts (seconds instead of minutes)")
-		run    = flag.String("run", "", "run a single experiment by ID (e.g. E4)")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		seed   = flag.Int64("seed", 1, "master random seed (same seed, same tables)")
-		csvDir = flag.String("csv", "", "also write every table as CSV files into this directory")
+		quick   = flag.Bool("quick", false, "small sweeps and trial counts (seconds instead of minutes)")
+		run     = flag.String("run", "", "run a single experiment by ID (e.g. E4)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		seed    = flag.Int64("seed", 1, "master random seed (same seed, same tables)")
+		csvDir  = flag.String("csv", "", "also write every table as CSV files into this directory")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for independent trials (tables are identical at any count; 1 = serial)")
 	)
 	flag.Parse()
 
@@ -39,7 +41,7 @@ func main() {
 		return
 	}
 
-	cfg := experiment.Config{Quick: *quick, Seed: *seed}
+	cfg := experiment.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	var err error
 	switch {
 	case *csvDir != "":

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 
 	"khist"
@@ -25,15 +26,16 @@ import (
 
 func main() {
 	var (
-		gen   = flag.String("gen", "zipf", "generator: zipf | geometric | uniform | khist | staircase")
-		pmf   = flag.String("pmf", "", "file of whitespace-separated weights (overrides -gen)")
-		n     = flag.Int("n", 1024, "domain size for generated distributions")
-		k     = flag.Int("k", 8, "histogram pieces to compete against")
-		eps   = flag.Float64("eps", 0.1, "accuracy parameter")
-		scale = flag.Float64("scale", 0.05, "sample-size scale (1 = paper's worst-case constants)")
-		cap   = flag.Int("cap", 400000, "per-set sample cap (0 = none)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		full  = flag.Bool("full", false, "use the full O(n^2)-scan Algorithm 1 instead of the fast variant")
+		gen     = flag.String("gen", "zipf", "generator: zipf | geometric | uniform | khist | staircase")
+		pmf     = flag.String("pmf", "", "file of whitespace-separated weights (overrides -gen)")
+		n       = flag.Int("n", 1024, "domain size for generated distributions")
+		k       = flag.Int("k", 8, "histogram pieces to compete against")
+		eps     = flag.Float64("eps", 0.1, "accuracy parameter")
+		scale   = flag.Float64("scale", 0.05, "sample-size scale (1 = paper's worst-case constants)")
+		cap     = flag.Int("cap", 400000, "per-set sample cap (0 = none)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		full    = flag.Bool("full", false, "use the full O(n^2)-scan Algorithm 1 instead of the fast variant")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for sampling and scanning (results are identical at any count; 1 = serial)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,7 @@ func main() {
 		Rand:             rand.New(rand.NewSource(*seed + 1)),
 		SampleScale:      *scale,
 		MaxSamplesPerSet: *cap,
+		Parallelism:      *workers,
 	}
 	sampler := khist.NewSampler(d, rand.New(rand.NewSource(*seed+2)))
 

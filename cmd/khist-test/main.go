@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 
 	"khist"
@@ -22,15 +23,16 @@ import (
 
 func main() {
 	var (
-		gen   = flag.String("gen", "khist", "generator: zipf | uniform | khist | staircase | comb | twolevel")
-		pmf   = flag.String("pmf", "", "file of whitespace-separated weights (overrides -gen)")
-		n     = flag.Int("n", 1024, "domain size for generated distributions")
-		k     = flag.Int("k", 8, "piece budget of the property")
-		eps   = flag.Float64("eps", 0.25, "distance parameter")
-		norm  = flag.String("norm", "l2", "distance norm: l2 | l1")
-		scale = flag.Float64("scale", 0.02, "sample-size scale (1 = paper's worst-case constants)")
-		cap   = flag.Int("cap", 10000, "per-set sample cap (0 = none)")
-		seed  = flag.Int64("seed", 1, "random seed")
+		gen     = flag.String("gen", "khist", "generator: zipf | uniform | khist | staircase | comb | twolevel")
+		pmf     = flag.String("pmf", "", "file of whitespace-separated weights (overrides -gen)")
+		n       = flag.Int("n", 1024, "domain size for generated distributions")
+		k       = flag.Int("k", 8, "piece budget of the property")
+		eps     = flag.Float64("eps", 0.25, "distance parameter")
+		norm    = flag.String("norm", "l2", "distance norm: l2 | l1")
+		scale   = flag.Float64("scale", 0.02, "sample-size scale (1 = paper's worst-case constants)")
+		cap     = flag.Int("cap", 10000, "per-set sample cap (0 = none)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for drawing and testing the collision sets (verdict is identical at any count; 1 = serial)")
 	)
 	flag.Parse()
 
@@ -49,6 +51,7 @@ func main() {
 		Rand:             rand.New(rand.NewSource(*seed + 1)),
 		SampleScale:      *scale,
 		MaxSamplesPerSet: *cap,
+		Parallelism:      *workers,
 	}
 	sampler := khist.NewSampler(d, rand.New(rand.NewSource(*seed+2)))
 

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"khist/internal/dist"
+	"khist/internal/par"
 )
 
 // Pairs returns C(m, 2) as a float64, the number of unordered pairs among
@@ -87,6 +88,38 @@ func MedianCollisionProb(sets []*dist.Empirical, iv dist.Interval) (est float64,
 	return Median(vals), true
 }
 
+// MedianCollisionProbParallel is MedianCollisionProb with the per-set
+// statistics evaluated across workers. Values are collected in set order
+// before the median, so the result is identical to the serial form for
+// every worker count. The per-set work is a handful of prefix-sum
+// lookups, so parallelism only pays off for the testers' large set counts
+// (r = 16 ln(6 n^2)); below minParallelSets the serial form is used.
+func MedianCollisionProbParallel(sets []*dist.Empirical, iv dist.Interval, workers int) (est float64, ok bool) {
+	if workers <= 1 || len(sets) < minParallelSets {
+		return MedianCollisionProb(sets, iv)
+	}
+	vals := make([]float64, len(sets))
+	defined := make([]bool, len(sets))
+	par.For(workers, len(sets), func(i int) {
+		vals[i], _, defined[i] = ObservedCollisionProb(sets[i], iv)
+	})
+	kept := vals[:0]
+	for i, v := range vals {
+		if defined[i] {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		return 0, false
+	}
+	return Median(kept), true
+}
+
+// minParallelSets is the set count below which the parallel median
+// helpers run serially: each per-set statistic is O(1), so spawning
+// goroutines for a few dozen sets costs more than it saves.
+const minParallelSets = 128
+
 // Median returns the median of vals (the mean of the two middle order
 // statistics for even length). It returns 0 for an empty slice and does
 // not modify its argument.
@@ -108,11 +141,45 @@ func Median(vals []float64) float64 {
 
 // CollectSets draws r independent sample sets of size m from the sampler
 // and tabulates each into an Empirical. This matches the sampling pattern
-// of Algorithm 1 Step 3 and Algorithm 2 Step 1.
+// of Algorithm 1 Step 3 and Algorithm 2 Step 1. All draws come
+// sequentially from s's own stream; use CollectSetsSized for the batched,
+// concurrent form.
 func CollectSets(s dist.Sampler, r, m int) []*dist.Empirical {
 	sets := make([]*dist.Empirical, r)
 	for i := range sets {
 		sets[i] = dist.NewEmpiricalFromSampler(s, m)
 	}
+	return sets
+}
+
+// CollectSetsSized is the batched, concurrency-ready form of CollectSets:
+// it draws len(sizes) sample sets, set i of size sizes[i], and tabulates
+// each into an Empirical.
+//
+// When s is Forkable, set i is drawn from an independent stream seeded
+// with par.Split(seed, i); the sets depend only on (distribution, seed),
+// never on the worker count, so drawing and tabulating proceed
+// concurrently across workers with bit-identical results at any
+// parallelism degree. When s cannot fork (counting and budget wrappers,
+// custom oracles), every draw comes sequentially from s's single stream —
+// again independent of the worker count — and only tabulation runs in
+// parallel.
+func CollectSetsSized(s dist.Sampler, sizes []int, workers int, seed uint64) []*dist.Empirical {
+	sets := make([]*dist.Empirical, len(sizes))
+	n := s.N()
+	if _, ok := s.(dist.Forkable); ok {
+		par.For(workers, len(sizes), func(i int) {
+			fork := dist.TryFork(s, par.Split(seed, i))
+			sets[i] = dist.NewEmpirical(dist.DrawBatch(fork, sizes[i]), n)
+		})
+		return sets
+	}
+	raw := make([][]int, len(sizes))
+	for i, m := range sizes {
+		raw[i] = dist.DrawBatch(s, m)
+	}
+	par.For(workers, len(sizes), func(i int) {
+		sets[i] = dist.NewEmpirical(raw[i], n)
+	})
 	return sets
 }

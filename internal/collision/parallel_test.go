@@ -1,0 +1,114 @@
+package collision
+
+import (
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+)
+
+// CollectSetsSized on a forkable sampler must be bit-identical for every
+// worker count, honor per-set sizes, and change with the seed.
+func TestCollectSetsSizedDeterministic(t *testing.T) {
+	d := dist.Zipf(64, 1.1)
+	s := dist.NewSampler(d, rand.New(rand.NewSource(1)))
+	sizes := []int{100, 250, 400, 10, 333}
+
+	ref := CollectSetsSized(s, sizes, 1, 42)
+	if len(ref) != len(sizes) {
+		t.Fatalf("got %d sets, want %d", len(ref), len(sizes))
+	}
+	for i, e := range ref {
+		if e.M() != sizes[i] {
+			t.Fatalf("set %d has %d samples, want %d", i, e.M(), sizes[i])
+		}
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got := CollectSetsSized(s, sizes, workers, 42)
+		for i := range ref {
+			for v := 0; v < d.N(); v++ {
+				if got[i].Occ(v) != ref[i].Occ(v) {
+					t.Fatalf("workers=%d set %d: occ(%d) differs", workers, i, v)
+				}
+			}
+		}
+	}
+
+	other := CollectSetsSized(s, sizes, 4, 43)
+	same := true
+	for i := range ref {
+		for v := 0; v < d.N(); v++ {
+			if other[i].Occ(v) != ref[i].Occ(v) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sets")
+	}
+}
+
+// Distinct sets must come from distinct streams even with equal sizes.
+func TestCollectSetsSizedIndependentStreams(t *testing.T) {
+	d := dist.Uniform(1024)
+	s := dist.NewSampler(d, rand.New(rand.NewSource(2)))
+	sets := CollectSetsSized(s, []int{500, 500}, 2, 7)
+	identical := true
+	for v := 0; v < d.N(); v++ {
+		if sets[0].Occ(v) != sets[1].Occ(v) {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("sibling sets received the same stream")
+	}
+}
+
+// A non-forkable sampler must fall back to sequential draws from its own
+// stream — matching CollectSets exactly — at every worker count.
+type opaque struct{ s dist.Sampler }
+
+func (o opaque) Sample() int { return o.s.Sample() }
+func (o opaque) N() int      { return o.s.N() }
+
+func TestCollectSetsSizedNonForkableFallback(t *testing.T) {
+	d := dist.Zipf(128, 1.2)
+	mk := func() dist.Sampler { return opaque{dist.NewSampler(d, rand.New(rand.NewSource(3)))} }
+
+	want := CollectSets(mk(), 4, 200)
+	for _, workers := range []int{1, 4} {
+		got := CollectSetsSized(mk(), []int{200, 200, 200, 200}, workers, 999)
+		for i := range want {
+			for v := 0; v < d.N(); v++ {
+				if got[i].Occ(v) != want[i].Occ(v) {
+					t.Fatalf("workers=%d set %d: fallback diverged from CollectSets", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// The parallel median helper must agree with the serial one above and
+// below the parallel threshold.
+func TestMedianCollisionProbParallelMatchesSerial(t *testing.T) {
+	d := dist.Zipf(32, 1.3)
+	s := dist.NewSampler(d, rand.New(rand.NewSource(4)))
+	for _, r := range []int{8, minParallelSets + 5} {
+		sizes := make([]int, r)
+		for i := range sizes {
+			sizes[i] = 300
+		}
+		sets := CollectSetsSized(s, sizes, 4, 11)
+		for _, iv := range []dist.Interval{{Lo: 0, Hi: 32}, {Lo: 3, Hi: 17}, {Lo: 30, Hi: 31}} {
+			wantV, wantOK := MedianCollisionProb(sets, iv)
+			for _, workers := range []int{1, 3, 8} {
+				gotV, gotOK := MedianCollisionProbParallel(sets, iv, workers)
+				if gotV != wantV || gotOK != wantOK {
+					t.Fatalf("r=%d workers=%d iv=%v: (%v,%t) != (%v,%t)",
+						r, workers, iv, gotV, gotOK, wantV, wantOK)
+				}
+			}
+		}
+	}
+}

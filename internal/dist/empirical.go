@@ -1,6 +1,10 @@
 package dist
 
-import "fmt"
+import (
+	"fmt"
+
+	"khist/internal/par"
+)
 
 // Empirical tabulates a multiset of samples from [n] so that the interval
 // statistics the paper's algorithms consume are O(1) per query after the
@@ -48,9 +52,75 @@ func NewEmpirical(samples []int, n int) *Empirical {
 	return e
 }
 
-// NewEmpiricalFromSampler draws m samples from s and tabulates them.
+// parallelTabulateMin is the sample count below which NewEmpiricalParallel
+// falls back to the serial construction: under it, goroutine startup costs
+// more than the counting pass saves.
+const parallelTabulateMin = 1 << 15
+
+// NewEmpiricalParallel is NewEmpirical with the counting pass split across
+// workers: each worker counts a contiguous chunk of samples into a private
+// occurrence array and the arrays are merged across the domain in
+// parallel. Counts are integers, so the merge is exact and the result is
+// identical to NewEmpirical for every worker count. Small inputs
+// (len(samples) < 2^15) and workers <= 1 fall back to the serial
+// construction.
+func NewEmpiricalParallel(samples []int, n, workers int) *Empirical {
+	if workers <= 1 || len(samples) < parallelTabulateMin || n < 1 {
+		return NewEmpirical(samples, n)
+	}
+	workers = par.Workers(workers, len(samples))
+	e := &Empirical{
+		n:       n,
+		m:       len(samples),
+		occ:     make([]int64, n),
+		cumHits: make([]int64, n+1),
+		cumColl: make([]int64, n+1),
+	}
+	parts := make([][]int64, workers)
+	bad := make([]int, workers) // index of an out-of-range sample per worker, or -1
+	chunk := (len(samples) + workers - 1) / workers
+	par.For(workers, workers, func(w int) {
+		bad[w] = -1
+		lo := w * chunk
+		hi := min(lo+chunk, len(samples))
+		occ := make([]int64, n)
+		for i := lo; i < hi; i++ {
+			v := samples[i]
+			if v < 0 || v >= n {
+				if bad[w] < 0 {
+					bad[w] = i
+				}
+				continue
+			}
+			occ[v]++
+		}
+		parts[w] = occ
+	})
+	for _, i := range bad {
+		if i >= 0 {
+			// Panic from the calling goroutine, matching NewEmpirical.
+			panic(fmt.Sprintf("dist: sample %d outside domain [0,%d)", samples[i], n))
+		}
+	}
+	// Merge across the domain: each position is owned by one iteration.
+	par.For(workers, n, func(v int) {
+		var c int64
+		for _, occ := range parts {
+			c += occ[v]
+		}
+		e.occ[v] = c
+	})
+	for v, c := range e.occ {
+		e.cumHits[v+1] = e.cumHits[v] + c
+		e.cumColl[v+1] = e.cumColl[v] + c*(c-1)/2
+	}
+	return e
+}
+
+// NewEmpiricalFromSampler draws m samples from s and tabulates them,
+// using the sampler's bulk path when it has one.
 func NewEmpiricalFromSampler(s Sampler, m int) *Empirical {
-	return NewEmpirical(Draw(s, m), s.N())
+	return NewEmpirical(DrawBatch(s, m), s.N())
 }
 
 // N returns the domain size.

@@ -1,0 +1,173 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"khist/internal/par"
+)
+
+// SampleInto must be equivalent to the same number of Sample calls: same
+// stream, same values.
+func TestBatchMatchesSingleDraws(t *testing.T) {
+	d := Zipf(256, 1.1)
+	single := NewSampler(d, rand.New(rand.NewSource(11)))
+	batch := NewSampler(d, rand.New(rand.NewSource(11)))
+
+	want := make([]int, 5000)
+	for i := range want {
+		want[i] = single.Sample()
+	}
+	got := make([]int, 5000)
+	SampleInto(batch, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d: batch %d != single %d", i, got[i], want[i])
+		}
+	}
+}
+
+// DrawBatch and Draw must agree (Draw is the historical name) and
+// interleaving batch and single draws must continue one stream.
+func TestDrawBatchContinuesStream(t *testing.T) {
+	d := Geometric(64, 0.95)
+	a := NewSampler(d, rand.New(rand.NewSource(12)))
+	b := NewSampler(d, rand.New(rand.NewSource(12)))
+
+	var seqA []int
+	seqA = append(seqA, DrawBatch(a, 100)...)
+	seqA = append(seqA, a.Sample())
+	seqA = append(seqA, DrawBatch(a, 50)...)
+
+	seqB := Draw(b, 151)
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("position %d: interleaved %d != straight %d", i, seqA[i], seqB[i])
+		}
+	}
+	if len(DrawBatch(a, 0)) != 0 || len(DrawBatch(a, -3)) != 0 {
+		t.Fatal("non-positive batch sizes must draw nothing")
+	}
+}
+
+// SampleInto must also work for samplers without a bulk path.
+type singleOnly struct{ s Sampler }
+
+func (x singleOnly) Sample() int { return x.s.Sample() }
+func (x singleOnly) N() int      { return x.s.N() }
+
+func TestSampleIntoFallback(t *testing.T) {
+	d := Uniform(32)
+	wrapped := singleOnly{NewSampler(d, rand.New(rand.NewSource(13)))}
+	plain := NewSampler(d, rand.New(rand.NewSource(13)))
+	got, want := make([]int, 500), make([]int, 500)
+	SampleInto(wrapped, got)
+	SampleInto(plain, want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("fallback path diverged from bulk path")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	d := Zipf(128, 1.2)
+	parent := NewSampler(d, rand.New(rand.NewSource(14)))
+
+	// Forking must not perturb the parent's stream.
+	reference := NewSampler(d, rand.New(rand.NewSource(14)))
+	_ = TryFork(parent, 99)
+	for i := 0; i < 200; i++ {
+		if parent.Sample() != reference.Sample() {
+			t.Fatal("Fork perturbed the parent stream")
+		}
+	}
+
+	// Same fork seed, same stream; different seeds, different streams.
+	f1 := TryFork(parent, 7)
+	f2 := TryFork(parent, 7)
+	f3 := TryFork(parent, 8)
+	if f1 == nil || f2 == nil || f3 == nil {
+		t.Fatal("alias sampler must be forkable")
+	}
+	same, diff := 0, 0
+	for i := 0; i < 500; i++ {
+		a, b, c := f1.Sample(), f2.Sample(), f3.Sample()
+		if a == b {
+			same++
+		}
+		if a != c {
+			diff++
+		}
+	}
+	if same != 500 {
+		t.Fatalf("equal-seed forks agreed on only %d of 500 draws", same)
+	}
+	if diff == 0 {
+		t.Fatal("distinct-seed forks produced identical streams")
+	}
+}
+
+// A fork must sample the same distribution as the parent: compare
+// empirical interval weights on a skewed pmf.
+func TestForkSamplesSameDistribution(t *testing.T) {
+	d := MustNew([]float64{0.5, 0.3, 0.1, 0.05, 0.05})
+	parent := NewSampler(d, rand.New(rand.NewSource(15)))
+	fork := TryFork(parent, par.Split(2026, 0))
+	e := NewEmpiricalFromSampler(fork, 200000)
+	for v := 0; v < d.N(); v++ {
+		got := float64(e.Occ(v)) / float64(e.M())
+		if gap := got - d.P(v); gap > 0.01 || gap < -0.01 {
+			t.Fatalf("fork frequency of %d = %v, pmf %v", v, got, d.P(v))
+		}
+	}
+}
+
+// TryFork on a sampler without Fork must report nil.
+func TestTryForkNonForkable(t *testing.T) {
+	s := singleOnly{NewSampler(Uniform(8), rand.New(rand.NewSource(16)))}
+	if TryFork(s, 1) != nil {
+		t.Fatal("non-forkable sampler returned a fork")
+	}
+	// Wrappers intentionally do not fork: their accounting needs a single
+	// stream.
+	if TryFork(NewCountingSampler(NewSampler(Uniform(8), rand.New(rand.NewSource(17)))), 1) != nil {
+		t.Fatal("counting sampler should not be forkable")
+	}
+}
+
+// NewEmpiricalParallel must equal NewEmpirical bit-for-bit at every worker
+// count, above and below the serial-fallback threshold.
+func TestEmpiricalParallelMatchesSerial(t *testing.T) {
+	n := 512
+	rng := rand.New(rand.NewSource(18))
+	for _, m := range []int{100, parallelTabulateMin - 1, parallelTabulateMin, 200000} {
+		samples := make([]int, m)
+		for i := range samples {
+			samples[i] = rng.Intn(n)
+		}
+		want := NewEmpirical(samples, n)
+		for _, workers := range []int{1, 2, 4, 8, 64} {
+			got := NewEmpiricalParallel(samples, n, workers)
+			if got.N() != want.N() || got.M() != want.M() {
+				t.Fatalf("m=%d workers=%d: shape mismatch", m, workers)
+			}
+			for v := 0; v <= n; v++ {
+				if got.cumHits[v] != want.cumHits[v] || got.cumColl[v] != want.cumColl[v] {
+					t.Fatalf("m=%d workers=%d: prefix mismatch at %d", m, workers, v)
+				}
+			}
+		}
+	}
+}
+
+func TestEmpiricalParallelPanicsOutOfRange(t *testing.T) {
+	samples := make([]int, parallelTabulateMin+10)
+	samples[parallelTabulateMin/2] = -1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range sample did not panic")
+		}
+	}()
+	NewEmpiricalParallel(samples, 16, 4)
+}

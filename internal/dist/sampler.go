@@ -1,15 +1,80 @@
 package dist
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"khist/internal/par"
+)
 
 // Sampler yields i.i.d. draws from a distribution over [N()]. It is the
 // only access the paper's sub-linear algorithms have to the unknown
 // distribution: they never read a pmf.
+//
+// A Sampler is single-stream: its draws come from one internal RNG, so it
+// must not be shared across goroutines. Samplers that also implement
+// Forkable can hand out independent streams for concurrent use; see the
+// README's "Concurrency model" section.
 type Sampler interface {
 	// Sample returns one draw from the distribution.
 	Sample() int
 	// N returns the domain size.
 	N() int
+}
+
+// BatchSampler is implemented by samplers with a fast bulk-draw path that
+// amortizes per-draw call overhead. SampleInto must be equivalent to
+// len(dst) successive Sample calls (same stream, same values).
+type BatchSampler interface {
+	Sampler
+	// SampleInto fills dst with consecutive draws.
+	SampleInto(dst []int)
+}
+
+// Forkable is implemented by samplers that can produce an independent
+// sampler over the same distribution, driven by its own seeded stream.
+// Fork must not perturb the parent's stream, and forks must be usable
+// concurrently with the parent and with each other. This is what lets the
+// algorithms draw their sample sets in parallel while staying bit-
+// reproducible: each set gets a stream seeded by par.Split of one base
+// seed, so the sets do not depend on the worker count.
+type Forkable interface {
+	Sampler
+	// Fork returns an independent sampler whose stream is seeded by seed.
+	Fork(seed uint64) Sampler
+}
+
+// TryFork returns an independent sampler forked from s with the given
+// stream seed, or nil when s cannot fork. Callers fall back to drawing
+// serially from s itself when it returns nil.
+func TryFork(s Sampler, seed uint64) Sampler {
+	if f, ok := s.(Forkable); ok {
+		return f.Fork(seed)
+	}
+	return nil
+}
+
+// SampleInto fills dst with draws from s, using the sampler's bulk path
+// when it has one.
+func SampleInto(s Sampler, dst []int) {
+	if bs, ok := s.(BatchSampler); ok {
+		bs.SampleInto(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = s.Sample()
+	}
+}
+
+// DrawBatch collects m draws from s into a new slice via the sampler's
+// bulk path when available. It is the allocation-owning form of
+// SampleInto.
+func DrawBatch(s Sampler, m int) []int {
+	if m <= 0 {
+		return []int{}
+	}
+	dst := make([]int, m)
+	SampleInto(s, dst)
+	return dst
 }
 
 // aliasSampler draws in O(1) via Walker's alias method: a fair die over n
@@ -86,6 +151,29 @@ func (a *aliasSampler) Sample() int {
 
 func (a *aliasSampler) N() int { return a.n }
 
+// SampleInto fills dst with consecutive draws from the sampler's stream,
+// identical to len(dst) Sample calls but without the per-draw interface
+// dispatch.
+func (a *aliasSampler) SampleInto(dst []int) {
+	rng, prob, alias := a.rng, a.prob, a.alias
+	for j := range dst {
+		i := rng.Intn(a.n)
+		if rng.Float64() < prob[i] {
+			dst[j] = i
+		} else {
+			dst[j] = alias[i]
+		}
+	}
+}
+
+// Fork returns an independent sampler over the same distribution: the
+// alias tables (read-only after construction) are shared, only the stream
+// is fresh. The parent's stream is untouched, so forks are safe to use
+// concurrently with the parent and each other.
+func (a *aliasSampler) Fork(seed uint64) Sampler {
+	return &aliasSampler{n: a.n, prob: a.prob, alias: a.alias, rng: par.NewRand(seed)}
+}
+
 // CountingSampler wraps a Sampler with a draw counter, for
 // sample-complexity accounting in experiments and tests.
 type CountingSampler struct {
@@ -142,11 +230,8 @@ func (b *BudgetSampler) Exceeded() bool { return b.drawn > b.budget }
 // Drawn returns the number of draws made so far.
 func (b *BudgetSampler) Drawn() int64 { return b.drawn }
 
-// Draw collects m draws from s into a slice.
+// Draw collects m draws from s into a slice. It is DrawBatch under its
+// historical name.
 func Draw(s Sampler, m int) []int {
-	out := make([]int, 0, max(m, 0))
-	for i := 0; i < m; i++ {
-		out = append(out, s.Sample())
-	}
-	return out
+	return DrawBatch(s, m)
 }

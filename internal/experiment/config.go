@@ -5,6 +5,8 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+
+	"khist/internal/par"
 )
 
 // Config controls experiment scale and reproducibility.
@@ -16,10 +18,44 @@ type Config struct {
 	// Seed drives all randomness; the same seed reproduces every table
 	// byte-for-byte.
 	Seed int64
+	// Workers runs independent trials concurrently (E1, E4, E6) and is
+	// threaded into the algorithm's own Parallelism option where an
+	// experiment has no trial loop to split (E12's 2D scan). Timing
+	// experiments (E2) stay serial so their wall-clock columns measure
+	// one run at a time. Every trial owns a seed derived from (Seed,
+	// trial index), so every statistical column is byte-identical for
+	// every worker count (wall-clock timing columns vary run to run
+	// regardless). Zero or one means serial.
+	Workers int
 }
 
 func (c Config) rng(offset int64) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed*1_000_003 + offset))
+}
+
+// workers returns the effective parallelism degree of Workers.
+func (c Config) workers() int { return par.Effective(c.Workers) }
+
+// forTrials runs fn for every trial index across the config's workers.
+// Trials must be independent: each derives its randomness from its own
+// index (via cfg.rng offsets) and writes only its own result slot, so
+// tables are byte-identical at every worker count.
+func forTrials(c Config, trials int, fn func(trial int)) {
+	par.For(c.workers(), trials, fn)
+}
+
+// countAccepts runs fn for every trial index across the config's workers
+// and returns how many trials reported true.
+func countAccepts(c Config, trials int, fn func(trial int) bool) int {
+	accepted := make([]bool, trials)
+	forTrials(c, trials, func(i int) { accepted[i] = fn(i) })
+	n := 0
+	for _, a := range accepted {
+		if a {
+			n++
+		}
+	}
+	return n
 }
 
 // pick returns full unless Quick, then quick.

@@ -45,6 +45,7 @@ func runE12(cfg Config) []*Table {
 			res, err := grid.Greedy2D(s, grid.Options2D{
 				Rows: rows, Cols: cols, K: 5, Eps: 0.1,
 				Samples: m, Rand: rand.New(rand.NewSource(cfg.Seed*31 + int64(m))),
+				Parallelism: cfg.Workers,
 			})
 			if err != nil {
 				panic(err)

@@ -39,8 +39,12 @@ func runE1(cfg Config) []*Table {
 	for _, wl := range learnerWorkloads() {
 		for _, n := range ns {
 			for _, k := range ks {
-				var opts, errs []float64
-				for trial := 0; trial < trials; trial++ {
+				// Trials are independent (per-trial rng offsets) and run
+				// concurrently across cfg.Workers; each writes its own
+				// slot so the summary is worker-count invariant.
+				opts := make([]float64, trials)
+				errs := make([]float64, trials)
+				forTrials(cfg, trials, func(trial int) {
 					rng := cfg.rng(int64(1000 + trial))
 					d := wl.Gen(n, k, rng)
 					opt, err := vopt.OptimalL2Error(d, k)
@@ -55,9 +59,9 @@ func runE1(cfg Config) []*Table {
 					if err != nil {
 						panic(err)
 					}
-					opts = append(opts, opt)
-					errs = append(errs, res.Tiling.L2SqTo(d))
-				}
+					opts[trial] = opt
+					errs[trial] = res.Tiling.L2SqTo(d)
+				})
 				so, se := Summarize(opts), Summarize(errs)
 				gap := se.Mean - so.Mean
 				t.AddRow(wl.Name, I(int64(n)), I(int64(k)), F(eps),

@@ -46,19 +46,17 @@ func runE4(cfg Config) []*Table {
 	trials := pick(cfg, 20, 5)
 	eps := 0.2
 	for _, k := range pick(cfg, []int{2, 4}, []int{2}) {
-		// YES side.
-		accepts := 0
-		for trial := 0; trial < trials; trial++ {
+		// YES side. Trials are independent — each derives its rngs from
+		// its own index — so they run concurrently across cfg.Workers.
+		accepts := countAccepts(cfg, trials, func(trial int) bool {
 			d := dist.RandomKHistogram(n, k, cfg.rng(int64(10000+trial)))
 			s := dist.NewSampler(d, cfg.rng(int64(11000+trial)))
 			res, err := histtest.TestTilingL2(s, testerOptions(k, eps, cfg, int64(12000+trial)))
 			if err != nil {
 				panic(err)
 			}
-			if res.Accept {
-				accepts++
-			}
-		}
+			return res.Accept
+		})
 		t.AddRow("YES", I(int64(n)), I(int64(k)), F(eps), "0",
 			Pct(float64(accepts)/float64(trials)), I(int64(trials)))
 
@@ -68,17 +66,14 @@ func runE4(cfg Config) []*Table {
 		if err != nil {
 			panic(err)
 		}
-		accepts = 0
-		for trial := 0; trial < trials; trial++ {
+		accepts = countAccepts(cfg, trials, func(trial int) bool {
 			s := dist.NewSampler(d, cfg.rng(int64(13000+trial)))
 			res, err := histtest.TestTilingL2(s, testerOptions(k, eps, cfg, int64(14000+trial)))
 			if err != nil {
 				panic(err)
 			}
-			if res.Accept {
-				accepts++
-			}
-		}
+			return res.Accept
+		})
 		t.AddRow("NO", I(int64(n)), I(int64(k)), F(eps), F(math.Sqrt(optSq)),
 			Pct(float64(accepts)/float64(trials)), I(int64(trials)))
 	}
@@ -121,18 +116,15 @@ func runE6(cfg Config) []*Table {
 	trials := pick(cfg, 20, 5)
 	eps := 0.3
 	for _, k := range pick(cfg, []int{2, 4}, []int{2}) {
-		accepts := 0
-		for trial := 0; trial < trials; trial++ {
+		accepts := countAccepts(cfg, trials, func(trial int) bool {
 			d := dist.RandomKHistogram(n, k, cfg.rng(int64(15000+trial)))
 			s := dist.NewSampler(d, cfg.rng(int64(16000+trial)))
 			res, err := histtest.TestTilingL1(s, testerOptions(k, eps, cfg, int64(17000+trial)))
 			if err != nil {
 				panic(err)
 			}
-			if res.Accept {
-				accepts++
-			}
-		}
+			return res.Accept
+		})
 		t.AddRow("YES", I(int64(n)), I(int64(k)), F(eps), "0",
 			Pct(float64(accepts)/float64(trials)), I(int64(trials)))
 
@@ -141,17 +133,14 @@ func runE6(cfg Config) []*Table {
 		if err != nil {
 			panic(err)
 		}
-		accepts = 0
-		for trial := 0; trial < trials; trial++ {
+		accepts = countAccepts(cfg, trials, func(trial int) bool {
 			s := dist.NewSampler(d, cfg.rng(int64(18000+trial)))
 			res, err := histtest.TestTilingL1(s, testerOptions(k, eps, cfg, int64(19000+trial)))
 			if err != nil {
 				panic(err)
 			}
-			if res.Accept {
-				accepts++
-			}
-		}
+			return res.Accept
+		})
 		t.AddRow("NO", I(int64(n)), I(int64(k)), F(eps), F(optL1),
 			Pct(float64(accepts)/float64(trials)), I(int64(trials)))
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"khist/internal/dist"
+	"khist/internal/par"
 )
 
 // Empirical2D tabulates flattened grid samples with a 2D prefix array, so
@@ -79,9 +80,20 @@ type Options2D struct {
 	MaxCoords int
 	// Iterations overrides q. Zero means ceil(K ln(1/Eps)).
 	Iterations int
-	// Rand seeds sampling. Nil means a fixed-seed source.
+	// Rand seeds the draw stream: when the sampler is forkable the
+	// samples come from an independent stream seeded from one value drawn
+	// here, so repeated runs sharing a *rand.Rand use fresh streams. Nil
+	// means a fixed-seed source.
 	Rand *rand.Rand
+	// Parallelism splits the rectangle candidate scan across this many
+	// goroutines. Results are bit-identical to the serial scan at every
+	// worker count (ties break toward the lexicographically smallest
+	// coordinate tuple). Zero or one means serial.
+	Parallelism int
 }
+
+// workers returns the effective parallelism degree of Parallelism.
+func (o Options2D) workers() int { return par.Effective(o.Parallelism) }
 
 // Result2D reports a 2D learner run.
 type Result2D struct {
@@ -137,10 +149,15 @@ func Greedy2D(s dist.Sampler, opts Options2D) (*Result2D, error) {
 		maxCoords = 48
 	}
 
-	samples := make([]int, m)
-	for i := range samples {
-		samples[i] = s.Sample()
+	// Draw through the batched sample plane: forkable samplers yield an
+	// independent stream seeded from opts.Rand, so repeated runs sharing
+	// a *rand.Rand draw fresh streams; the draws never depend on the
+	// worker count.
+	src := s
+	if fork := dist.TryFork(s, rng.Uint64()); fork != nil {
+		src = fork
 	}
+	samples := dist.DrawBatch(src, m)
 	emp, err := NewEmpirical2D(opts.Rows, opts.Cols, samples)
 	if err != nil {
 		return nil, err
@@ -185,40 +202,18 @@ func Greedy2D(s dist.Sampler, opts Options2D) (*Result2D, error) {
 
 	var scanned int64
 	mf := float64(emp.M())
+	workers := par.Workers(opts.workers(), len(xs))
 	for it := 0; it < q; it++ {
-		bestDelta := math.Inf(1)
-		var bestR Rect
-		var bestV float64
-		for xi := 0; xi < len(xs); xi++ {
-			for xj := xi + 1; xj < len(xs); xj++ {
-				for yi := 0; yi < len(ys); yi++ {
-					for yj := yi + 1; yj < len(ys); yj++ {
-						r := Rect{xs[xi], ys[yi], xs[xj], ys[yj]}
-						area := float64(r.Area())
-						hits := float64(emp.Hits(r))
-						v := hits / mf / area
-						scanned++
-						// delta ||H||^2 = v^2*area - sum H^2 over r.
-						dH2 := v*v*area - rectSum(sumH2, w, r)
-						// delta <p,H> ~ v*w(r) - sum occ*H / m.
-						dPH := v*hits/mf - rectSum(sumEH, w, r)/mf
-						delta := dH2 - 2*dPH
-						if delta < bestDelta {
-							bestDelta = delta
-							bestR = r
-							bestV = v
-						}
-					}
-				}
-			}
-		}
-		if math.IsInf(bestDelta, 1) {
+		sc := scanRects(emp, xs, ys, sumH2, sumEH, w, mf, workers)
+		scanned += sc.scanned
+		if !sc.ok {
 			break // degenerate coordinate sets
 		}
-		hist.Add(bestR, bestV)
+		bestR := Rect{xs[sc.xi], ys[sc.yi], xs[sc.xj], ys[sc.yj]}
+		hist.Add(bestR, sc.v)
 		for y := bestR.Y0; y < bestR.Y1; y++ {
 			for x := bestR.X0; x < bestR.X1; x++ {
-				paint[y*cols+x] = bestV
+				paint[y*cols+x] = sc.v
 			}
 		}
 		rebuild()
@@ -229,6 +224,100 @@ func Greedy2D(s dist.Sampler, opts Options2D) (*Result2D, error) {
 		Iterations:        q,
 		CandidatesScanned: scanned,
 	}, nil
+}
+
+// rectOutcome is the winner of one rectangle scan: coordinate indexes
+// into (xs, ys), the paint value, and the scan accounting.
+type rectOutcome struct {
+	delta   float64
+	v       float64
+	xi, xj  int
+	yi, yj  int
+	scanned int64
+	ok      bool
+}
+
+// better reports whether candidate x beats y under the deterministic
+// ordering: strictly smaller delta, ties broken toward the
+// lexicographically smaller (xi, xj, yi, yj) — exactly the serial scan's
+// iteration order, so merging stripe winners under this order reproduces
+// the serial result at every worker count.
+func (x rectOutcome) better(y rectOutcome) bool {
+	if !y.ok {
+		return x.ok
+	}
+	if !x.ok {
+		return false
+	}
+	if x.delta != y.delta {
+		return x.delta < y.delta
+	}
+	if x.xi != y.xi {
+		return x.xi < y.xi
+	}
+	if x.xj != y.xj {
+		return x.xj < y.xj
+	}
+	if x.yi != y.yi {
+		return x.yi < y.yi
+	}
+	return x.yj < y.yj
+}
+
+// scanRects evaluates every candidate rectangle spanned by the coordinate
+// sets and returns the cost-minimizing one. The scan is striped across
+// workers by the left x coordinate; every input (the tabulation and the
+// prefix arrays of the current paint) is read-only during the scan, so
+// stripes share them without copies.
+func scanRects(emp *Empirical2D, xs, ys []int, sumH2, sumEH []float64, w int, mf float64, workers int) rectOutcome {
+	if workers <= 1 {
+		return scanRectStripe(emp, xs, ys, sumH2, sumEH, w, mf, 0, 1)
+	}
+	results := make([]rectOutcome, workers)
+	par.ForWorker(workers, workers, func(_, stripe int) {
+		results[stripe] = scanRectStripe(emp, xs, ys, sumH2, sumEH, w, mf, stripe, workers)
+	})
+	var best rectOutcome
+	var total int64
+	for _, r := range results {
+		total += r.scanned
+		if r.better(best) {
+			best = r
+		}
+	}
+	best.scanned = total
+	return best
+}
+
+// scanRectStripe scans the candidates whose left x coordinate index is
+// congruent to stripe modulo stride. Striping balances work: small xi
+// values span many candidate rectangles.
+func scanRectStripe(emp *Empirical2D, xs, ys []int, sumH2, sumEH []float64, w int, mf float64, stripe, stride int) rectOutcome {
+	var best rectOutcome
+	for xi := stripe; xi < len(xs); xi += stride {
+		for xj := xi + 1; xj < len(xs); xj++ {
+			for yi := 0; yi < len(ys); yi++ {
+				for yj := yi + 1; yj < len(ys); yj++ {
+					r := Rect{xs[xi], ys[yi], xs[xj], ys[yj]}
+					area := float64(r.Area())
+					hits := float64(emp.Hits(r))
+					v := hits / mf / area
+					best.scanned++
+					// delta ||H||^2 = v^2*area - sum H^2 over r.
+					dH2 := v*v*area - rectSum(sumH2, w, r)
+					// delta <p,H> ~ v*w(r) - sum occ*H / m.
+					dPH := v*hits/mf - rectSum(sumEH, w, r)/mf
+					delta := dH2 - 2*dPH
+					cand := rectOutcome{delta: delta, v: v, xi: xi, xj: xj, yi: yi, yj: yj, ok: true}
+					if cand.better(best) {
+						cand.scanned = best.scanned
+						best = cand
+					}
+				}
+			}
+		}
+	}
+	return best
 }
 
 // candidateCoords builds the per-axis coordinate sets: distinct sampled

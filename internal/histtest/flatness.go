@@ -2,9 +2,11 @@ package histtest
 
 import (
 	"math"
+	"math/rand"
 
 	"khist/internal/collision"
 	"khist/internal/dist"
+	"khist/internal/par"
 )
 
 // flatL2 is testFlatness-l2 (Algorithm 3). An interval I is accepted as
@@ -19,22 +21,21 @@ import (
 //
 // Rejection certifies ||p_I||_2^2 > 1/|I|, i.e. the conditional
 // distribution is provably non-uniform, so I contains a piece boundary.
-func flatL2(sets []*dist.Empirical, iv dist.Interval, eps float64, m int) bool {
+//
+// With workers > 1 the per-set hit fractions and collision statistics are
+// evaluated concurrently across the r sets; the light-interval decision
+// and the median fold in set order, so the verdict is identical at every
+// worker count.
+func flatL2(sets []*dist.Empirical, iv dist.Interval, eps float64, workers int) bool {
 	if iv.Len() <= 1 {
 		return true // single elements are trivially flat
 	}
 	threshold := eps * eps / 2
-	minFrac := math.Inf(1)
-	for _, e := range sets {
-		frac := float64(e.Hits(iv)) / float64(e.M())
-		if frac < threshold {
-			return true // light interval: accept (Step 2)
-		}
-		if frac < minFrac {
-			minFrac = frac
-		}
+	minFrac := minHitFraction(sets, iv, workers)
+	if minFrac < threshold {
+		return true // light interval: accept (Step 2)
 	}
-	z, ok := collision.MedianCollisionProb(sets, iv)
+	z, ok := collision.MedianCollisionProbParallel(sets, iv, workers)
 	if !ok {
 		return true // no set had two hits; certainly light
 	}
@@ -42,6 +43,29 @@ func flatL2(sets []*dist.Empirical, iv dist.Interval, eps float64, m int) bool {
 	allowance := eps * eps / (4 * minFrac)
 	return z <= 1/float64(iv.Len())+allowance
 }
+
+// minHitFraction returns min_i |S^i_I| / m_i over the sample sets,
+// splitting the per-set lookups across workers. The minimum is
+// order-independent, so any worker count gives the same value.
+func minHitFraction(sets []*dist.Empirical, iv dist.Interval, workers int) float64 {
+	if workers <= 1 || len(sets) < minParallelFlatSets {
+		minFrac := math.Inf(1)
+		for _, e := range sets {
+			if frac := float64(e.Hits(iv)) / float64(e.M()); frac < minFrac {
+				minFrac = frac
+			}
+		}
+		return minFrac
+	}
+	return par.MapReduce(workers, len(sets),
+		func(i int) float64 { return float64(sets[i].Hits(iv)) / float64(sets[i].M()) },
+		math.Inf(1),
+		func(acc, x float64, _ int) float64 { return math.Min(acc, x) })
+}
+
+// minParallelFlatSets mirrors collision.minParallelSets: below it the
+// per-set statistics are too cheap to be worth goroutines.
+const minParallelFlatSets = 128
 
 // flatL1 is testFlatness-l1 (Algorithm 4). The light test compares each
 // set's hit count against 16^3 sqrt(|I|) / eps^4 (the paper's 16/delta^2
@@ -54,17 +78,15 @@ func flatL2(sets []*dist.Empirical, iv dist.Interval, eps float64, m int) bool {
 // paper's m = 2^13 sqrt(kn) eps^-5 the cutoff 16^3 sqrt(|I|)/eps^4 equals
 // m * (eps/2) sqrt(|I|/(kn)) exactly, and the fractional form stays
 // meaningful when SampleScale shrinks m below the worst-case formula.
-func flatL1(sets []*dist.Empirical, iv dist.Interval, eps float64, k, n int) bool {
+func flatL1(sets []*dist.Empirical, iv dist.Interval, eps float64, k, n, workers int) bool {
 	if iv.Len() <= 1 {
 		return true
 	}
 	lightFrac := eps / 2 * math.Sqrt(float64(iv.Len())/(float64(k)*float64(n)))
-	for _, e := range sets {
-		if float64(e.Hits(iv)) < lightFrac*float64(e.M()) {
-			return true // light interval: accept (Step 1)
-		}
+	if minHitFraction(sets, iv, workers) < lightFrac {
+		return true // light interval: accept (Step 1)
 	}
-	z, ok := collision.MedianCollisionProb(sets, iv)
+	z, ok := collision.MedianCollisionProbParallel(sets, iv, workers)
 	if !ok {
 		return true
 	}
@@ -88,10 +110,16 @@ type UniformityResult struct {
 // m = ceil(scale * 16 sqrt(n) / eps^4) samples and accepts iff the
 // observed collision probability is at most (1 + eps^2/4) / n.
 //
+// rng seeds the draw stream: when s is forkable the samples come from an
+// independent stream seeded from rng, so repeated tester calls sharing
+// one *rand.Rand use fresh streams each time. A nil rng falls back to a
+// fixed seed, making the call reproducible in isolation. Non-forkable
+// samplers draw from their own stream and rng is not consulted.
+//
 // If p is uniform, E[coll prob] = 1/n; if p is eps-far from uniform in l1,
 // then ||p||_2^2 >= (1 + eps^2)/n by Cauchy-Schwarz, so the statistic
 // separates the cases with constant probability at this sample size.
-func TestUniformityL1(s dist.Sampler, eps, scale float64, maxSamples int) (*UniformityResult, error) {
+func TestUniformityL1(s dist.Sampler, rng *rand.Rand, eps, scale float64, maxSamples int) (*UniformityResult, error) {
 	if !(eps > 0 && eps < 1) || math.IsNaN(eps) {
 		return nil, ErrBadEps
 	}
@@ -110,7 +138,7 @@ func TestUniformityL1(s dist.Sampler, eps, scale float64, maxSamples int) (*Unif
 	if maxSamples > 0 && m > maxSamples {
 		m = maxSamples
 	}
-	e := dist.NewEmpiricalFromSampler(s, m)
+	e := dist.NewEmpiricalFromSampler(drawSource(s, rng), m)
 	z, _, ok := collision.ObservedCollisionProb(e, dist.Whole(n))
 	threshold := (1 + eps*eps/4) / float64(n)
 	res := &UniformityResult{
@@ -126,4 +154,17 @@ func TestUniformityL1(s dist.Sampler, eps, scale float64, maxSamples int) (*Unif
 	}
 	res.Accept = z <= threshold
 	return res, nil
+}
+
+// drawSource resolves the stream a single-set tester draws from: an
+// independent fork of s seeded from rng when s is forkable, otherwise s
+// itself. A nil rng means the fixed default seed.
+func drawSource(s dist.Sampler, rng *rand.Rand) dist.Sampler {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if fork := dist.TryFork(s, rng.Uint64()); fork != nil {
+		return fork
+	}
+	return s
 }

@@ -2,9 +2,11 @@ package histtest
 
 import (
 	"math"
+	"math/rand"
 
 	"khist/internal/collision"
 	"khist/internal/dist"
+	"khist/internal/par"
 )
 
 // IdentityResult reports an identity-tester run.
@@ -32,9 +34,20 @@ type IdentityResult struct {
 // / eps^2 each; accept iff the estimated squared distance is at most
 // eps^2 / 2.
 //
+// rng seeds the per-set streams: when s is forkable, each of the r sets
+// is drawn from an independent stream split off one value drawn from rng,
+// so repeated tester calls sharing a *rand.Rand use fresh streams each
+// time. A nil rng means a fixed seed (reproducible in isolation);
+// non-forkable samplers draw sequentially from their own stream.
+//
+// workers splits the set drawing and the per-set O(n) estimates across
+// goroutines; zero or one means serial, matching the Parallelism options
+// elsewhere in the module. The verdict is deterministic in (s, rng) —
+// workers never affects it.
+//
 // Uniformity testing is the special case q = Uniform(n); the tiling
 // 1-histogram property coincides with it.
-func TestIdentityL2(s dist.Sampler, q *dist.Distribution, eps, scale float64, maxSamples int) (*IdentityResult, error) {
+func TestIdentityL2(s dist.Sampler, q *dist.Distribution, rng *rand.Rand, eps, scale float64, maxSamples, workers int) (*IdentityResult, error) {
 	if !(eps > 0 && eps < 1) || math.IsNaN(eps) {
 		return nil, ErrBadEps
 	}
@@ -48,6 +61,9 @@ func TestIdentityL2(s dist.Sampler, q *dist.Distribution, eps, scale float64, ma
 	if scale <= 0 {
 		scale = 1
 	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
 	m := int(math.Ceil(scale * 16 * math.Sqrt(float64(n)) / (eps * eps)))
 	if m < 2 {
 		m = 2
@@ -57,15 +73,23 @@ func TestIdentityL2(s dist.Sampler, q *dist.Distribution, eps, scale float64, ma
 	}
 	r := numSets(n)
 
+	workers = par.Effective(workers)
+	sizes := make([]int, r)
+	for i := range sizes {
+		sizes[i] = m
+	}
+	sets := collision.CollectSetsSized(s, sizes, workers, rng.Uint64())
+
+	// Per-set distance estimates, evaluated concurrently: each set owns
+	// its slot, and the O(n) inner-product pass is the dominant cost.
 	qNormSq := q.L2NormSq()
-	ests := make([]float64, 0, r)
-	var drawn int64
-	for i := 0; i < r; i++ {
-		e := dist.NewEmpiricalFromSampler(s, m)
-		drawn += int64(m)
+	vals := make([]float64, r)
+	defined := make([]bool, r)
+	par.For(workers, r, func(i int) {
+		e := sets[i]
 		pNormSq, _, ok := collision.ObservedCollisionProb(e, dist.Whole(n))
 		if !ok {
-			continue
+			return
 		}
 		// <p, q> estimated by the empirical mean of q over p-samples.
 		var inner float64
@@ -75,9 +99,17 @@ func TestIdentityL2(s dist.Sampler, q *dist.Distribution, eps, scale float64, ma
 			}
 		}
 		inner /= float64(m)
-		ests = append(ests, pNormSq+qNormSq-2*inner)
+		vals[i] = pNormSq + qNormSq - 2*inner
+		defined[i] = true
+	})
+	ests := vals[:0]
+	for i, v := range vals {
+		if defined[i] {
+			ests = append(ests, v)
+		}
 	}
-	res := &IdentityResult{SamplesUsed: drawn, Threshold: eps * eps / 2}
+
+	res := &IdentityResult{SamplesUsed: int64(r) * int64(m), Threshold: eps * eps / 2}
 	if len(ests) == 0 {
 		// No set produced a collision estimate: at these sample sizes p
 		// has tiny collision mass, indistinguishable from q unless q is

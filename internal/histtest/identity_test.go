@@ -10,17 +10,17 @@ import (
 
 func TestIdentityValidation(t *testing.T) {
 	s := dist.NewSampler(dist.Uniform(16), rand.New(rand.NewSource(1)))
-	if _, err := TestIdentityL2(s, dist.Uniform(16), 0, 1, 0); err == nil {
+	if _, err := TestIdentityL2(s, dist.Uniform(16), nil, 0, 1, 0, 1); err == nil {
 		t.Error("eps=0: want error")
 	}
-	if _, err := TestIdentityL2(s, dist.Uniform(16), math.NaN(), 1, 0); err == nil {
+	if _, err := TestIdentityL2(s, dist.Uniform(16), nil, math.NaN(), 1, 0, 1); err == nil {
 		t.Error("eps NaN: want error")
 	}
-	if _, err := TestIdentityL2(s, dist.Uniform(8), 0.2, 1, 0); err != ErrBadDomain {
+	if _, err := TestIdentityL2(s, dist.Uniform(8), nil, 0.2, 1, 0, 1); err != ErrBadDomain {
 		t.Error("domain mismatch: want ErrBadDomain")
 	}
 	tiny := dist.NewSampler(dist.Uniform(1), rand.New(rand.NewSource(1)))
-	if _, err := TestIdentityL2(tiny, dist.Uniform(1), 0.2, 1, 0); err != ErrTinyDomain {
+	if _, err := TestIdentityL2(tiny, dist.Uniform(1), nil, 0.2, 1, 0, 1); err != ErrTinyDomain {
 		t.Error("tiny domain: want ErrTinyDomain")
 	}
 }
@@ -33,7 +33,7 @@ func TestIdentityAcceptsEqual(t *testing.T) {
 		dist.RandomKHistogram(128, 4, rng),
 	} {
 		s := dist.NewSampler(q, rand.New(rand.NewSource(int64(10+trial))))
-		res, err := TestIdentityL2(s, q, 0.2, 0.2, 20000)
+		res, err := TestIdentityL2(s, q, nil, 0.2, 0.2, 20000, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func TestIdentityRejectsFar(t *testing.T) {
 		t.Fatalf("workload not far: l2 = %v", d)
 	}
 	s := dist.NewSampler(p, rand.New(rand.NewSource(3)))
-	res, err := TestIdentityL2(s, q, 0.3, 0.2, 20000)
+	res, err := TestIdentityL2(s, q, nil, 0.3, 0.2, 20000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestIdentityEstimateTracksTruth(t *testing.T) {
 	p := dist.TwoLevelNoise(q, 0.8)
 	truth := dist.L2Sq(p, q)
 	s := dist.NewSampler(p, rand.New(rand.NewSource(4)))
-	res, err := TestIdentityL2(s, q, 0.2, 1, 50000)
+	res, err := TestIdentityL2(s, q, nil, 0.2, 1, 50000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,12 +89,12 @@ func TestIdentityGeneralizesUniformity(t *testing.T) {
 	far := dist.HalfSupport(u, dist.Whole(n), rand.New(rand.NewSource(5)))
 
 	sU := dist.NewSampler(u, rand.New(rand.NewSource(6)))
-	idU, err := TestIdentityL2(sU, u, 0.25, 0.2, 50000)
+	idU, err := TestIdentityL2(sU, u, nil, 0.25, 0.2, 50000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sF := dist.NewSampler(far, rand.New(rand.NewSource(7)))
-	idF, err := TestIdentityL2(sF, u, 0.05, 0.2, 50000)
+	idF, err := TestIdentityL2(sF, u, nil, 0.05, 0.2, 50000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"khist/internal/collision"
 	"khist/internal/dist"
+	"khist/internal/par"
 )
 
 // Errors returned by the testers.
@@ -43,14 +44,28 @@ type Options struct {
 	// tiling K-histogram (in the tester's norm) are rejected with
 	// probability at least 2/3.
 	Eps float64
-	// Rand seeds sampling. Nil means a fixed-seed source.
+	// Rand seeds the tester's stream-splitting: one value is drawn from
+	// it per run and fanned out (via par.Split) into an independent seed
+	// per collision set, so forkable samplers can fill the r sets
+	// concurrently. Nil means a fixed-seed source, making runs
+	// reproducible by default; pass a shared *rand.Rand so repeated
+	// tester calls in one process draw distinct streams.
 	Rand *rand.Rand
 	// SampleScale multiplies the paper's sample-size formulas (the
 	// worst-case constants are very conservative). Zero means 1.
 	SampleScale float64
 	// MaxSamplesPerSet caps each sample set's size. Zero means no cap.
 	MaxSamplesPerSet int
+	// Parallelism splits the tester's heavy phases — drawing and
+	// tabulating the r = 16 ln(6 n^2) collision sets (when the sampler is
+	// forkable) and the per-set flatness statistics — across this many
+	// goroutines. Verdicts and partitions are bit-identical to the serial
+	// run at every worker count. Zero or one means serial.
+	Parallelism int
 }
+
+// workers returns the effective parallelism degree of Parallelism.
+func (o Options) workers() int { return par.Effective(o.Parallelism) }
 
 func (o Options) validate() error {
 	if o.K < 1 {
@@ -132,7 +147,7 @@ func TestTilingL2(s dist.Sampler, opts Options) (*Result, error) {
 	e4 := opts.Eps * opts.Eps * opts.Eps * opts.Eps
 	m := opts.setSize(64 * math.Log(float64(n)) / e4)
 	return runPartitionTester(s, opts, m, func(sets []*dist.Empirical, iv dist.Interval) bool {
-		return flatL2(sets, iv, opts.Eps, m)
+		return flatL2(sets, iv, opts.Eps, opts.workers())
 	})
 }
 
@@ -151,7 +166,7 @@ func TestTilingL1(s dist.Sampler, opts Options) (*Result, error) {
 	e5 := math.Pow(opts.Eps, 5)
 	m := opts.setSize(8192 * math.Sqrt(float64(opts.K)*float64(n)) / e5)
 	return runPartitionTester(s, opts, m, func(sets []*dist.Empirical, iv dist.Interval) bool {
-		return flatL1(sets, iv, opts.Eps, opts.K, n)
+		return flatL1(sets, iv, opts.Eps, opts.K, n, opts.workers())
 	})
 }
 
@@ -159,6 +174,13 @@ func TestTilingL1(s dist.Sampler, opts Options) (*Result, error) {
 // size m, then greedily carve [0, n) into at most K intervals the flatness
 // oracle accepts, finding each interval's maximal right end by binary
 // search. Accept iff the intervals cover the domain.
+//
+// The r sets are drawn through the batched sample plane: a forkable
+// sampler fills them concurrently, one split stream per set, so the
+// verdict is identical for every worker count. The binary searches are
+// inherently sequential (each probe depends on the last), so past the
+// draw phase parallelism only accelerates the per-set statistics inside
+// each flatness call.
 func runPartitionTester(
 	s dist.Sampler,
 	opts Options,
@@ -167,7 +189,11 @@ func runPartitionTester(
 ) (*Result, error) {
 	n := s.N()
 	r := numSets(n)
-	sets := collision.CollectSets(s, r, m)
+	sizes := make([]int, r)
+	for i := range sizes {
+		sizes[i] = m
+	}
+	sets := collision.CollectSetsSized(s, sizes, opts.workers(), opts.rng().Uint64())
 	res := &Result{
 		SamplesUsed: int64(r) * int64(m),
 		R:           r,

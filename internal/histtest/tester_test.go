@@ -278,7 +278,7 @@ func TestComplexityScalingShape(t *testing.T) {
 func TestUniformityTester(t *testing.T) {
 	// Uniform: accept.
 	u := dist.NewSampler(dist.Uniform(256), rand.New(rand.NewSource(16)))
-	res, err := TestUniformityL1(u, 0.3, 0.05, 50000)
+	res, err := TestUniformityL1(u, nil, 0.3, 0.05, 50000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestUniformityTester(t *testing.T) {
 	// Half-support: far from uniform, reject.
 	far := dist.HalfSupport(dist.Uniform(256), dist.Whole(256), rand.New(rand.NewSource(17)))
 	fs := dist.NewSampler(far, rand.New(rand.NewSource(18)))
-	res2, err := TestUniformityL1(fs, 0.3, 0.05, 50000)
+	res2, err := TestUniformityL1(fs, nil, 0.3, 0.05, 50000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,11 +298,11 @@ func TestUniformityTester(t *testing.T) {
 			res2.CollisionProb, res2.Threshold)
 	}
 	// Validation.
-	if _, err := TestUniformityL1(u, 0, 1, 0); err == nil {
+	if _, err := TestUniformityL1(u, nil, 0, 1, 0); err == nil {
 		t.Error("eps=0: want error")
 	}
 	tiny := dist.NewSampler(dist.Uniform(1), rand.New(rand.NewSource(19)))
-	if _, err := TestUniformityL1(tiny, 0.3, 1, 0); err == nil {
+	if _, err := TestUniformityL1(tiny, nil, 0.3, 1, 0); err == nil {
 		t.Error("tiny domain: want error")
 	}
 }
@@ -311,27 +311,27 @@ func TestFlatnessOracleEdgeCases(t *testing.T) {
 	// Single-element intervals are always flat.
 	e := dist.NewEmpirical([]int{0, 0, 0, 0}, 4)
 	sets := []*dist.Empirical{e}
-	if !flatL2(sets, dist.Interval{Lo: 0, Hi: 1}, 0.3, 4) {
+	if !flatL2(sets, dist.Interval{Lo: 0, Hi: 1}, 0.3, 1) {
 		t.Error("single element not flat (l2)")
 	}
-	if !flatL1(sets, dist.Interval{Lo: 0, Hi: 1}, 0.3, 2, 4) {
+	if !flatL1(sets, dist.Interval{Lo: 0, Hi: 1}, 0.3, 2, 4, 1) {
 		t.Error("single element not flat (l1)")
 	}
 	// Zero-hit intervals are light, hence flat.
-	if !flatL2(sets, dist.Interval{Lo: 2, Hi: 4}, 0.3, 4) {
+	if !flatL2(sets, dist.Interval{Lo: 2, Hi: 4}, 0.3, 1) {
 		t.Error("zero-hit interval not flat (l2)")
 	}
-	if !flatL1(sets, dist.Interval{Lo: 2, Hi: 4}, 0.3, 2, 4) {
+	if !flatL1(sets, dist.Interval{Lo: 2, Hi: 4}, 0.3, 2, 4, 1) {
 		t.Error("zero-hit interval not flat (l1)")
 	}
 	// A heavily colliding two-element interval with all mass on one
 	// element is not flat once it has plenty of hits.
 	heavy := make([]int, 1000)
 	big := dist.NewEmpirical(heavy, 4) // all samples on element 0
-	if flatL2([]*dist.Empirical{big}, dist.Interval{Lo: 0, Hi: 2}, 0.3, 1000) {
+	if flatL2([]*dist.Empirical{big}, dist.Interval{Lo: 0, Hi: 2}, 0.3, 1) {
 		t.Error("point-mass interval reported flat (l2)")
 	}
-	if flatL1([]*dist.Empirical{big}, dist.Interval{Lo: 0, Hi: 2}, 0.3, 1, 4) {
+	if flatL1([]*dist.Empirical{big}, dist.Interval{Lo: 0, Hi: 2}, 0.3, 1, 4, 1) {
 		t.Error("point-mass interval reported flat (l1)")
 	}
 }

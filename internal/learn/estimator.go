@@ -3,6 +3,7 @@ package learn
 import (
 	"sort"
 
+	"khist/internal/collision"
 	"khist/internal/dist"
 )
 
@@ -20,17 +21,35 @@ type estimator struct {
 	scratch []float64         // reusable buffer for the median
 }
 
-// newEstimator draws all sample sets for one learner run.
-func newEstimator(s dist.Sampler, p params) *estimator {
-	es := &estimator{
-		weights: dist.NewEmpiricalFromSampler(s, p.ell),
-		sets:    make([]*dist.Empirical, p.r),
+// newEstimator draws all sample sets for one learner run through the
+// batched sample plane: the weight set (size ell) and the r collision
+// sets (size m each) are drawn as r+1 independent tasks via
+// collision.CollectSetsSized, so a forkable sampler fills them
+// concurrently while non-forkable oracles fall back to sequential draws.
+// Either way the sets are identical for every worker count.
+func newEstimator(s dist.Sampler, p params, workers int, seed uint64) *estimator {
+	sizes := make([]int, p.r+1)
+	sizes[0] = p.ell
+	for i := 1; i <= p.r; i++ {
+		sizes[i] = p.m
+	}
+	all := collision.CollectSetsSized(s, sizes, workers, seed)
+	return &estimator{
+		weights: all[0],
+		sets:    all[1:],
 		scratch: make([]float64, p.r),
 	}
-	for i := range es.sets {
-		es.sets[i] = dist.NewEmpiricalFromSampler(s, p.m)
+}
+
+// clone returns an estimator sharing the (read-only after construction)
+// tabulated sample sets but owning its own median scratch buffer, so
+// concurrent scans do not race on the scratch.
+func (es *estimator) clone() *estimator {
+	return &estimator{
+		weights: es.weights,
+		sets:    es.sets,
+		scratch: make([]float64, len(es.scratch)),
 	}
-	return es
 }
 
 // samplesUsed returns the total number of draws the estimator consumed.

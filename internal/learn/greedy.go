@@ -5,6 +5,7 @@ import (
 
 	"khist/internal/dist"
 	"khist/internal/histogram"
+	"khist/internal/par"
 )
 
 // Result is the output of a learner run.
@@ -55,7 +56,7 @@ func run(s dist.Sampler, opts Options, fast bool) (*Result, error) {
 		return nil, ErrTinyDomain
 	}
 	p := opts.derive(n)
-	es := newEstimator(s, p)
+	es := newEstimator(s, p, opts.workers(), opts.rng().Uint64())
 	return runWithEstimator(es, n, p.q, opts, fast)
 }
 
@@ -121,28 +122,36 @@ func runWithEstimator(es *estimator, n, q int, opts Options, fast bool) (*Result
 	endIdx := make([]int, n+1)       // tile index containing b-1
 	endCost := make([]float64, n+1)  // cost of [b, tileHi)
 
-	for it := 0; it < q; it++ {
-		// Precompute clip costs for every candidate endpoint. The left
-		// clip depends only on a and the current partition; the right clip
-		// only on b.
-		for _, a := range endpoints {
-			if a >= n {
-				continue
-			}
-			ia := part.tileIndex(a)
-			leftIdx[a] = ia
-			leftCost[a] = es.cost(dist.Interval{Lo: part.bounds[ia], Hi: a})
-		}
-		for _, b := range endpoints {
-			if b < 1 {
-				continue
-			}
-			ib := part.tileIndex(b - 1)
-			endIdx[b] = ib
-			endCost[b] = es.cost(dist.Interval{Lo: b, Hi: part.bounds[ib+1]})
-		}
+	// Per-worker estimator clones for the parallel phases: the tabulated
+	// sets are shared read-only, only the median scratch is private.
+	workers := par.Workers(opts.workers(), len(endpoints))
+	wes := make([]*estimator, workers)
+	wes[0] = es
+	for w := 1; w < workers; w++ {
+		wes[w] = es.clone()
+	}
 
-		sc := scanCandidates(es, part, endpoints, n, leftIdx, endIdx, leftCost, endCost, opts.Parallelism)
+	for it := 0; it < q; it++ {
+		// Precompute clip costs for every candidate endpoint, in parallel:
+		// the left clip depends only on a and the current partition, the
+		// right clip only on b, and each endpoint owns its scratch slots,
+		// so the loop splits cleanly across workers with identical
+		// results at any worker count.
+		par.ForWorker(workers, len(endpoints), func(w, i int) {
+			e := wes[w]
+			if a := endpoints[i]; a < n {
+				ia := part.tileIndex(a)
+				leftIdx[a] = ia
+				leftCost[a] = e.cost(dist.Interval{Lo: part.bounds[ia], Hi: a})
+			}
+			if b := endpoints[i]; b >= 1 {
+				ib := part.tileIndex(b - 1)
+				endIdx[b] = ib
+				endCost[b] = e.cost(dist.Interval{Lo: b, Hi: part.bounds[ib+1]})
+			}
+		})
+
+		sc := scanCandidates(wes, part, endpoints, n, leftIdx, endIdx, leftCost, endCost)
 		scanned += sc.scanned
 		bestA, bestB := sc.a, sc.b
 		if bestA < 0 {
@@ -218,11 +227,19 @@ func candidateEndpoints(weights *dist.Empirical, n int) []int {
 	return out
 }
 
-// setSize returns the (common) size of the collision sets, or the first
-// set's size if they differ (FromSamples allows ragged sets).
+// setSize returns the common size of the collision sets. FromSamples
+// allows ragged sets; for those it returns the minimum, the size the
+// estimator's median guarantees are limited by, so Result.M never
+// overstates the per-set sample budget.
 func setSize(sets []*dist.Empirical) int {
 	if len(sets) == 0 {
 		return 0
 	}
-	return sets[0].M()
+	m := sets[0].M()
+	for _, e := range sets[1:] {
+		if e.M() < m {
+			m = e.M()
+		}
+	}
+	return m
 }

@@ -259,7 +259,7 @@ func TestLearnerHonorsPredictedBudget(t *testing.T) {
 func TestEstimatorStatistics(t *testing.T) {
 	d := dist.MustNew([]float64{0.5, 0.25, 0.25, 0})
 	s := dist.NewSampler(d, rand.New(rand.NewSource(16)))
-	es := newEstimator(s, params{xi: 0.1, q: 1, ell: 50000, r: 9, m: 20000})
+	es := newEstimator(s, params{xi: 0.1, q: 1, ell: 50000, r: 9, m: 20000}, 1, 1)
 	// y estimates interval weight.
 	iv := dist.Interval{Lo: 0, Hi: 2}
 	if got := es.y(iv); math.Abs(got-0.75) > 0.02 {
@@ -290,7 +290,7 @@ func TestEstimatorStatistics(t *testing.T) {
 func TestPartitionCommit(t *testing.T) {
 	d := dist.Uniform(16)
 	s := dist.NewSampler(d, rand.New(rand.NewSource(17)))
-	es := newEstimator(s, params{xi: 0.2, q: 1, ell: 2000, r: 5, m: 1000})
+	es := newEstimator(s, params{xi: 0.2, q: 1, ell: 2000, r: 5, m: 1000}, 1, 1)
 	part := newPartition(16, es)
 	if part.tiles() != 1 {
 		t.Fatalf("fresh partition has %d tiles", part.tiles())

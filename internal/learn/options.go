@@ -18,6 +18,8 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+
+	"khist/internal/par"
 )
 
 // Errors returned by the learners.
@@ -39,8 +41,12 @@ type Options struct {
 	// the optimum by at most 5*Eps (Greedy) or 8*Eps (FastGreedy), with
 	// the paper's constants.
 	Eps float64
-	// Rand seeds all sampling decisions. If nil, a fixed-seed source is
-	// used so runs are reproducible by default.
+	// Rand seeds the learner's stream-splitting: one value is drawn from
+	// it per run and fanned out (via par.Split) into an independent seed
+	// per sample set, so forkable samplers can fill the sets
+	// concurrently. If nil, a fixed-seed source is used so runs are
+	// reproducible by default; pass a shared *rand.Rand to make repeated
+	// runs draw distinct streams.
 	Rand *rand.Rand
 	// SampleScale multiplies the paper's sample-size formulas. The paper's
 	// constants are worst-case; values well below 1 typically suffice in
@@ -53,11 +59,18 @@ type Options struct {
 	// estimate set and each collision set), guarding against accidental
 	// multi-gigabyte runs when Eps is tiny. Zero means no cap.
 	MaxSamplesPerSet int
-	// Parallelism splits the candidate scan across this many goroutines.
-	// Results are identical to the serial scan (ties break toward the
-	// lexicographically smallest interval). Zero or one means serial.
+	// Parallelism splits the learner's heavy phases — drawing and
+	// tabulating the sample sets (when the sampler is forkable), the
+	// per-iteration clip-cost precompute, and the candidate scan — across
+	// this many goroutines. Results are bit-identical to the serial run
+	// at every worker count: sample streams are assigned per set, not per
+	// worker, and scan ties break toward the lexicographically smallest
+	// interval. Zero or one means serial.
 	Parallelism int
 }
+
+// workers returns the effective parallelism degree of Parallelism.
+func (o Options) workers() int { return par.Effective(o.Parallelism) }
 
 func (o Options) validate() error {
 	if o.K < 1 {

@@ -1,9 +1,8 @@
 package learn
 
 import (
-	"sync"
-
 	"khist/internal/dist"
+	"khist/internal/par"
 )
 
 // scanOutcome is the winner of one candidate scan.
@@ -35,40 +34,28 @@ func (x scanOutcome) better(y scanOutcome) bool {
 }
 
 // scanCandidates evaluates every candidate interval [a, b) with a, b drawn
-// from the endpoint set and returns the cost-minimizing one. With
-// workers > 1 the scan is split across goroutines, each with its own
-// estimator scratch buffer; the outcome is deterministic regardless of
+// from the endpoint set and returns the cost-minimizing one. The scan is
+// split into len(wes) stripes — wes holds one estimator clone per worker,
+// so concurrent median computations do not race while the tabulated
+// sample sets stay shared — and the stripes' winners are merged under the
+// total order of better, so the outcome is deterministic regardless of
 // worker count.
 func scanCandidates(
-	es *estimator,
+	wes []*estimator,
 	part *partition,
 	endpoints []int,
 	n int,
 	leftIdx, endIdx []int,
 	leftCost, endCost []float64,
-	workers int,
 ) scanOutcome {
+	workers := len(wes)
 	if workers <= 1 {
-		return scanRange(es, part, endpoints, n, leftIdx, endIdx, leftCost, endCost, 0, 1)
+		return scanStripe(wes[0], part, endpoints, n, leftIdx, endIdx, leftCost, endCost, 0, 1)
 	}
 	results := make([]scanOutcome, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Each worker clones the estimator's scratch so concurrent
-			// median computations do not race; the tabulated sample sets
-			// are read-only and shared.
-			wes := &estimator{
-				weights: es.weights,
-				sets:    es.sets,
-				scratch: make([]float64, len(es.scratch)),
-			}
-			results[w] = scanRange(wes, part, endpoints, n, leftIdx, endIdx, leftCost, endCost, w, workers)
-		}(w)
-	}
-	wg.Wait()
+	par.ForWorker(workers, workers, func(_, w int) {
+		results[w] = scanStripe(wes[w], part, endpoints, n, leftIdx, endIdx, leftCost, endCost, w, workers)
+	})
 	best := scanOutcome{a: -1, b: -1}
 	var total int64
 	for _, r := range results {
@@ -81,9 +68,9 @@ func scanCandidates(
 	return best
 }
 
-// scanRange scans the stripe of start endpoints with index = stripe mod
+// scanStripe scans the stripe of start endpoints with index = stripe mod
 // stride. Striping balances work: small a values have many candidate ends.
-func scanRange(
+func scanStripe(
 	es *estimator,
 	part *partition,
 	endpoints []int,

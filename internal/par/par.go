@@ -1,0 +1,101 @@
+// Package par is the deterministic concurrency substrate of the sample
+// plane: a worker pool whose observable results are independent of the
+// worker count, plus a splittable seeded RNG so every parallel task owns
+// an independent, reproducible random stream.
+//
+// The determinism contract is structural, not scheduled: work is assigned
+// to iterations (not to workers), each iteration writes only state it
+// owns, and reductions happen in iteration order after the pool drains.
+// Under that contract a run with 8 workers is bit-identical to a run with
+// 1, which is the invariant every Parallelism option in this module
+// promises.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the parallelism degree used when a caller asks
+// for "as many workers as the machine has": GOMAXPROCS at call time.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Effective resolves a requested Parallelism/Workers option value to the
+// degree actually used: anything below 2 means serial. This is the single
+// policy point behind every "zero or one means serial" option in the
+// module.
+func Effective(requested int) int {
+	if requested > 1 {
+		return requested
+	}
+	return 1
+}
+
+// Workers normalizes a requested parallelism degree for n independent
+// tasks: anything below 2 means serial, and the degree never exceeds n
+// (excess workers would sit idle).
+func Workers(requested, n int) int {
+	if requested < 1 {
+		requested = 1
+	}
+	if requested > n {
+		requested = n
+	}
+	return requested
+}
+
+// For runs fn(i) for every i in [0, n), splitting iterations across at
+// most workers goroutines. fn must write only state owned by iteration i
+// (its own slice slot, its own struct); shared inputs may be read freely.
+// Under that contract the outcome is identical for every worker count.
+// workers <= 1 runs serially on the calling goroutine.
+func For(workers, n int, fn func(i int)) {
+	ForWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker index exposed, so callers can keep
+// per-worker scratch (one estimator clone, one accumulator) without
+// allocating per iteration. Iterations are striped: worker w runs
+// i = w, w+W, w+2W, ... for the effective worker count W. The worker
+// index passed to fn is always in [0, Workers(workers, n)).
+func ForWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// MapReduce computes mapf(i) for every i in [0, n) across workers, then
+// folds the results in iteration order:
+//
+//	acc = init; for i { acc = reduce(acc, out[i], i) }
+//
+// The index-ordered fold makes the outcome identical for every worker
+// count even when reduce is neither commutative nor associative. mapf
+// must be safe to call concurrently for distinct i.
+func MapReduce[T, A any](workers, n int, mapf func(i int) T, init A, reduce func(acc A, x T, i int) A) A {
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = mapf(i) })
+	acc := init
+	for i := range out {
+		acc = reduce(acc, out[i], i)
+	}
+	return acc
+}

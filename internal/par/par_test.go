@@ -1,0 +1,152 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	cases := []struct{ req, n, want int }{
+		{0, 10, 1}, {-3, 10, 1}, {1, 10, 1},
+		{4, 10, 4}, {16, 10, 10}, {4, 0, 0}, {8, 3, 3},
+	}
+	for _, c := range cases {
+		if got := Workers(c.req, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.req, c.n, got, c.want)
+		}
+	}
+}
+
+// Every iteration must run exactly once at every worker count.
+func TestForCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		n := 57
+		counts := make([]int64, n)
+		For(workers, n, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: iteration %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	// n = 0 must not call fn.
+	For(4, 0, func(i int) { t.Fatal("fn called with n=0") })
+}
+
+// Slot writes give bit-identical output regardless of worker count.
+func TestForDeterministicSlots(t *testing.T) {
+	n := 200
+	ref := make([]uint64, n)
+	For(1, n, func(i int) { ref[i] = Split(42, i) })
+	for _, workers := range []int{2, 4, 7, 16} {
+		got := make([]uint64, n)
+		For(workers, n, func(i int) { got[i] = Split(42, i) })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// The worker index must stay within the effective worker count so callers
+// can size per-worker scratch as Workers(workers, n).
+func TestForWorkerIndexBounds(t *testing.T) {
+	for _, workers := range []int{1, 3, 9} {
+		n := 20
+		eff := Workers(workers, n)
+		ForWorker(workers, n, func(w, i int) {
+			if w < 0 || w >= eff {
+				t.Errorf("worker index %d outside [0,%d)", w, eff)
+			}
+		})
+	}
+}
+
+// MapReduce must fold in index order: with a non-commutative reduction the
+// result is order-sensitive, so equality across worker counts proves the
+// ordering.
+func TestMapReduceIndexOrdered(t *testing.T) {
+	n := 100
+	mapf := func(i int) float64 { return float64(Split(7, i)%1000) / 997 }
+	reduce := func(acc, x float64, i int) float64 { return acc*0.9 + x*float64(i+1) }
+	ref := MapReduce(1, n, mapf, 0.0, reduce)
+	for _, workers := range []int{2, 5, 13} {
+		if got := MapReduce(workers, n, mapf, 0.0, reduce); got != ref {
+			t.Fatalf("workers=%d: %v != %v", workers, got, ref)
+		}
+	}
+}
+
+func TestSourceReproducible(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds produced the same first word")
+	}
+}
+
+func TestSourceInt63NonNegative(t *testing.T) {
+	s := NewSource(99)
+	for i := 0; i < 1000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+	s.Seed(99)
+	first := s.Int63()
+	s.Seed(99)
+	if s.Int63() != first {
+		t.Fatal("Seed did not reset the stream")
+	}
+}
+
+// Split streams must be reproducible, distinct across indices, and
+// pairwise decorrelated enough that sibling streams do not collide on a
+// prefix.
+func TestSplitStreams(t *testing.T) {
+	base := uint64(2026)
+	seen := map[uint64]int{}
+	for i := 0; i < 500; i++ {
+		s := Split(base, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("streams %d and %d share seed %x", i, j, s)
+		}
+		seen[s] = i
+		if Split(base, i) != s {
+			t.Fatal("Split not deterministic")
+		}
+	}
+	// Prefixes of sibling streams must differ.
+	r0, r1 := NewRand(Split(base, 0)), NewRand(Split(base, 1))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if r0.Uint64() == r1.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("sibling streams agreed on %d of 64 words", same)
+	}
+}
+
+// A crude equidistribution check on the rand.Rand integration: Intn over a
+// small modulus should hit every residue roughly equally.
+func TestSourceUniformity(t *testing.T) {
+	r := NewRand(7)
+	const buckets, draws = 16, 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d: %d draws, want ~%d", b, c, want)
+		}
+	}
+}

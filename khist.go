@@ -36,6 +36,14 @@
 // All randomized components take explicit *rand.Rand sources; identical
 // seeds reproduce identical outputs. The sub-linear algorithms consume
 // only the Sampler interface and never read a pmf.
+//
+// Learn, the property testers, and Learn2D execute on a batched,
+// concurrency-safe sample plane: set the Parallelism field of
+// LearnOptions, TestOptions, or Options2D to split sample drawing,
+// tabulation, and candidate scanning across goroutines. Results are
+// bit-identical for every worker count — streams are assigned to sample
+// sets (split off one seed), never to workers. See the README's
+// "Concurrency model" section for sharing rules.
 package khist
 
 import (
@@ -61,6 +69,11 @@ type (
 	// Sampler yields i.i.d. draws from an unknown distribution; it is the
 	// only access the sub-linear algorithms have.
 	Sampler = dist.Sampler
+	// BatchSampler is a Sampler with a fast bulk-draw path (SampleInto).
+	BatchSampler = dist.BatchSampler
+	// ForkableSampler is a Sampler that can hand out independent seeded
+	// streams over the same distribution, enabling concurrent draws.
+	ForkableSampler = dist.Forkable
 	// CountingSampler wraps a Sampler with a draw counter.
 	CountingSampler = dist.CountingSampler
 	// BudgetSampler wraps a Sampler with a draw budget and overrun flag.
@@ -170,8 +183,28 @@ func NewBudgetSampler(s Sampler, budget int64) *BudgetSampler {
 	return dist.NewBudgetSampler(s, budget)
 }
 
+// SampleInto fills dst with draws from s, using the sampler's bulk path
+// when it has one.
+func SampleInto(s Sampler, dst []int) { dist.SampleInto(s, dst) }
+
+// DrawBatch collects m draws from s into a new slice via the sampler's
+// bulk path when available.
+func DrawBatch(s Sampler, m int) []int { return dist.DrawBatch(s, m) }
+
+// TryFork returns an independent sampler forked from s with the given
+// stream seed, or nil when s cannot fork. Samplers from NewSampler fork
+// in O(1) by sharing their alias tables.
+func TryFork(s Sampler, seed uint64) Sampler { return dist.TryFork(s, seed) }
+
 // NewEmpirical tabulates samples over domain size n.
 func NewEmpirical(samples []int, n int) *Empirical { return dist.NewEmpirical(samples, n) }
+
+// NewEmpiricalParallel tabulates samples over domain size n with the
+// counting pass split across workers; the result is identical to
+// NewEmpirical at every worker count.
+func NewEmpiricalParallel(samples []int, n, workers int) *Empirical {
+	return dist.NewEmpiricalParallel(samples, n, workers)
+}
 
 // Distances.
 
@@ -236,17 +269,22 @@ func TestKHistogramL1(s Sampler, opts TestOptions) (*TestResult, error) {
 }
 
 // TestUniformity is the collision-based uniformity tester (the k=1
-// special case the paper builds on). scale multiplies the sample-size
-// formula; maxSamples caps it (0 = no cap).
-func TestUniformity(s Sampler, eps, scale float64, maxSamples int) (*UniformityResult, error) {
-	return histtest.TestUniformityL1(s, eps, scale, maxSamples)
+// special case the paper builds on). rng seeds the draw stream so
+// repeated calls sharing one *rand.Rand use fresh streams (nil = fixed
+// seed); scale multiplies the sample-size formula; maxSamples caps it
+// (0 = no cap).
+func TestUniformity(s Sampler, rng *rand.Rand, eps, scale float64, maxSamples int) (*UniformityResult, error) {
+	return histtest.TestUniformityL1(s, rng, eps, scale, maxSamples)
 }
 
 // TestIdentity tests whether the sampled distribution equals the known
 // distribution q versus being eps-far in l2 (the Identity Testing problem
-// of the paper's related work, via the same collision machinery).
-func TestIdentity(s Sampler, q *Distribution, eps, scale float64, maxSamples int) (*IdentityResult, error) {
-	return histtest.TestIdentityL2(s, q, eps, scale, maxSamples)
+// of the paper's related work, via the same collision machinery). rng
+// seeds the per-set streams so repeated calls sharing one *rand.Rand use
+// fresh streams (nil = fixed seed); workers splits drawing and estimation
+// across goroutines without affecting the verdict (0 or 1 = serial).
+func TestIdentity(s Sampler, q *Distribution, rng *rand.Rand, eps, scale float64, maxSamples, workers int) (*IdentityResult, error) {
+	return histtest.TestIdentityL2(s, q, rng, eps, scale, maxSamples, workers)
 }
 
 // EstimateDistance estimates the squared l2 distance of the sampled

@@ -172,7 +172,7 @@ func TestPublicOfflineBaselines(t *testing.T) {
 
 func TestPublicUniformity(t *testing.T) {
 	u := khist.NewSampler(khist.Uniform(256), rand.New(rand.NewSource(9)))
-	res, err := khist.TestUniformity(u, 0.3, 0.05, 50000)
+	res, err := khist.TestUniformity(u, nil, 0.3, 0.05, 50000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestSublinearSampling(t *testing.T) {
 func TestPublicIdentityAndDistance(t *testing.T) {
 	q := khist.Zipf(128, 1.1)
 	id, err := khist.TestIdentity(
-		khist.NewSampler(q, rand.New(rand.NewSource(20))), q, 0.25, 0.2, 20000)
+		khist.NewSampler(q, rand.New(rand.NewSource(20))), q, nil, 0.25, 0.2, 20000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
