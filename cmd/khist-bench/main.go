@@ -35,12 +35,17 @@ import (
 type Result struct {
 	Name       string  `json:"name"`
 	Family     string  `json:"family"`
-	Workers    int     `json:"workers"`
+	Workers    int     `json:"workers,omitempty"`
+	Mode       string  `json:"mode,omitempty"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	// Speedup is ns/op at workers=1 divided by this row's ns/op, within
 	// the same family; 0 when the family has no workers=1 row.
-	Speedup float64 `json:"speedup"`
+	Speedup float64 `json:"speedup,omitempty"`
+	// RPS is requests (operations) per second, reported for serve-mode
+	// rows (BenchmarkServe/mode=...) where throughput is the headline
+	// number rather than per-op latency.
+	RPS float64 `json:"rps,omitempty"`
 }
 
 // Report is the file schema of BENCH_parallel.json.
@@ -56,6 +61,7 @@ type Report struct {
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
 var workersPart = regexp.MustCompile(`/workers=(\d+)`)
+var modePart = regexp.MustCompile(`/mode=(\w+)`)
 
 func main() {
 	var (
@@ -129,6 +135,13 @@ func parse(r io.Reader) (*Report, error) {
 		if wm := workersPart.FindStringSubmatch(m[1]); wm != nil {
 			res.Workers, _ = strconv.Atoi(wm[1])
 			res.Family = m[1][:strings.Index(m[1], "/workers=")]
+		}
+		if mm := modePart.FindStringSubmatch(m[1]); mm != nil {
+			res.Mode = mm[1]
+			res.Family = m[1][:strings.Index(m[1], "/mode=")]
+			if ns > 0 {
+				res.RPS = 1e9 / ns
+			}
 		}
 		report.Results = append(report.Results, res)
 	}

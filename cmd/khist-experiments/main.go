@@ -18,8 +18,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 
+	"khist/internal/cli"
 	"khist/internal/experiment"
 )
 
@@ -30,7 +30,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		seed    = flag.Int64("seed", 1, "master random seed (same seed, same tables)")
 		csvDir  = flag.String("csv", "", "also write every table as CSV files into this directory")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for independent trials (tables are identical at any count; 1 = serial)")
+		workers = cli.WorkersFlag("independent trials")
 	)
 	flag.Parse()
 
@@ -56,7 +56,6 @@ func main() {
 		err = experiment.RunAll(cfg, os.Stdout)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "khist-experiments:", err)
-		os.Exit(1)
+		cli.Fatal("khist-experiments", err)
 	}
 }

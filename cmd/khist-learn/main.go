@@ -13,50 +13,39 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
-	"os"
-	"runtime"
-	"strconv"
 
 	"khist"
+	"khist/internal/cli"
 )
 
 func main() {
 	var (
-		gen     = flag.String("gen", "zipf", "generator: zipf | geometric | uniform | khist | staircase")
-		pmf     = flag.String("pmf", "", "file of whitespace-separated weights (overrides -gen)")
-		n       = flag.Int("n", 1024, "domain size for generated distributions")
-		k       = flag.Int("k", 8, "histogram pieces to compete against")
+		df      = cli.RegisterDist("zipf", 8)
 		eps     = flag.Float64("eps", 0.1, "accuracy parameter")
 		scale   = flag.Float64("scale", 0.05, "sample-size scale (1 = paper's worst-case constants)")
 		cap     = flag.Int("cap", 400000, "per-set sample cap (0 = none)")
-		seed    = flag.Int64("seed", 1, "random seed")
 		full    = flag.Bool("full", false, "use the full O(n^2)-scan Algorithm 1 instead of the fast variant")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for sampling and scanning (results are identical at any count; 1 = serial)")
+		workers = cli.WorkersFlag("sampling and scanning")
 	)
 	flag.Parse()
 
-	if *k < 1 || (*pmf == "" && *gen == "khist" && *k > *n) {
-		fmt.Fprintln(os.Stderr, "khist-learn: -k must satisfy 1 <= k (and k <= n for -gen khist)")
-		os.Exit(1)
-	}
-	d, err := loadDistribution(*pmf, *gen, *n, *k, *seed)
+	df.Validate("khist-learn")
+	d, err := df.Load()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "khist-learn:", err)
-		os.Exit(1)
+		cli.Fatal("khist-learn", err)
 	}
 
 	opts := khist.LearnOptions{
-		K: *k, Eps: *eps,
-		Rand:             rand.New(rand.NewSource(*seed + 1)),
+		K: *df.K, Eps: *eps,
+		Rand:             rand.New(rand.NewSource(*df.Seed + 1)),
 		SampleScale:      *scale,
 		MaxSamplesPerSet: *cap,
 		Parallelism:      *workers,
 	}
-	sampler := khist.NewSampler(d, rand.New(rand.NewSource(*seed+2)))
+	sampler := khist.NewSampler(d, rand.New(rand.NewSource(*df.Seed+2)))
 
 	var res *khist.LearnResult
 	if *full {
@@ -65,60 +54,16 @@ func main() {
 		res, err = khist.Learn(sampler, opts)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "khist-learn:", err)
-		os.Exit(1)
+		cli.Fatal("khist-learn", err)
 	}
 
 	fmt.Printf("domain n=%d  k=%d  eps=%g  samples=%d  iterations=%d  candidates=%d\n",
-		d.N(), *k, *eps, res.SamplesUsed, res.Iterations, res.CandidatesScanned)
+		d.N(), *df.K, *eps, res.SamplesUsed, res.Iterations, res.CandidatesScanned)
 	fmt.Printf("learned: %v\n", res.Tiling)
 	errSq := res.Tiling.L2SqTo(d)
 	fmt.Printf("||p-H||_2^2 = %.6g\n", errSq)
-	if opt, err := khist.OptimalL2Error(d, *k); err == nil {
+	if opt, err := khist.OptimalL2Error(d, *df.K); err == nil {
 		fmt.Printf("offline optimum (exact DP, %d pieces) = %.6g   additive gap = %.6g\n",
-			*k, opt, errSq-opt)
-	}
-}
-
-func loadDistribution(pmfPath, gen string, n, k int, seed int64) (*khist.Distribution, error) {
-	if pmfPath != "" {
-		f, err := os.Open(pmfPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		var weights []float64
-		sc := bufio.NewScanner(f)
-		sc.Split(bufio.ScanWords)
-		for sc.Scan() {
-			v, err := strconv.ParseFloat(sc.Text(), 64)
-			if err != nil {
-				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
-			}
-			weights = append(weights, v)
-		}
-		if err := sc.Err(); err != nil {
-			return nil, err
-		}
-		return khist.FromWeights(weights)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	switch gen {
-	case "zipf":
-		return khist.Zipf(n, 1.1), nil
-	case "geometric":
-		return khist.Geometric(n, 0.99), nil
-	case "uniform":
-		return khist.Uniform(n), nil
-	case "khist":
-		return khist.RandomKHistogram(n, k, rng), nil
-	case "staircase":
-		w := make([]float64, n)
-		for i := range w {
-			w[i] = float64(n - i)
-		}
-		return khist.FromWeights(w)
-	default:
-		return nil, fmt.Errorf("unknown generator %q", gen)
+			*df.K, opt, errSq-opt)
 	}
 }

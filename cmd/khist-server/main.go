@@ -1,0 +1,88 @@
+// Command khist-server runs the khist serving layer: a long-lived
+// HTTP/JSON server exposing the learner and property testers over
+// registered or inline distributions, with per-tenant sharding, an LRU
+// cache of tabulated sample sets, and request coalescing. See the
+// README's "Serving layer" section for the API and the determinism
+// guarantee.
+//
+// Examples:
+//
+//	khist-server -addr :8080 -shards 4 -workers-per-shard 4
+//	khist-server -addr 127.0.0.1:0 -cache-bytes 67108864   # ephemeral port
+//
+//	curl -s localhost:8080/v1/learn -d '{
+//	  "tenant": "acme",
+//	  "source": {"gen": "zipf", "n": 1024},
+//	  "k": 8, "eps": 0.1, "scale": 0.05, "seed": 7
+//	}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests drain (up to -drain), then the shard pools
+// stop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"khist/internal/cli"
+	"khist/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:0 picks an ephemeral port, printed on startup)")
+		shards     = flag.Int("shards", 4, "independent shards (worker pool + cache each); response bodies are identical at any count")
+		workers    = flag.Int("workers-per-shard", runtime.GOMAXPROCS(0), "pool size per shard: bounds concurrent compute and sets algorithm parallelism (results are identical at any count)")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20, "total tabulated sample-set cache budget, split across shards (0 disables caching)")
+		maxSamples = flag.Int("max-samples-per-set", serve.DefaultMaxSamplesPerSet, "server-side ceiling on every drawn sample set (requests can only tighten it)")
+		maxDomain  = flag.Int("max-domain", serve.DefaultMaxDomain, "largest resolvable source domain (n, or rows*cols); larger sources are rejected")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Shards:           *shards,
+		WorkersPerShard:  *workers,
+		CacheBytes:       *cacheBytes,
+		MaxSamplesPerSet: *maxSamples,
+		MaxDomain:        *maxDomain,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fatal("khist-server", err)
+	}
+	fmt.Printf("khist-server: listening on %s (shards=%d workers-per-shard=%d cache-bytes=%d)\n",
+		ln.Addr(), *shards, *workers, *cacheBytes)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		fmt.Printf("khist-server: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "khist-server: drain incomplete:", err)
+		}
+		srv.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			cli.Fatal("khist-server", err)
+		}
+	}
+}

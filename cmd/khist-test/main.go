@@ -10,50 +10,39 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
-	"os"
-	"runtime"
-	"strconv"
 
 	"khist"
+	"khist/internal/cli"
 )
 
 func main() {
 	var (
-		gen     = flag.String("gen", "khist", "generator: zipf | uniform | khist | staircase | comb | twolevel")
-		pmf     = flag.String("pmf", "", "file of whitespace-separated weights (overrides -gen)")
-		n       = flag.Int("n", 1024, "domain size for generated distributions")
-		k       = flag.Int("k", 8, "piece budget of the property")
+		df      = cli.RegisterDist("khist", 8)
 		eps     = flag.Float64("eps", 0.25, "distance parameter")
 		norm    = flag.String("norm", "l2", "distance norm: l2 | l1")
 		scale   = flag.Float64("scale", 0.02, "sample-size scale (1 = paper's worst-case constants)")
 		cap     = flag.Int("cap", 10000, "per-set sample cap (0 = none)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for drawing and testing the collision sets (verdict is identical at any count; 1 = serial)")
+		workers = cli.WorkersFlag("drawing and testing the collision sets")
 	)
 	flag.Parse()
 
-	if *k < 1 || (*pmf == "" && *gen == "khist" && *k > *n) {
-		fmt.Fprintln(os.Stderr, "khist-test: -k must satisfy 1 <= k (and k <= n for -gen khist)")
-		os.Exit(1)
-	}
-	d, err := loadDistribution(*pmf, *gen, *n, *k, *seed)
+	df.Validate("khist-test")
+	d, err := df.Load()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "khist-test:", err)
-		os.Exit(1)
+		cli.Fatal("khist-test", err)
 	}
 
 	opts := khist.TestOptions{
-		K: *k, Eps: *eps,
-		Rand:             rand.New(rand.NewSource(*seed + 1)),
+		K: *df.K, Eps: *eps,
+		Rand:             rand.New(rand.NewSource(*df.Seed + 1)),
 		SampleScale:      *scale,
 		MaxSamplesPerSet: *cap,
 		Parallelism:      *workers,
 	}
-	sampler := khist.NewSampler(d, rand.New(rand.NewSource(*seed+2)))
+	sampler := khist.NewSampler(d, rand.New(rand.NewSource(*df.Seed+2)))
 
 	var res *khist.TestResult
 	switch *norm {
@@ -65,76 +54,18 @@ func main() {
 		err = fmt.Errorf("unknown norm %q", *norm)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "khist-test:", err)
-		os.Exit(1)
+		cli.Fatal("khist-test", err)
 	}
 
 	verdict := "REJECT (far from every tiling k-histogram)"
 	if res.Accept {
 		verdict = "ACCEPT (consistent with a tiling k-histogram)"
 	}
-	fmt.Printf("property: tiling %d-histogram, %s distance, eps=%g\n", *k, *norm, *eps)
+	fmt.Printf("property: tiling %d-histogram, %s distance, eps=%g\n", *df.K, *norm, *eps)
 	fmt.Printf("verdict:  %s\n", verdict)
 	fmt.Printf("samples:  %d (%d sets x %d)   flatness calls: %d\n",
 		res.SamplesUsed, res.R, res.M, res.FlatnessCalls)
 	fmt.Printf("partition found (%d flat intervals): %v\n", len(res.Partition), res.Partition)
 	fmt.Printf("ground truth: pmf has %d pieces (is %d-histogram: %t)\n",
-		d.Pieces(), *k, d.IsKHistogram(*k))
-}
-
-func loadDistribution(pmfPath, gen string, n, k int, seed int64) (*khist.Distribution, error) {
-	if pmfPath != "" {
-		f, err := os.Open(pmfPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		var weights []float64
-		sc := bufio.NewScanner(f)
-		sc.Split(bufio.ScanWords)
-		for sc.Scan() {
-			v, err := strconv.ParseFloat(sc.Text(), 64)
-			if err != nil {
-				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
-			}
-			weights = append(weights, v)
-		}
-		if err := sc.Err(); err != nil {
-			return nil, err
-		}
-		return khist.FromWeights(weights)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	switch gen {
-	case "zipf":
-		return khist.Zipf(n, 1.1), nil
-	case "uniform":
-		return khist.Uniform(n), nil
-	case "khist":
-		return khist.RandomKHistogram(n, k, rng), nil
-	case "staircase":
-		w := make([]float64, n)
-		for i := range w {
-			w[i] = float64(n - i)
-		}
-		return khist.FromWeights(w)
-	case "comb":
-		w := make([]float64, n)
-		for i := 0; i < n/4; i += 2 {
-			w[i] = 1
-		}
-		return khist.FromWeights(w)
-	case "twolevel":
-		w := make([]float64, n)
-		for i := range w {
-			if i%2 == 0 {
-				w[i] = 1.9
-			} else {
-				w[i] = 0.1
-			}
-		}
-		return khist.FromWeights(w)
-	default:
-		return nil, fmt.Errorf("unknown generator %q", gen)
-	}
+		d.Pieces(), *df.K, d.IsKHistogram(*df.K))
 }

@@ -1,0 +1,158 @@
+// Package cli factors the flag, seed, and distribution boilerplate shared
+// by the khist commands (khist-learn, khist-test, khist-experiments,
+// khist-server): one generator registry, one pmf-file loader, and one
+// registration point for the -seed/-workers flags every command repeats.
+package cli
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+
+	"khist/internal/dist"
+)
+
+// Generators is the help string listing every generator Generate accepts.
+const Generators = "zipf | geometric | uniform | khist | staircase | comb | twolevel"
+
+// Generate builds the named synthetic distribution over [n]. k is the
+// piece count for the khist generator and ignored elsewhere; seed drives
+// the random generators. The serving layer resolves request source specs
+// through this same registry, so the CLIs and the server agree on what
+// every generator name means.
+func Generate(gen string, n, k int, seed int64) (*dist.Distribution, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cli: domain size %d must be positive", n)
+	}
+	switch gen {
+	case "zipf":
+		return dist.Zipf(n, 1.1), nil
+	case "geometric":
+		return dist.Geometric(n, 0.99), nil
+	case "uniform":
+		return dist.Uniform(n), nil
+	case "khist":
+		if k < 1 || k > n {
+			return nil, fmt.Errorf("cli: khist generator needs 1 <= k <= n, got k=%d n=%d", k, n)
+		}
+		return dist.RandomKHistogram(n, k, rand.New(rand.NewSource(seed))), nil
+	case "staircase":
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(n - i)
+		}
+		return dist.FromWeights(w)
+	case "comb":
+		w := make([]float64, n)
+		for i := 0; i < n/4; i += 2 {
+			w[i] = 1
+		}
+		return dist.FromWeights(w)
+	case "twolevel":
+		w := make([]float64, n)
+		for i := range w {
+			if i%2 == 0 {
+				w[i] = 1.9
+			} else {
+				w[i] = 0.1
+			}
+		}
+		return dist.FromWeights(w)
+	default:
+		return nil, fmt.Errorf("cli: unknown generator %q (want %s)", gen, Generators)
+	}
+}
+
+// ReadWeights parses whitespace-separated non-negative weights.
+func ReadWeights(r io.Reader) ([]float64, error) {
+	var weights []float64
+	sc := bufio.NewScanner(r)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		weights = append(weights, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return weights, nil
+}
+
+// LoadDistribution resolves the distribution a command operates on: the
+// normalized weights of the pmf file when pmfPath is non-empty, otherwise
+// the named generator.
+func LoadDistribution(pmfPath, gen string, n, k int, seed int64) (*dist.Distribution, error) {
+	if pmfPath != "" {
+		f, err := os.Open(pmfPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		weights, err := ReadWeights(f)
+		if err != nil {
+			return nil, err
+		}
+		return dist.FromWeights(weights)
+	}
+	return Generate(gen, n, k, seed)
+}
+
+// DistFlags bundles the distribution-selection flags shared by
+// khist-learn and khist-test. Register it before flag.Parse, Validate and
+// Load after.
+type DistFlags struct {
+	Gen  *string
+	PMF  *string
+	N    *int
+	K    *int
+	Seed *int64
+}
+
+// RegisterDist registers -gen/-pmf/-n/-k/-seed on the default flag set
+// with the command's preferred generator default.
+func RegisterDist(defGen string, defK int) *DistFlags {
+	return &DistFlags{
+		Gen:  flag.String("gen", defGen, "generator: "+Generators),
+		PMF:  flag.String("pmf", "", "file of whitespace-separated weights (overrides -gen)"),
+		N:    flag.Int("n", 1024, "domain size for generated distributions"),
+		K:    flag.Int("k", defK, "histogram piece budget"),
+		Seed: flag.Int64("seed", 1, "random seed"),
+	}
+}
+
+// Validate enforces the shared k constraints, exiting with a uniform
+// message on violation: k >= 1 always, and k <= n for the khist
+// generator (a k-histogram needs at least k elements).
+func (f *DistFlags) Validate(cmd string) {
+	if *f.K < 1 || (*f.PMF == "" && *f.Gen == "khist" && *f.K > *f.N) {
+		Fatal(cmd, fmt.Errorf("-k must satisfy 1 <= k (and k <= n for -gen khist)"))
+	}
+}
+
+// Load resolves the selected distribution.
+func (f *DistFlags) Load() (*dist.Distribution, error) {
+	return LoadDistribution(*f.PMF, *f.Gen, *f.N, *f.K, *f.Seed)
+}
+
+// WorkersFlag registers the -workers flag with its GOMAXPROCS default and
+// the module-wide determinism phrasing, parameterized by what the workers
+// parallelize.
+func WorkersFlag(what string) *int {
+	return flag.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutines for "+what+" (results are identical at any count; 1 = serial)")
+}
+
+// Fatal prints err prefixed by the command name and exits 1 — the uniform
+// error exit of every khist command.
+func Fatal(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateRegistry(t *testing.T) {
+	for _, gen := range strings.Split(Generators, " | ") {
+		d, err := Generate(gen, 64, 4, 1)
+		if err != nil {
+			t.Fatalf("Generate(%q): %v", gen, err)
+		}
+		if d.N() != 64 {
+			t.Fatalf("Generate(%q): domain %d, want 64", gen, d.N())
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate("nope", 64, 4, 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if _, err := Generate("khist", 4, 8, 1); err == nil {
+		t.Fatal("khist with k > n accepted")
+	}
+	if _, err := Generate("zipf", 0, 1, 1); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("khist", 128, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate("khist", 128, 6, 9)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same (gen, n, k, seed) produced different distributions")
+	}
+	c, _ := Generate("khist", 128, 6, 10)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced identical khist distributions")
+	}
+}
+
+func TestReadWeights(t *testing.T) {
+	w, err := ReadWeights(strings.NewReader(" 1 2.5\n3\t4 "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 4 || w[1] != 2.5 {
+		t.Fatalf("parsed %v", w)
+	}
+	if _, err := ReadWeights(strings.NewReader("1 x 3")); err == nil {
+		t.Fatal("malformed weight accepted")
+	}
+}

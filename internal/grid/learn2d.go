@@ -45,6 +45,20 @@ func NewEmpirical2D(rows, cols int, samples []int) (*Empirical2D, error) {
 // M returns the number of tabulated samples.
 func (e *Empirical2D) M() int { return e.m }
 
+// Rows returns the grid height.
+func (e *Empirical2D) Rows() int { return e.rows }
+
+// Cols returns the grid width.
+func (e *Empirical2D) Cols() int { return e.cols }
+
+// SizeBytes returns the approximate heap bytes retained by the
+// tabulation (occurrence grid plus the 2D prefix array), for the serving
+// layer's cache accounting.
+func (e *Empirical2D) SizeBytes() int64 {
+	const structBytes = 64
+	return structBytes + 8*int64(cap(e.occ)) + 8*int64(cap(e.cum))
+}
+
 // Hits returns the number of samples inside the rectangle in O(1).
 func (e *Empirical2D) Hits(r Rect) int64 {
 	r = r.Clamp(e.rows, e.cols)
@@ -116,37 +130,15 @@ type Result2D struct {
 // so one iteration costs O(cells + candidates). The sampler must produce
 // row-major flattened cells (Grid.Flatten provides one).
 func Greedy2D(s dist.Sampler, opts Options2D) (*Result2D, error) {
-	if opts.Rows <= 0 || opts.Cols <= 0 {
-		return nil, ErrBadShape
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if s.N() != opts.Rows*opts.Cols {
 		return nil, ErrBadShape
 	}
-	if opts.K < 1 {
-		return nil, ErrBadK
-	}
-	if !(opts.Eps > 0 && opts.Eps < 1) || math.IsNaN(opts.Eps) {
-		return nil, ErrBadEps
-	}
 	rng := opts.Rand
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
-	}
-	lnInv := math.Log(1 / opts.Eps)
-	if lnInv < 1 {
-		lnInv = 1
-	}
-	m := opts.Samples
-	if m <= 0 {
-		m = int(200 * float64(opts.K) / opts.Eps)
-	}
-	q := opts.Iterations
-	if q <= 0 {
-		q = int(math.Ceil(float64(opts.K) * lnInv))
-	}
-	maxCoords := opts.MaxCoords
-	if maxCoords <= 0 {
-		maxCoords = 48
 	}
 
 	// Draw through the batched sample plane: forkable samplers yield an
@@ -157,13 +149,66 @@ func Greedy2D(s dist.Sampler, opts Options2D) (*Result2D, error) {
 	if fork := dist.TryFork(s, rng.Uint64()); fork != nil {
 		src = fork
 	}
-	samples := dist.DrawBatch(src, m)
+	samples := dist.DrawBatch(src, opts.SampleSize())
 	emp, err := NewEmpirical2D(opts.Rows, opts.Cols, samples)
 	if err != nil {
 		return nil, err
 	}
+	return Greedy2DFromTabulated(emp, opts)
+}
+
+// validate checks the shape and algorithm parameters shared by Greedy2D
+// and Greedy2DFromTabulated.
+func (o Options2D) validate() error {
+	if o.Rows <= 0 || o.Cols <= 0 {
+		return ErrBadShape
+	}
+	if o.K < 1 {
+		return ErrBadK
+	}
+	if !(o.Eps > 0 && o.Eps < 1) || math.IsNaN(o.Eps) {
+		return ErrBadEps
+	}
+	return nil
+}
+
+// SampleSize returns the number of draws Greedy2D tabulates under these
+// options, without drawing: Samples when set, otherwise the 200*K/Eps
+// default. The serving layer uses it to key its tabulation cache.
+func (o Options2D) SampleSize() int {
+	if o.Samples > 0 {
+		return o.Samples
+	}
+	return int(200 * float64(o.K) / o.Eps)
+}
+
+// Greedy2DFromTabulated runs the 2D greedy learner on an
+// already-tabulated sample set instead of drawing from a live oracle —
+// the serving layer's entry point. The tabulation is read-only
+// throughout, so one cached Empirical2D serves any number of concurrent
+// runs, and for a fixed tabulation the result is bit-identical at every
+// Parallelism.
+func Greedy2DFromTabulated(emp *Empirical2D, opts Options2D) (*Result2D, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if emp == nil || emp.Rows() != opts.Rows || emp.Cols() != opts.Cols {
+		return nil, ErrBadShape
+	}
 	if emp.M() < 2 {
 		return nil, ErrNoSamples
+	}
+	lnInv := math.Log(1 / opts.Eps)
+	if lnInv < 1 {
+		lnInv = 1
+	}
+	q := opts.Iterations
+	if q <= 0 {
+		q = int(math.Ceil(float64(opts.K) * lnInv))
+	}
+	maxCoords := opts.MaxCoords
+	if maxCoords <= 0 {
+		maxCoords = 48
 	}
 
 	xs, ys := candidateCoords(emp, maxCoords)
@@ -220,7 +265,7 @@ func Greedy2D(s dist.Sampler, opts Options2D) (*Result2D, error) {
 	}
 	return &Result2D{
 		Hist:              hist,
-		SamplesUsed:       int64(m),
+		SamplesUsed:       int64(emp.M()),
 		Iterations:        q,
 		CandidatesScanned: scanned,
 	}, nil

@@ -34,6 +34,7 @@ var (
 	ErrBadScale   = errors.New("histtest: SampleScale must be positive")
 	ErrTinyDomain = errors.New("histtest: domain must have at least 2 elements")
 	ErrBadDomain  = errors.New("histtest: sampler and reference distribution domains differ")
+	ErrNoSets     = errors.New("histtest: FromSets needs non-nil tabulated sets over the same domain")
 )
 
 // Options configures the property testers.
@@ -171,9 +172,7 @@ func TestTilingL1(s dist.Sampler, opts Options) (*Result, error) {
 }
 
 // runPartitionTester is the Algorithm 2 skeleton: draw r sample sets of
-// size m, then greedily carve [0, n) into at most K intervals the flatness
-// oracle accepts, finding each interval's maximal right end by binary
-// search. Accept iff the intervals cover the domain.
+// size m, then hand off to partitionOnSets.
 //
 // The r sets are drawn through the batched sample plane: a forkable
 // sampler fills them concurrently, one split stream per set, so the
@@ -194,10 +193,26 @@ func runPartitionTester(
 		sizes[i] = m
 	}
 	sets := collision.CollectSetsSized(s, sizes, opts.workers(), opts.rng().Uint64())
+	return partitionOnSets(sets, n, opts, flat), nil
+}
+
+// partitionOnSets greedily carves [0, n) into at most K intervals the
+// flatness oracle accepts, finding each interval's maximal right end by
+// binary search; accept iff the intervals cover the domain. The sets are
+// read-only throughout, so one tabulated bundle serves any number of
+// concurrent tester runs.
+func partitionOnSets(
+	sets []*dist.Empirical,
+	n int,
+	opts Options,
+	flat func(sets []*dist.Empirical, iv dist.Interval) bool,
+) *Result {
 	res := &Result{
-		SamplesUsed: int64(r) * int64(m),
-		R:           r,
-		M:           m,
+		R: len(sets),
+		M: minSetSize(sets),
+	}
+	for _, e := range sets {
+		res.SamplesUsed += int64(e.M())
 	}
 
 	cursor := 0
@@ -229,7 +244,92 @@ func runPartitionTester(
 		cursor = end
 	}
 	res.Accept = cursor == n
-	return res, nil
+	return res
+}
+
+// minSetSize returns the smallest set size, the budget the flatness
+// guarantees are limited by; 0 for no sets.
+func minSetSize(sets []*dist.Empirical) int {
+	if len(sets) == 0 {
+		return 0
+	}
+	m := sets[0].M()
+	for _, e := range sets[1:] {
+		if e.M() < m {
+			m = e.M()
+		}
+	}
+	return m
+}
+
+// TestTilingL2FromSets runs the Theorem 3 tester on already-tabulated
+// collision sample sets instead of drawing from a live oracle. This is
+// the serving layer's entry point: the sets are immutable and shared, and
+// for a fixed bundle the verdict and partition are bit-identical at every
+// Parallelism. Options' sample-size fields are ignored; K and Eps drive
+// the test itself.
+func TestTilingL2FromSets(sets []*dist.Empirical, n int, opts Options) (*Result, error) {
+	if err := validateSets(sets, n, opts); err != nil {
+		return nil, err
+	}
+	return partitionOnSets(sets, n, opts, func(sets []*dist.Empirical, iv dist.Interval) bool {
+		return flatL2(sets, iv, opts.Eps, opts.workers())
+	}), nil
+}
+
+// TestTilingL1FromSets is TestTilingL2FromSets for the Theorem 4 l1
+// tester.
+func TestTilingL1FromSets(sets []*dist.Empirical, n int, opts Options) (*Result, error) {
+	if err := validateSets(sets, n, opts); err != nil {
+		return nil, err
+	}
+	return partitionOnSets(sets, n, opts, func(sets []*dist.Empirical, iv dist.Interval) bool {
+		return flatL1(sets, iv, opts.Eps, opts.K, n, opts.workers())
+	}), nil
+}
+
+func validateSets(sets []*dist.Empirical, n int, opts Options) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	if n < 2 {
+		return ErrTinyDomain
+	}
+	if len(sets) == 0 {
+		return ErrNoSets
+	}
+	for _, e := range sets {
+		if e == nil || e.N() != n {
+			return ErrNoSets
+		}
+	}
+	return nil
+}
+
+// PlanL2 returns the sample-set profile TestTilingL2 would draw for
+// domain size n: r sets of m samples each, without drawing. The serving
+// layer uses it to key its sample-set cache.
+func (o Options) PlanL2(n int) (r, m int, err error) {
+	if err := o.validate(); err != nil {
+		return 0, 0, err
+	}
+	if n < 2 {
+		return 0, 0, ErrTinyDomain
+	}
+	e4 := o.Eps * o.Eps * o.Eps * o.Eps
+	return numSets(n), o.setSize(64 * math.Log(float64(n)) / e4), nil
+}
+
+// PlanL1 is PlanL2 for the l1 tester.
+func (o Options) PlanL1(n int) (r, m int, err error) {
+	if err := o.validate(); err != nil {
+		return 0, 0, err
+	}
+	if n < 2 {
+		return 0, 0, ErrTinyDomain
+	}
+	e5 := math.Pow(o.Eps, 5)
+	return numSets(n), o.setSize(8192 * math.Sqrt(float64(o.K)*float64(n)) / e5), nil
 }
 
 // SampleComplexityL2 predicts the draws TestTilingL2 makes on domain size

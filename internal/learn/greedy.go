@@ -79,16 +79,52 @@ func FromSamples(n int, weightSamples []int, collisionSets [][]int, opts Options
 	if len(weightSamples) < 2 || len(collisionSets) == 0 {
 		return nil, ErrNoSamples
 	}
-	es := &estimator{
-		weights: dist.NewEmpirical(weightSamples, n),
-		sets:    make([]*dist.Empirical, len(collisionSets)),
-		scratch: make([]float64, len(collisionSets)),
-	}
+	weights := dist.NewEmpirical(weightSamples, n)
+	sets := make([]*dist.Empirical, len(collisionSets))
 	for i, set := range collisionSets {
 		if len(set) < 2 {
 			return nil, ErrNoSamples
 		}
-		es.sets[i] = dist.NewEmpirical(set, n)
+		sets[i] = dist.NewEmpirical(set, n)
+	}
+	return FromTabulated(n, weights, sets, opts, fast)
+}
+
+// FromTabulated runs the greedy learner on already-tabulated sample sets:
+// weights plays the role of the ell weight-estimate draws and sets the
+// role of the r collision sets. This is the zero-copy entry point of the
+// serving layer: tabulated Empiricals are immutable, so one cached bundle
+// is shared by any number of concurrent learner runs, and for a fixed
+// bundle the result is bit-identical at every Parallelism.
+//
+// The tabulations are read, never written; callers may share them across
+// goroutines. Options' sample-size fields (SampleScale, MaxSamplesPerSet)
+// are ignored, exactly as in FromSamples.
+func FromTabulated(n int, weights *dist.Empirical, sets []*dist.Empirical, opts Options, fast bool) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, ErrTinyDomain
+	}
+	if weights == nil || weights.M() < 2 || len(sets) == 0 {
+		return nil, ErrNoSamples
+	}
+	if weights.N() != n {
+		return nil, ErrDomainMismatch
+	}
+	for _, e := range sets {
+		if e == nil || e.M() < 2 {
+			return nil, ErrNoSamples
+		}
+		if e.N() != n {
+			return nil, ErrDomainMismatch
+		}
+	}
+	es := &estimator{
+		weights: weights,
+		sets:    sets,
+		scratch: make([]float64, len(sets)),
 	}
 	q := opts.Iterations
 	if q <= 0 {

@@ -24,11 +24,12 @@ import (
 
 // Errors returned by the learners.
 var (
-	ErrBadK       = errors.New("learn: k must be at least 1")
-	ErrBadEps     = errors.New("learn: eps must lie in (0, 1)")
-	ErrBadScale   = errors.New("learn: SampleScale must be positive")
-	ErrTinyDomain = errors.New("learn: domain must have at least 2 elements")
-	ErrNoSamples  = errors.New("learn: FromSamples needs at least 2 weight samples and non-empty collision sets")
+	ErrBadK           = errors.New("learn: k must be at least 1")
+	ErrBadEps         = errors.New("learn: eps must lie in (0, 1)")
+	ErrBadScale       = errors.New("learn: SampleScale must be positive")
+	ErrTinyDomain     = errors.New("learn: domain must have at least 2 elements")
+	ErrNoSamples      = errors.New("learn: FromSamples needs at least 2 weight samples and non-empty collision sets")
+	ErrDomainMismatch = errors.New("learn: tabulated sample sets cover a different domain size")
 )
 
 // Options configures the greedy learners. The zero value is not valid: K
@@ -153,4 +154,20 @@ func (o Options) SampleComplexity(n int) int64 {
 	}
 	p := o.derive(n)
 	return int64(p.ell) + int64(p.r)*int64(p.m)
+}
+
+// SetSizes returns the sample-set profile the learner would draw for
+// domain size n under these options, without drawing: ell weight samples
+// and r collision sets of m samples each. The serving layer uses it to
+// key its sample-set cache and to draw the sets itself before calling
+// FromTabulated.
+func (o Options) SetSizes(n int) (ell, r, m int, err error) {
+	if err := o.validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	if n < 2 {
+		return 0, 0, 0, ErrTinyDomain
+	}
+	p := o.derive(n)
+	return p.ell, p.r, p.m, nil
 }

@@ -11,10 +11,7 @@
 // promises.
 package par
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // DefaultWorkers returns the parallelism degree used when a caller asks
 // for "as many workers as the machine has": GOMAXPROCS at call time.
@@ -58,28 +55,23 @@ func For(workers, n int, fn func(i int)) {
 // allocating per iteration. Iterations are striped: worker w runs
 // i = w, w+W, w+2W, ... for the effective worker count W. The worker
 // index passed to fn is always in [0, Workers(workers, n)).
+//
+// Stripes execute on the process-wide default Pool, so repeated parallel
+// sections (a server answering requests, an experiment sweep) reuse the
+// same goroutines instead of spawning per call; when the pool is
+// saturated the excess stripes fall back to fresh goroutines, so nested
+// parallel sections cannot deadlock.
 func ForWorker(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
-	workers = Workers(workers, n)
-	if workers <= 1 {
+	if Workers(workers, n) <= 1 {
 		for i := 0; i < n; i++ {
 			fn(0, i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				fn(w, i)
-			}
-		}(w)
-	}
-	wg.Wait()
+	sharedPool().ForWorker(workers, n, fn)
 }
 
 // MapReduce computes mapf(i) for every i in [0, n) across workers, then

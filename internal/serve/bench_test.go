@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// BenchmarkServe measures serving-layer throughput at the handler level
+// (no TCP, so the numbers isolate routing + cache + compute):
+//
+//	mode=cold       every request misses (distinct seeds)
+//	mode=cached     every request hits one warmed key
+//	mode=coalesced  16 concurrent clients per op share one fresh key
+//
+// cmd/khist-bench renders the output into BENCH_serve.json with
+// requests/sec per mode; CI uploads it as the bench-serve artifact.
+func BenchmarkServe(b *testing.B) {
+	mkBody := func(seed int) string {
+		return fmt.Sprintf(
+			`{"tenant":"bench","source":{"gen":"zipf","n":512},"k":4,"eps":0.2,"scale":0.02,"cap":8000,"seed":%d}`, seed)
+	}
+	learnPost := func(h http.Handler, body string) int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/learn", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Code
+	}
+
+	b.Run("mode=cold", func(b *testing.B) {
+		s := New(Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0})
+		defer s.Close()
+		h := s.Handler()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := learnPost(h, mkBody(i)); code != 200 {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+
+	b.Run("mode=cached", func(b *testing.B) {
+		s := New(Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20})
+		defer s.Close()
+		h := s.Handler()
+		body := mkBody(1)
+		if code := learnPost(h, body); code != 200 { // warm the key
+			b.Fatalf("warmup code %d", code)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := learnPost(h, body); code != 200 {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+
+	b.Run("mode=coalesced", func(b *testing.B) {
+		s := New(Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0})
+		defer s.Close()
+		h := s.Handler()
+		const clients = 16
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := mkBody(i) // fresh key: no cache, pure coalescing
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if code := learnPost(h, body); code != 200 {
+						b.Errorf("code %d", code)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a byte-budgeted LRU over immutable values. The serving layer
+// stores tabulated sample-set bundles in it: entries are shared
+// read-only, so a cache hit hands out the same bundle a cold request
+// would have drawn — bit-identical content, no copies. A non-positive
+// budget disables caching entirely (every get misses, every put is
+// dropped), which the equivalence tests use to force the cold path.
+type cache struct {
+	mu       sync.Mutex
+	capBytes int64
+	used     int64
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+// centry is one cached value with its accounted size.
+type centry struct {
+	key   string
+	val   any
+	bytes int64
+}
+
+func newCache(capBytes int64) *cache {
+	return &cache{
+		capBytes: capBytes,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached value for key, bumping its recency.
+func (c *cache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*centry).val, true
+}
+
+// put inserts val under key, evicting least-recently-used entries until
+// the byte budget holds. Values larger than the whole budget are not
+// cached at all; re-putting an existing key refreshes its value and
+// accounting.
+func (c *cache) put(key string, val any, bytes int64) {
+	if bytes > c.capBytes { // also covers capBytes <= 0: caching disabled
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*centry)
+		c.used += bytes - e.bytes
+		e.val, e.bytes = val, bytes
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&centry{key: key, val: val, bytes: bytes})
+		c.used += bytes
+	}
+	for c.used > c.capBytes {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*centry)
+		c.order.Remove(oldest)
+		delete(c.entries, e.key)
+		c.used -= e.bytes
+	}
+}
+
+// stats returns the current entry count and accounted bytes.
+func (c *cache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.used
+}

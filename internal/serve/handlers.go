@@ -1,0 +1,454 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"khist/internal/collision"
+	"khist/internal/dist"
+	"khist/internal/grid"
+	"khist/internal/histtest"
+	"khist/internal/learn"
+	"khist/internal/par"
+)
+
+// CacheHeader is the response header carrying the cache status of the
+// request's tabulation: "hit", "miss", or "coalesced". It is a header
+// rather than a body field so bodies stay byte-identical across paths.
+const CacheHeader = "X-Khist-Cache"
+
+// LearnRequest is the body of POST /v1/learn.
+type LearnRequest struct {
+	// Tenant is the routing key: requests sharing (tenant, source) land
+	// on one shard and share its cache and pool.
+	Tenant string     `json:"tenant,omitempty"`
+	Source SourceSpec `json:"source"`
+	// K and Eps are the paper's parameters (pieces to compete against,
+	// accuracy).
+	K   int     `json:"k"`
+	Eps float64 `json:"eps"`
+	// Scale multiplies the paper's sample-size formulas (0 = 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Cap bounds each sample set's size (0 = none).
+	Cap int `json:"cap,omitempty"`
+	// Seed determines the drawn sample sets; it is part of the cache
+	// key, so equal (source, seed, budget) requests share one draw.
+	Seed int64 `json:"seed"`
+	// Full selects the O(n^2)-scan Algorithm 1 over the fast variant.
+	Full bool `json:"full,omitempty"`
+}
+
+// LearnResponse is the body of a successful /v1/learn call.
+type LearnResponse struct {
+	N                 int       `json:"n"`
+	K                 int       `json:"k"`
+	Bounds            []int     `json:"bounds"`
+	Values            []float64 `json:"values"`
+	Pieces            int       `json:"pieces"`
+	SamplesUsed       int64     `json:"samples_used"`
+	Iterations        int       `json:"iterations"`
+	CandidatesScanned int64     `json:"candidates_scanned"`
+	Ell               int       `json:"ell"`
+	R                 int       `json:"r"`
+	M                 int       `json:"m"`
+}
+
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	var req LearnRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	d, err := s.resolveSource(req.Source)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K > d.N() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N()))
+		return
+	}
+	opts := learn.Options{
+		K: req.K, Eps: req.Eps,
+		SampleScale:      req.Scale,
+		MaxSamplesPerSet: s.sampleCap(req.Cap),
+		Parallelism:      s.cfg.WorkersPerShard,
+	}
+	ell, rr, m, err := opts.SetSizes(d.N())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	key := setsKey(d.Fingerprint(), req.Seed, ell, rr, m)
+	sh := s.shardFor(req.Tenant, req.Source.key())
+	sh.requests.Add(1)
+	bundle, status, err := sh.tabulated(key, func() (any, int64) {
+		return drawSets(d, req.Seed, ell, rr, m, s.cfg.WorkersPerShard)
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	sets := bundle.([]*dist.Empirical)
+
+	var res *learn.Result
+	if rerr := sh.run(func() {
+		res, err = learn.FromTabulated(d.N(), sets[0], sets[1:], opts, !req.Full)
+	}); rerr != nil {
+		writeErr(w, http.StatusInternalServerError, rerr)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, status, LearnResponse{
+		N:                 d.N(),
+		K:                 req.K,
+		Bounds:            res.Tiling.Bounds(),
+		Values:            res.Tiling.Values(),
+		Pieces:            res.Tiling.Pieces(),
+		SamplesUsed:       res.SamplesUsed,
+		Iterations:        res.Iterations,
+		CandidatesScanned: res.CandidatesScanned,
+		Ell:               res.Ell,
+		R:                 res.R,
+		M:                 res.M,
+	})
+}
+
+// TestRequest is the body of POST /v1/test/l2 and /v1/test/l1.
+type TestRequest struct {
+	Tenant string     `json:"tenant,omitempty"`
+	Source SourceSpec `json:"source"`
+	K      int        `json:"k"`
+	Eps    float64    `json:"eps"`
+	Scale  float64    `json:"scale,omitempty"`
+	Cap    int        `json:"cap,omitempty"`
+	Seed   int64      `json:"seed"`
+}
+
+// IntervalJSON is a half-open domain interval in a response body.
+type IntervalJSON struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// TestResponse is the body of a successful tester call.
+type TestResponse struct {
+	Accept        bool           `json:"accept"`
+	Norm          string         `json:"norm"`
+	Partition     []IntervalJSON `json:"partition"`
+	SamplesUsed   int64          `json:"samples_used"`
+	FlatnessCalls int            `json:"flatness_calls"`
+	R             int            `json:"r"`
+	M             int            `json:"m"`
+}
+
+func (s *Server) handleTest(norm string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req TestRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		d, err := s.resolveSource(req.Source)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.K > d.N() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N()))
+			return
+		}
+		opts := histtest.Options{
+			K: req.K, Eps: req.Eps,
+			SampleScale:      req.Scale,
+			MaxSamplesPerSet: s.sampleCap(req.Cap),
+			Parallelism:      s.cfg.WorkersPerShard,
+		}
+		var rr, m int
+		if norm == "l2" {
+			rr, m, err = opts.PlanL2(d.N())
+		} else {
+			rr, m, err = opts.PlanL1(d.N())
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+
+		// ell = 0: the testers draw only collision sets. The key still
+		// shares a namespace with /v1/learn, so a learner and tester
+		// with identical budgets share one draw.
+		key := setsKey(d.Fingerprint(), req.Seed, 0, rr, m)
+		sh := s.shardFor(req.Tenant, req.Source.key())
+		sh.requests.Add(1)
+		bundle, status, err := sh.tabulated(key, func() (any, int64) {
+			return drawSets(d, req.Seed, 0, rr, m, s.cfg.WorkersPerShard)
+		})
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		sets := bundle.([]*dist.Empirical)
+
+		var res *histtest.Result
+		if rerr := sh.run(func() {
+			if norm == "l2" {
+				res, err = histtest.TestTilingL2FromSets(sets, d.N(), opts)
+			} else {
+				res, err = histtest.TestTilingL1FromSets(sets, d.N(), opts)
+			}
+		}); rerr != nil {
+			writeErr(w, http.StatusInternalServerError, rerr)
+			return
+		}
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		partition := make([]IntervalJSON, len(res.Partition))
+		for i, iv := range res.Partition {
+			partition[i] = IntervalJSON{Lo: iv.Lo, Hi: iv.Hi}
+		}
+		writeJSON(w, status, TestResponse{
+			Accept:        res.Accept,
+			Norm:          norm,
+			Partition:     partition,
+			SamplesUsed:   res.SamplesUsed,
+			FlatnessCalls: res.FlatnessCalls,
+			R:             res.R,
+			M:             res.M,
+		})
+	}
+}
+
+// Learn2DRequest is the body of POST /v1/learn2d.
+type Learn2DRequest struct {
+	Tenant string       `json:"tenant,omitempty"`
+	Source Source2DSpec `json:"source"`
+	K      int          `json:"k"`
+	Eps    float64      `json:"eps"`
+	// Samples overrides the number of tabulated draws (0 = 200*K/Eps).
+	Samples int `json:"samples,omitempty"`
+	// MaxCoords caps the per-axis candidate coordinates (0 = 48).
+	MaxCoords int   `json:"max_coords,omitempty"`
+	Seed      int64 `json:"seed"`
+}
+
+// RectJSON is one painted rectangle of a 2D response, in paint order.
+type RectJSON struct {
+	X0    int     `json:"x0"`
+	Y0    int     `json:"y0"`
+	X1    int     `json:"x1"`
+	Y1    int     `json:"y1"`
+	Value float64 `json:"value"`
+}
+
+// Learn2DResponse is the body of a successful /v1/learn2d call.
+type Learn2DResponse struct {
+	Rows              int        `json:"rows"`
+	Cols              int        `json:"cols"`
+	K                 int        `json:"k"`
+	Rects             []RectJSON `json:"rects"`
+	SamplesUsed       int64      `json:"samples_used"`
+	Iterations        int        `json:"iterations"`
+	CandidatesScanned int64      `json:"candidates_scanned"`
+}
+
+func (s *Server) handleLearn2D(w http.ResponseWriter, r *http.Request) {
+	var req Learn2DRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := s.resolveSource2D(req.Source)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K < 1 || !(req.Eps > 0 && req.Eps < 1) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: need k >= 1 and eps in (0, 1)"))
+		return
+	}
+	if req.K > g.Rows()*g.Cols() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds grid size %d", req.K, g.Rows()*g.Cols()))
+		return
+	}
+	opts := grid.Options2D{
+		Rows: g.Rows(), Cols: g.Cols(),
+		K: req.K, Eps: req.Eps,
+		Samples:     req.Samples,
+		MaxCoords:   req.MaxCoords,
+		Parallelism: s.cfg.WorkersPerShard,
+	}
+	// Clamp the draw count to the server ceiling (covers both an explicit
+	// request override and a huge K/Eps-derived default).
+	m := opts.SampleSize()
+	if m > s.cfg.MaxSamplesPerSet {
+		m = s.cfg.MaxSamplesPerSet
+	}
+	opts.Samples = m
+
+	flat := g.Flatten()
+	key := fmt.Sprintf("sets2d|%dx%d|fp=%016x|seed=%d|m=%d", g.Rows(), g.Cols(), flat.Fingerprint(), req.Seed, m)
+	sh := s.shardFor(req.Tenant, req.Source.key())
+	sh.requests.Add(1)
+	bundle, status, err := sh.tabulated(key, func() (any, int64) {
+		sampler := dist.NewSampler(flat, par.NewRand(uint64(req.Seed)))
+		emp, err := grid.NewEmpirical2D(g.Rows(), g.Cols(), dist.DrawBatch(sampler, m))
+		if err != nil {
+			// Draws come from a sampler over the same grid, so this is
+			// unreachable; surface it as an empty tabulation.
+			emp, _ = grid.NewEmpirical2D(g.Rows(), g.Cols(), nil)
+		}
+		return emp, emp.SizeBytes()
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	emp := bundle.(*grid.Empirical2D)
+
+	var res *grid.Result2D
+	if rerr := sh.run(func() {
+		res, err = grid.Greedy2DFromTabulated(emp, opts)
+	}); rerr != nil {
+		writeErr(w, http.StatusInternalServerError, rerr)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	entries := res.Hist.Entries()
+	rects := make([]RectJSON, len(entries))
+	for i, e := range entries {
+		rects[i] = RectJSON{X0: e.R.X0, Y0: e.R.Y0, X1: e.R.X1, Y1: e.R.Y1, Value: e.V}
+	}
+	writeJSON(w, status, Learn2DResponse{
+		Rows:              g.Rows(),
+		Cols:              g.Cols(),
+		K:                 req.K,
+		Rects:             rects,
+		SamplesUsed:       res.SamplesUsed,
+		Iterations:        res.Iterations,
+		CandidatesScanned: res.CandidatesScanned,
+	})
+}
+
+// ShardStats is one shard's counters in a /v1/stats response.
+type ShardStats struct {
+	Shard        int   `json:"shard"`
+	Requests     int64 `json:"requests"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Coalesced    int64 `json:"coalesced"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Shards          int          `json:"shards"`
+	WorkersPerShard int          `json:"workers_per_shard"`
+	CacheBytesCap   int64        `json:"cache_bytes_cap"`
+	Requests        int64        `json:"requests"`
+	CacheHits       int64        `json:"cache_hits"`
+	CacheMisses     int64        `json:"cache_misses"`
+	Coalesced       int64        `json:"coalesced"`
+	PerShard        []ShardStats `json:"per_shard"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := StatsResponse{
+		Shards:          len(s.shards),
+		WorkersPerShard: s.cfg.WorkersPerShard,
+		CacheBytesCap:   s.cfg.CacheBytes,
+	}
+	for i, sh := range s.shards {
+		entries, bytes := sh.cache.stats()
+		st := ShardStats{
+			Shard:        i,
+			Requests:     sh.requests.Load(),
+			CacheHits:    sh.hits.Load(),
+			CacheMisses:  sh.misses.Load(),
+			Coalesced:    sh.coalesced.Load(),
+			CacheEntries: entries,
+			CacheBytes:   bytes,
+		}
+		resp.Requests += st.Requests
+		resp.CacheHits += st.CacheHits
+		resp.CacheMisses += st.CacheMisses
+		resp.Coalesced += st.Coalesced
+		resp.PerShard = append(resp.PerShard, st)
+	}
+	writeJSON(w, "", resp)
+}
+
+// setsKey is the sample-set cache key: source fingerprint, draw seed, and
+// the full budget profile (ell weight samples, r collision sets of m).
+func setsKey(fp uint64, seed int64, ell, r, m int) string {
+	return fmt.Sprintf("sets|fp=%016x|seed=%d|sizes=%d:%d:%d", fp, seed, ell, r, m)
+}
+
+// drawSets draws the (ell, r x m) sample-set bundle for d through the
+// batched sample plane. The bundle is a pure function of
+// (d, seed, ell, r, m): streams are split per set from the seed, so the
+// worker count never changes the draws — the root of the serving plane's
+// cold/cached/coalesced equivalence.
+func drawSets(d *dist.Distribution, seed int64, ell, r, m, workers int) (any, int64) {
+	sampler := dist.NewSampler(d, par.NewRand(uint64(seed)))
+	var sizes []int
+	if ell > 0 {
+		sizes = append(sizes, ell)
+	}
+	for i := 0; i < r; i++ {
+		sizes = append(sizes, m)
+	}
+	sets := collision.CollectSetsSized(sampler, sizes, workers, uint64(seed))
+	var bytes int64
+	for _, e := range sets {
+		bytes += e.SizeBytes()
+	}
+	return sets, bytes
+}
+
+// decode parses a JSON request body strictly (unknown fields are 400s,
+// catching misspelled parameters before they silently default).
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(errorResponse{Error: err.Error()})
+	w.Write(append(body, '\n'))
+}
+
+// writeJSON writes a 200 response with the cache-status header (when the
+// request went through the tabulation cache) and the marshalled body.
+func writeJSON(w http.ResponseWriter, cacheStatus string, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheStatus != "" {
+		w.Header().Set(CacheHeader, cacheStatus)
+	}
+	enc, err := json.Marshal(body)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Write(append(enc, '\n'))
+}

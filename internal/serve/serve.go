@@ -1,0 +1,170 @@
+// Package serve is the long-lived serving layer over the parallel sample
+// plane: an HTTP/JSON front end that turns the paper's one-shot
+// draw-learn-exit algorithms into a tabulate-once/serve-many system.
+//
+// Requests are routed by tenant/domain key to one of S shards. Each
+// shard owns a persistent internal/par worker pool (compute is bounded
+// and goroutines are reused across requests, never spawned per call), an
+// LRU cache of immutable tabulated dist.Empirical bundles keyed by
+// (source fingerprint, seed, sample budget), and a coalescer that
+// collapses concurrent requests sharing a key onto one draw: the first
+// request tabulates, the rest wait and share the bundle.
+//
+// The plane's PR 2 invariant extends end to end: for a fixed (source,
+// seed, budget, request), the response body is bit-identical whether it
+// was computed cold, served from cache, coalesced into another request's
+// draw, or answered under any -shards / -workers-per-shard setting. Two
+// facts make this hold: tabulated bundles are pure functions of their
+// cache key (streams are split per sample set, never per worker), and
+// the algorithms consuming them are worker-count invariant. Cache
+// status therefore travels in the X-Khist-Cache header, never the body.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+
+	"khist/internal/dist"
+	"khist/internal/grid"
+	"khist/internal/par"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Shards is the number of independent shards (pools + caches).
+	// Values below 1 mean 1.
+	Shards int
+	// WorkersPerShard is each shard's pool size: the bound on the
+	// shard's concurrently executing tabulations and algorithm runs,
+	// and the Parallelism passed to the algorithms. Values below 1 mean
+	// par.DefaultWorkers().
+	WorkersPerShard int
+	// CacheBytes is the total tabulation-cache budget, split evenly
+	// across shards. Non-positive disables sample-set caching (requests
+	// still coalesce).
+	CacheBytes int64
+	// MaxSamplesPerSet is the server-side ceiling on every drawn sample
+	// set, applied on top of (and never loosened by) the request's own
+	// cap: requests control their budgets only below it, so a single
+	// tiny-eps request cannot allocate unbounded memory. Values below 1
+	// mean DefaultMaxSamplesPerSet. The ceiling is part of the server
+	// config, so clamped responses are still deterministic per config.
+	MaxSamplesPerSet int
+	// MaxDomain is the largest resolvable source domain (n, or
+	// rows*cols); larger sources are rejected with 400. Values below 1
+	// mean DefaultMaxDomain.
+	MaxDomain int
+}
+
+// Default resource ceilings: generous for real workloads (a maximal
+// request tabulates a few hundred MB), small enough that no single
+// request can take the process down.
+const (
+	DefaultMaxSamplesPerSet = 1 << 20
+	DefaultMaxDomain        = 1 << 20
+)
+
+// Server is the serving layer: construct with New, mount Handler, Close
+// on shutdown.
+type Server struct {
+	cfg     Config
+	shards  []*shard
+	sources *registry
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.WorkersPerShard < 1 {
+		cfg.WorkersPerShard = par.DefaultWorkers()
+	}
+	if cfg.MaxSamplesPerSet < 1 {
+		cfg.MaxSamplesPerSet = DefaultMaxSamplesPerSet
+	}
+	if cfg.MaxDomain < 1 {
+		cfg.MaxDomain = DefaultMaxDomain
+	}
+	perShard := cfg.CacheBytes / int64(cfg.Shards)
+	s := &Server{cfg: cfg, sources: newRegistry()}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(cfg.WorkersPerShard, perShard))
+	}
+	return s
+}
+
+// Close stops the shard pools. In-flight requests finish first (their
+// tasks are already queued); new requests after Close panic, so stop the
+// HTTP listener before closing.
+func (s *Server) Close() {
+	for _, sh := range s.shards {
+		sh.close()
+	}
+}
+
+// sampleCap resolves the effective per-set sample cap: the request's own
+// cap when tighter, the server ceiling otherwise — a request can shrink
+// its budget but never exceed the server's.
+func (s *Server) sampleCap(reqCap int) int {
+	if reqCap > 0 && reqCap < s.cfg.MaxSamplesPerSet {
+		return reqCap
+	}
+	return s.cfg.MaxSamplesPerSet
+}
+
+// resolveSource is the registry resolve with the server's domain ceiling
+// applied before any O(n) construction happens.
+func (s *Server) resolveSource(spec SourceSpec) (*dist.Distribution, error) {
+	n := spec.N
+	if len(spec.Weights) > 0 {
+		n = len(spec.Weights)
+	}
+	if n > s.cfg.MaxDomain {
+		return nil, fmt.Errorf("serve: domain size %d exceeds the server's -max-domain %d", n, s.cfg.MaxDomain)
+	}
+	return s.sources.resolve(spec)
+}
+
+// resolveSource2D is resolveSource for grid sources.
+func (s *Server) resolveSource2D(spec Source2DSpec) (*grid.Grid, error) {
+	if cells := int64(spec.Rows) * int64(spec.Cols); cells > int64(s.cfg.MaxDomain) {
+		return nil, fmt.Errorf("serve: grid size %dx%d exceeds the server's -max-domain %d", spec.Rows, spec.Cols, s.cfg.MaxDomain)
+	}
+	return s.sources.resolve2D(spec)
+}
+
+// shardFor routes a request to its shard by tenant/domain key: the
+// tenant string plus the source identity, hashed with FNV-1a. All
+// requests from one tenant against one source land on one shard, so
+// they share its cache and are bounded by its pool; the shard count
+// never influences response bodies, only which pool computes them.
+func (s *Server) shardFor(tenant, sourceKey string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	h.Write([]byte{0})
+	h.Write([]byte(sourceKey))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/learn     — greedy k-histogram learner (Theorems 1-2)
+//	POST /v1/test/l2   — tiling k-histogram tester, l2 (Theorem 3)
+//	POST /v1/test/l1   — tiling k-histogram tester, l1 (Theorem 4)
+//	POST /v1/learn2d   — rectangle-histogram learner over grids
+//	GET  /v1/stats     — per-shard traffic and cache counters
+//	GET  /healthz      — liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/learn", s.handleLearn)
+	mux.HandleFunc("POST /v1/test/l2", s.handleTest("l2"))
+	mux.HandleFunc("POST /v1/test/l1", s.handleTest("l1"))
+	mux.HandleFunc("POST /v1/learn2d", s.handleLearn2D)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// newTestServer builds a Server and returns it with its handler; the
+// caller owns Close.
+func newTestServer(t *testing.T, cfg Config) (*Server, http.Handler) {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s, s.Handler()
+}
+
+// post sends body to path and returns the recorder.
+func post(h http.Handler, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+const learnBody = `{"tenant":"acme","source":{"gen":"zipf","n":256},"k":4,"eps":0.2,"scale":0.05,"cap":20000,"seed":7}`
+const testL2Body = `{"tenant":"acme","source":{"gen":"khist","n":256,"k":4,"seed":3},"k":4,"eps":0.25,"scale":0.02,"cap":4000,"seed":9}`
+
+func TestHandlers(t *testing.T) {
+	_, h := newTestServer(t, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 64 << 20})
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     string
+		wantCode int
+		want     []string // substrings of the response body
+	}{
+		{
+			name: "learn ok", method: "POST", path: "/v1/learn",
+			body:     learnBody,
+			wantCode: 200,
+			want:     []string{`"n":256`, `"bounds":[0,`, `"samples_used":`, `"iterations":`},
+		},
+		{
+			name: "learn full variant ok", method: "POST", path: "/v1/learn",
+			body:     `{"source":{"gen":"uniform","n":64},"k":2,"eps":0.3,"scale":0.02,"cap":2000,"seed":1,"full":true}`,
+			wantCode: 200,
+			want:     []string{`"n":64`},
+		},
+		{
+			name: "learn inline weights ok", method: "POST", path: "/v1/learn",
+			body:     `{"source":{"weights":[1,1,1,1,8,8,8,8]},"k":2,"eps":0.2,"scale":0.1,"cap":2000,"seed":2}`,
+			wantCode: 200,
+			want:     []string{`"n":8`},
+		},
+		{
+			name: "test l2 ok", method: "POST", path: "/v1/test/l2",
+			body:     testL2Body,
+			wantCode: 200,
+			want:     []string{`"accept":`, `"norm":"l2"`, `"partition":[`},
+		},
+		{
+			name: "test l1 ok", method: "POST", path: "/v1/test/l1",
+			body:     `{"source":{"gen":"uniform","n":128},"k":2,"eps":0.3,"scale":0.01,"cap":2000,"seed":4}`,
+			wantCode: 200,
+			want:     []string{`"norm":"l1"`, `"accept":true`},
+		},
+		{
+			name: "learn2d ok", method: "POST", path: "/v1/learn2d",
+			body:     `{"source":{"gen":"rect","rows":12,"cols":12,"k":3,"seed":2},"k":3,"eps":0.2,"samples":2000,"seed":5}`,
+			wantCode: 200,
+			want:     []string{`"rows":12`, `"rects":[{`},
+		},
+		{
+			name: "unknown generator", method: "POST", path: "/v1/learn",
+			body:     `{"source":{"gen":"nope","n":16},"k":2,"eps":0.2,"seed":1}`,
+			wantCode: 400,
+			want:     []string{`unknown generator`},
+		},
+		{
+			name: "bad eps", method: "POST", path: "/v1/learn",
+			body:     `{"source":{"gen":"zipf","n":64},"k":2,"eps":1.5,"seed":1}`,
+			wantCode: 400,
+			want:     []string{`eps`},
+		},
+		{
+			name: "bad k", method: "POST", path: "/v1/test/l2",
+			body:     `{"source":{"gen":"zipf","n":64},"k":0,"eps":0.2,"seed":1}`,
+			wantCode: 400,
+			want:     []string{`k`},
+		},
+		{
+			name: "unknown field rejected", method: "POST", path: "/v1/learn",
+			body:     `{"source":{"gen":"zipf","n":64},"k":2,"eps":0.2,"sede":1}`,
+			wantCode: 400,
+			want:     []string{`decoding request`},
+		},
+		{
+			name: "malformed json", method: "POST", path: "/v1/learn",
+			body:     `{"source":`,
+			wantCode: 400,
+			want:     []string{`decoding request`},
+		},
+		{
+			name: "bad 2d generator", method: "POST", path: "/v1/learn2d",
+			body:     `{"source":{"gen":"circle","rows":8,"cols":8},"k":2,"eps":0.2,"seed":1}`,
+			wantCode: 400,
+			want:     []string{`unknown 2d generator`},
+		},
+		{
+			name: "stats", method: "GET", path: "/v1/stats",
+			wantCode: 200,
+			want:     []string{`"shards":2`, `"per_shard":[`},
+		},
+		{
+			name: "health", method: "GET", path: "/healthz",
+			wantCode: 200,
+			want:     []string{"ok"},
+		},
+		{
+			name: "method not allowed", method: "GET", path: "/v1/learn",
+			wantCode: 405,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var w *httptest.ResponseRecorder
+			if tc.method == "GET" {
+				w = get(h, tc.path)
+			} else {
+				w = post(h, tc.path, tc.body)
+			}
+			if w.Code != tc.wantCode {
+				t.Fatalf("%s %s: code %d, want %d (body %s)", tc.method, tc.path, w.Code, tc.wantCode, w.Body.String())
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(w.Body.String(), sub) {
+					t.Errorf("%s %s: body missing %q:\n%s", tc.method, tc.path, sub, w.Body.String())
+				}
+			}
+		})
+	}
+}
+
+func TestCacheStatusHeader(t *testing.T) {
+	_, h := newTestServer(t, Config{Shards: 1, WorkersPerShard: 2, CacheBytes: 64 << 20})
+	first := post(h, "/v1/learn", learnBody)
+	if got := first.Header().Get(CacheHeader); got != StatusMiss {
+		t.Fatalf("first request %s = %q, want %q", CacheHeader, got, StatusMiss)
+	}
+	second := post(h, "/v1/learn", learnBody)
+	if got := second.Header().Get(CacheHeader); got != StatusHit {
+		t.Fatalf("second request %s = %q, want %q", CacheHeader, got, StatusHit)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatalf("cached body differs from cold body")
+	}
+}
+
+// TestColdCacheCoalescedEquivalence is the serving plane's determinism
+// contract: the same request answered cold (caching disabled), from
+// cache, and under any shard/worker configuration yields byte-identical
+// bodies.
+func TestColdCacheCoalescedEquivalence(t *testing.T) {
+	bodies := map[string]string{
+		"/v1/learn":   learnBody,
+		"/v1/test/l2": testL2Body,
+		"/v1/test/l1": `{"source":{"gen":"staircase","n":128},"k":3,"eps":0.3,"scale":0.01,"cap":2000,"seed":11}`,
+		"/v1/learn2d": `{"source":{"gen":"rect","rows":12,"cols":12,"k":3,"seed":2},"k":3,"eps":0.2,"samples":2000,"seed":5}`,
+	}
+	configs := []Config{
+		{Shards: 1, WorkersPerShard: 1, CacheBytes: 0}, // cold every time, serial
+		{Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20},
+		{Shards: 4, WorkersPerShard: 3, CacheBytes: 64 << 20},
+		{Shards: 7, WorkersPerShard: 8, CacheBytes: 1 << 20}, // tight cache: evictions
+	}
+	for path, body := range bodies {
+		var want string
+		for i, cfg := range configs {
+			_, h := newTestServer(t, cfg)
+			// Twice per server: the second answer exercises the cache
+			// path when caching is on, the cold path when off.
+			for pass := 0; pass < 2; pass++ {
+				w := post(h, path, body)
+				if w.Code != 200 {
+					t.Fatalf("%s config %d pass %d: code %d: %s", path, i, pass, w.Code, w.Body.String())
+				}
+				got := w.Body.String()
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Fatalf("%s config %+v pass %d: body diverged\n got: %s\nwant: %s", path, cfg, pass, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentClientsDeterministic hammers one key from many goroutines
+// on a fresh server: every response must be byte-identical, and the
+// tabulation must have been drawn exactly once (one miss, the rest
+// coalesced or cache hits).
+func TestConcurrentClientsDeterministic(t *testing.T) {
+	s, h := newTestServer(t, Config{Shards: 2, WorkersPerShard: 4, CacheBytes: 64 << 20})
+	const clients = 16
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := post(h, "/v1/learn", learnBody)
+			if w.Code == 200 {
+				bodies[i] = w.Body.Bytes()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range bodies {
+		if b == nil {
+			t.Fatalf("client %d failed", i)
+		}
+		if !bytes.Equal(b, bodies[0]) {
+			t.Fatalf("client %d body differs:\n%s\nvs\n%s", i, b, bodies[0])
+		}
+	}
+	var misses int64
+	for _, sh := range s.shards {
+		misses += sh.misses.Load()
+	}
+	if misses != 1 {
+		t.Fatalf("tabulation drawn %d times for one key, want 1", misses)
+	}
+}
+
+// TestTenantsSpreadOverShards checks the routing layer actually shards:
+// distinct tenants hammering distinct sources land on more than one
+// shard.
+func TestTenantsSpreadOverShards(t *testing.T) {
+	s, h := newTestServer(t, Config{Shards: 4, WorkersPerShard: 1, CacheBytes: 64 << 20})
+	for i := 0; i < 12; i++ {
+		body := fmt.Sprintf(
+			`{"tenant":"t%d","source":{"gen":"uniform","n":64},"k":2,"eps":0.3,"scale":0.02,"cap":1000,"seed":%d}`, i, i)
+		if w := post(h, "/v1/learn", body); w.Code != 200 {
+			t.Fatalf("request %d: code %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	busy := 0
+	for _, sh := range s.shards {
+		if sh.requests.Load() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("12 tenants landed on %d shard(s), want spread over at least 2", busy)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	_, h := newTestServer(t, Config{Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20})
+	post(h, "/v1/learn", learnBody)
+	post(h, "/v1/learn", learnBody)
+	w := get(h, "/v1/stats")
+	var st StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats unmarshal: %v", err)
+	}
+	if st.Requests != 2 || st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = requests %d misses %d hits %d, want 2/1/1", st.Requests, st.CacheMisses, st.CacheHits)
+	}
+	if len(st.PerShard) != 1 || st.PerShard[0].CacheEntries != 1 || st.PerShard[0].CacheBytes <= 0 {
+		t.Fatalf("per-shard cache accounting off: %+v", st.PerShard)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// A budget big enough for roughly one bundle: hammering distinct
+	// seeds must keep cache_bytes under the cap.
+	probe := New(Config{Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20})
+	ph := probe.Handler()
+	post(ph, "/v1/learn", learnBody)
+	_, oneBundle := probe.shards[0].cache.stats()
+	probe.Close()
+	if oneBundle <= 0 {
+		t.Fatalf("probe bundle has no accounted bytes")
+	}
+
+	capBytes := oneBundle + oneBundle/2
+	s, h := newTestServer(t, Config{Shards: 1, WorkersPerShard: 1, CacheBytes: capBytes})
+	for seed := 0; seed < 5; seed++ {
+		body := fmt.Sprintf(
+			`{"source":{"gen":"zipf","n":256},"k":4,"eps":0.2,"scale":0.05,"cap":20000,"seed":%d}`, seed)
+		if w := post(h, "/v1/learn", body); w.Code != 200 {
+			t.Fatalf("seed %d: code %d", seed, w.Code)
+		}
+		if _, bytes := s.shards[0].cache.stats(); bytes > capBytes {
+			t.Fatalf("cache grew to %d bytes, budget %d", bytes, capBytes)
+		}
+	}
+	entries, _ := s.shards[0].cache.stats()
+	if entries != 1 {
+		t.Fatalf("cache holds %d bundles under a ~1.5-bundle budget, want 1", entries)
+	}
+}
+
+// TestTransposedGridsDistinctCacheEntries guards the learn2d cache key:
+// two grids with identical flattened pmfs but transposed shapes must not
+// collide (the key includes rows x cols, not just the fingerprint).
+func TestTransposedGridsDistinctCacheEntries(t *testing.T) {
+	_, h := newTestServer(t, Config{Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20})
+	for _, shape := range []string{`"rows":4,"cols":8`, `"rows":8,"cols":4`} {
+		body := `{"source":{"gen":"uniform",` + shape + `},"k":2,"eps":0.3,"samples":500,"seed":3}`
+		w := post(h, "/v1/learn2d", body)
+		if w.Code != 200 {
+			t.Fatalf("shape {%s}: code %d: %s", shape, w.Code, w.Body.String())
+		}
+	}
+}
+
+// TestResourceCeilings guards the server-side budget enforcement: huge
+// request-supplied budgets are clamped or rejected, never honored into
+// an allocation the process cannot survive.
+func TestResourceCeilings(t *testing.T) {
+	_, h := newTestServer(t, Config{
+		Shards: 1, WorkersPerShard: 1, CacheBytes: 1 << 20,
+		MaxSamplesPerSet: 1000, MaxDomain: 4096,
+	})
+
+	// Tiny eps with no cap: every set is clamped to 1000 samples.
+	w := post(h, "/v1/learn", `{"source":{"gen":"zipf","n":256},"k":4,"eps":0.001,"seed":1}`)
+	if w.Code != 200 {
+		t.Fatalf("clamped learn: code %d: %s", w.Code, w.Body.String())
+	}
+	var resp LearnResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ell > 1000 || resp.M > 1000 {
+		t.Fatalf("budget not clamped: ell=%d m=%d, ceiling 1000", resp.Ell, resp.M)
+	}
+
+	// A request cap above the ceiling does not loosen it.
+	w = post(h, "/v1/learn", `{"source":{"gen":"zipf","n":256},"k":4,"eps":0.001,"cap":100000000,"seed":1}`)
+	var capped LearnResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &capped); err != nil {
+		t.Fatal(err)
+	}
+	if capped.Ell > 1000 || capped.M > 1000 {
+		t.Fatalf("request cap loosened the server ceiling: ell=%d m=%d", capped.Ell, capped.M)
+	}
+
+	// Oversized domains are rejected up front, before any O(n) build.
+	for path, body := range map[string]string{
+		"/v1/learn":   `{"source":{"gen":"zipf","n":1000000000},"k":4,"eps":0.2,"seed":1}`,
+		"/v1/learn2d": `{"source":{"gen":"uniform","rows":100000,"cols":100000},"k":2,"eps":0.2,"seed":1}`,
+	} {
+		if w := post(h, path, body); w.Code != 400 {
+			t.Fatalf("%s oversized domain: code %d, want 400", path, w.Code)
+		}
+	}
+
+	// A silly learn2d samples override is clamped, not honored.
+	w = post(h, "/v1/learn2d", `{"source":{"gen":"uniform","rows":8,"cols":8},"k":2,"eps":0.3,"samples":1000000000000000,"seed":1}`)
+	if w.Code != 200 {
+		t.Fatalf("clamped learn2d: code %d: %s", w.Code, w.Body.String())
+	}
+
+	// k beyond the domain is a 400, not a billion greedy iterations.
+	w = post(h, "/v1/learn", `{"source":{"gen":"zipf","n":256},"k":1000000000,"eps":0.2,"seed":1}`)
+	if w.Code != 400 {
+		t.Fatalf("k > n: code %d, want 400", w.Code)
+	}
+}
+
+// TestComputePanicContained guards the shard's recover: a panicking
+// compute task becomes a per-request error (for the leader and its
+// coalesced followers), never a process crash, and is not cached.
+func TestComputePanicContained(t *testing.T) {
+	sh := newShard(2, 1<<20)
+	defer sh.close()
+	if err := sh.run(func() { panic("boom") }); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("run returned %v, want contained panic", err)
+	}
+	_, status, err := sh.tabulated("key", func() (any, int64) { panic("draw failed") })
+	if err == nil || status != StatusMiss {
+		t.Fatalf("tabulated returned status %q err %v, want miss with error", status, err)
+	}
+	// The failed build must not be cached; a retry rebuilds and succeeds.
+	v, status, err := sh.tabulated("key", func() (any, int64) { return "ok", 2 })
+	if err != nil || status != StatusMiss || v != "ok" {
+		t.Fatalf("retry after panic: v=%v status=%q err=%v", v, status, err)
+	}
+}
+
+func TestLearnTestersShareDrawNamespace(t *testing.T) {
+	// The learner's weight set makes its sizes profile distinct from any
+	// tester's, so learn and test requests against the same source+seed
+	// must use different cache entries (no false sharing).
+	s, h := newTestServer(t, Config{Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20})
+	src := `{"source":{"gen":"uniform","n":128},"k":2,"eps":0.3,"scale":0.01,"cap":1000,"seed":5`
+	post(h, "/v1/learn", src+`}`)
+	post(h, "/v1/test/l2", src+`}`)
+	entries, _ := s.shards[0].cache.stats()
+	if entries != 2 {
+		t.Fatalf("learn+test created %d cache entries, want 2 distinct budgets", entries)
+	}
+}

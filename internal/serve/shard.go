@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"khist/internal/par"
+)
+
+// Cache-status values reported in the X-Khist-Cache response header.
+// They live in the header, not the body, so that a response body is
+// byte-identical whether it was computed cold, served from cache, or
+// coalesced into another request's draw.
+const (
+	StatusHit       = "hit"
+	StatusMiss      = "miss"
+	StatusCoalesced = "coalesced"
+)
+
+// shard is one unit of the serving plane: a persistent worker pool that
+// bounds the shard's compute, an LRU cache of immutable tabulated
+// sample-set bundles, and a coalescer that collapses concurrent requests
+// for the same (source, seed, budget) key onto a single draw. Requests
+// are routed to shards by tenant/domain key, so one tenant's cache
+// churn and queueing cannot evict or starve another shard's.
+type shard struct {
+	pool  *par.Pool
+	cache *cache
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	requests  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+}
+
+// flight is one in-progress tabulation: followers wait on done and then
+// share val (or the leader's error). val is immutable once done closes.
+type flight struct {
+	done  chan struct{}
+	val   any
+	bytes int64
+	err   error
+}
+
+func newShard(workers int, cacheBytes int64) *shard {
+	return &shard{
+		pool:     par.NewPool(workers),
+		cache:    newCache(cacheBytes),
+		inflight: make(map[string]*flight),
+	}
+}
+
+func (sh *shard) close() { sh.pool.Close() }
+
+// tabulated returns the immutable value for key, building it at most once
+// across concurrent callers: a cache hit returns immediately; a request
+// that finds the key being built waits for the leader and shares its
+// result without occupying a pool worker; otherwise the caller becomes
+// the leader, builds on the shard pool (bounded by the pool size), and
+// publishes to the cache. The returned status says which path was taken.
+//
+// build must be a pure function of key — that is what makes hit, miss,
+// and coalesced responses indistinguishable in content. A panic inside
+// build is contained to this request (and its coalesced followers) as an
+// error; nothing is cached and the server stays up.
+func (sh *shard) tabulated(key string, build func() (val any, bytes int64)) (any, string, error) {
+	sh.mu.Lock()
+	if v, ok := sh.cache.get(key); ok {
+		sh.mu.Unlock()
+		sh.hits.Add(1)
+		return v, StatusHit, nil
+	}
+	if f, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		sh.coalesced.Add(1)
+		<-f.done
+		return f.val, StatusCoalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.inflight[key] = f
+	sh.mu.Unlock()
+	sh.misses.Add(1)
+
+	f.err = sh.run(func() { f.val, f.bytes = build() })
+
+	sh.mu.Lock()
+	if f.err == nil {
+		sh.cache.put(key, f.val, f.bytes)
+	}
+	delete(sh.inflight, key)
+	sh.mu.Unlock()
+	close(f.done)
+	return f.val, StatusMiss, f.err
+}
+
+// run executes fn on the shard pool, bounding the shard's concurrent
+// compute to the pool size and containing panics: a panicking fn becomes
+// an error for this request instead of a process crash (the pool worker
+// goroutine has no net/http recover above it). Handlers run the
+// per-request algorithm phase through it after the shared tabulation
+// phase resolves.
+func (sh *shard) run(fn func()) (err error) {
+	sh.pool.Do(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("serve: compute panic: %v", p)
+			}
+		}()
+		fn()
+	})
+	return err
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"khist/internal/cli"
+	"khist/internal/dist"
+	"khist/internal/grid"
+)
+
+// SourceSpec names the distribution a request queries: either one of the
+// shared generator registry's synthetic families (the same names the
+// CLIs accept, resolved through internal/cli so server and commands
+// always agree) or an inline weight vector. The spec is what a tenant
+// registers; the resolved Distribution is immutable and shared across
+// every request and shard that names it.
+type SourceSpec struct {
+	// Gen is the generator name (see cli.Generators). Ignored when
+	// Weights is set.
+	Gen string `json:"gen,omitempty"`
+	// N is the domain size for generated sources.
+	N int `json:"n,omitempty"`
+	// K is the piece count for the khist generator.
+	K int `json:"k,omitempty"`
+	// Seed drives the random generators (khist).
+	Seed int64 `json:"seed,omitempty"`
+	// Weights, when non-empty, is normalized into the distribution
+	// directly and Gen/N/K/Seed are ignored.
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// key returns the canonical registry key of the spec: a pure function of
+// its content.
+func (s SourceSpec) key() string {
+	if len(s.Weights) > 0 {
+		return fmt.Sprintf("w|%016x", dist.HashFloats(s.Weights))
+	}
+	return fmt.Sprintf("g|%s|n=%d|k=%d|seed=%d", s.Gen, s.N, s.K, s.Seed)
+}
+
+// Source2DSpec is SourceSpec for grid distributions served by /v1/learn2d.
+type Source2DSpec struct {
+	// Gen is "rect" (random rectangle histogram) or "uniform".
+	Gen  string `json:"gen,omitempty"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	// K is the rectangle count for the rect generator.
+	K    int   `json:"k,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// Weights, when non-empty, is the row-major weight grid and
+	// Gen/K/Seed are ignored (Rows/Cols still shape it).
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+func (s Source2DSpec) key() string {
+	if len(s.Weights) > 0 {
+		return fmt.Sprintf("w2|%dx%d|%016x", s.Rows, s.Cols, dist.HashFloats(s.Weights))
+	}
+	return fmt.Sprintf("g2|%s|%dx%d|k=%d|seed=%d", s.Gen, s.Rows, s.Cols, s.K, s.Seed)
+}
+
+// registryBytes is the byte budget of the source registry: resolved
+// distributions are small next to tabulated sample sets, so a fixed
+// budget independent of -cache-bytes keeps source resolution cheap even
+// when the sample-set cache is disabled.
+const registryBytes = 64 << 20
+
+// registry caches resolved sources (Distribution and Grid values) behind
+// an LRU so repeated requests against the same registered source skip
+// the O(n) rebuild. Entries are immutable and shared.
+type registry struct {
+	cache *cache
+}
+
+func newRegistry() *registry { return &registry{cache: newCache(registryBytes)} }
+
+// resolve returns the immutable Distribution for the spec.
+func (r *registry) resolve(spec SourceSpec) (*dist.Distribution, error) {
+	key := spec.key()
+	if v, ok := r.cache.get(key); ok {
+		return v.(*dist.Distribution), nil
+	}
+	var (
+		d   *dist.Distribution
+		err error
+	)
+	if len(spec.Weights) > 0 {
+		d, err = dist.FromWeights(spec.Weights)
+	} else {
+		d, err = cli.Generate(spec.Gen, spec.N, spec.K, spec.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// pmf + two prefix arrays, 8 bytes each, plus headers.
+	r.cache.put(key, d, 24*int64(d.N())+64)
+	return d, nil
+}
+
+// resolve2D returns the immutable Grid for the spec.
+func (r *registry) resolve2D(spec Source2DSpec) (*grid.Grid, error) {
+	key := spec.key()
+	if v, ok := r.cache.get(key); ok {
+		return v.(*grid.Grid), nil
+	}
+	if spec.Rows < 1 || spec.Cols < 1 {
+		return nil, grid.ErrBadShape
+	}
+	var (
+		g   *grid.Grid
+		err error
+	)
+	switch {
+	case len(spec.Weights) > 0:
+		g, err = grid.FromWeights2D(spec.Rows, spec.Cols, spec.Weights)
+	case spec.Gen == "uniform":
+		g = grid.Uniform2D(spec.Rows, spec.Cols)
+	case spec.Gen == "rect":
+		if spec.K < 1 {
+			return nil, grid.ErrBadK
+		}
+		g = grid.RandomRectHistogram(spec.Rows, spec.Cols, spec.K, rand.New(rand.NewSource(spec.Seed)))
+	default:
+		return nil, fmt.Errorf("serve: unknown 2d generator %q (want rect | uniform)", spec.Gen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.cache.put(key, g, 24*int64(spec.Rows)*int64(spec.Cols)+64)
+	return g, nil
+}
