@@ -1,14 +1,16 @@
 // Command khist-server runs the khist serving layer: a long-lived
 // HTTP/JSON server exposing the learner and property testers over
 // registered or inline distributions, with per-tenant sharding, an LRU
-// cache of tabulated sample sets, and request coalescing. See the
-// README's "Serving layer" section for the API and the determinism
-// guarantee.
+// cache of tabulated sample sets, request coalescing, and admission
+// control (per-shard load shedding plus per-tenant rate/concurrency
+// quotas via -quotas). See the README's "Serving layer" and "Admission
+// control & quotas" sections for the API and the determinism guarantee.
 //
 // Examples:
 //
 //	khist-server -addr :8080 -shards 4 -workers-per-shard 4
 //	khist-server -addr 127.0.0.1:0 -cache-bytes 67108864   # ephemeral port
+//	khist-server -quotas quotas.json -max-queue-per-shard 64
 //
 //	curl -s localhost:8080/v1/learn -d '{
 //	  "tenant": "acme",
@@ -40,15 +42,26 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address (host:0 picks an ephemeral port, printed on startup)")
-		shards     = flag.Int("shards", 4, "independent shards (worker pool + cache each); response bodies are identical at any count")
-		workers    = flag.Int("workers-per-shard", runtime.GOMAXPROCS(0), "pool size per shard: bounds concurrent compute and sets algorithm parallelism (results are identical at any count)")
-		cacheBytes = flag.Int64("cache-bytes", 256<<20, "total tabulated sample-set cache budget, split across shards (0 disables caching)")
-		maxSamples = flag.Int("max-samples-per-set", serve.DefaultMaxSamplesPerSet, "server-side ceiling on every drawn sample set (requests can only tighten it)")
-		maxDomain  = flag.Int("max-domain", serve.DefaultMaxDomain, "largest resolvable source domain (n, or rows*cols); larger sources are rejected")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr         = flag.String("addr", ":8080", "listen address (host:0 picks an ephemeral port, printed on startup)")
+		shards       = flag.Int("shards", 4, "independent shards (worker pool + cache each); response bodies are identical at any count")
+		workers      = flag.Int("workers-per-shard", runtime.GOMAXPROCS(0), "pool size per shard: bounds concurrent compute and sets algorithm parallelism (results are identical at any count)")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "total tabulated sample-set cache budget, split across shards (0 disables caching)")
+		maxSamples   = flag.Int("max-samples-per-set", serve.DefaultMaxSamplesPerSet, "server-side ceiling on every drawn sample set (requests can only tighten it)")
+		maxDomain    = flag.Int("max-domain", serve.DefaultMaxDomain, "largest resolvable source domain (n, or rows*cols); larger sources are rejected")
+		maxBodyBytes = flag.Int64("max-body-bytes", serve.DefaultMaxBodyBytes, "largest accepted request body; bigger bodies are 413s before they can allocate")
+		maxQueue     = flag.Int("max-queue-per-shard", 0, "requests concurrently admitted per shard before load shedding (429); 0 means 8x workers-per-shard")
+		quotasPath   = flag.String("quotas", "", "per-tenant quota config (JSON: {\"default\": {\"rps\":..,\"burst\":..,\"max_in_flight\":..}, \"tenants\": {...}}); empty admits everything")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
+
+	var quotas serve.QuotaConfig
+	if *quotasPath != "" {
+		var err error
+		if quotas, err = serve.LoadQuotaConfig(*quotasPath); err != nil {
+			cli.Fatal("khist-server", err)
+		}
+	}
 
 	srv := serve.New(serve.Config{
 		Shards:           *shards,
@@ -56,6 +69,9 @@ func main() {
 		CacheBytes:       *cacheBytes,
 		MaxSamplesPerSet: *maxSamples,
 		MaxDomain:        *maxDomain,
+		MaxBodyBytes:     *maxBodyBytes,
+		MaxQueuePerShard: *maxQueue,
+		Quotas:           quotas,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 

@@ -1,6 +1,9 @@
 package par
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool is a set of persistent worker goroutines that execute submitted
 // tasks, amortizing goroutine startup across many parallel sections. The
@@ -28,6 +31,12 @@ type Pool struct {
 	size  int
 	tasks chan func()
 	quit  chan struct{}
+
+	// pending counts Do-submitted tasks that have not yet started
+	// executing: the pool's queue depth. Serving layers read it (via
+	// Pending) to observe back-pressure and decide admission before a
+	// request blocks on Do.
+	pending atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -57,6 +66,12 @@ func NewPool(size int) *Pool {
 // Size returns the number of persistent workers.
 func (p *Pool) Size() int { return p.size }
 
+// Pending returns the current queue depth: Do-submitted tasks waiting
+// for a worker to accept them. It is an instantaneous observation —
+// admission gates use it for monitoring, not as a synchronization
+// primitive.
+func (p *Pool) Pending() int { return int(p.pending.Load()) }
+
 // Go submits fn for asynchronous execution and returns immediately: on a
 // pool worker when one is idle, otherwise on a fresh goroutine. fn is
 // responsible for its own completion signalling (typically a WaitGroup).
@@ -78,14 +93,17 @@ func (p *Pool) Go(fn func()) {
 // bound is gone but the call still completes, so a request caught
 // mid-flight by owner shutdown finishes instead of panicking.
 func (p *Pool) Do(fn func()) {
+	p.pending.Add(1)
 	done := make(chan struct{})
 	select {
 	case p.tasks <- func() {
+		p.pending.Add(-1)
 		defer close(done)
 		fn()
 	}:
 		<-done
 	case <-p.quit:
+		p.pending.Add(-1)
 		fn()
 	}
 }

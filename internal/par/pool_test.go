@@ -1,6 +1,7 @@
 package par
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -89,6 +90,41 @@ func TestPoolGoNeverBlocksWhenSaturated(t *testing.T) {
 	done.Wait()
 	close(block)
 	wg.Wait()
+}
+
+func TestPoolPendingObservesQueueDepth(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if got := p.Pending(); got != 0 {
+		t.Fatalf("idle pool Pending = %d, want 0", got)
+	}
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // occupies the only worker
+		defer wg.Done()
+		p.Do(func() { close(started); <-block })
+	}()
+	<-started
+	go func() { // queued behind it: observable depth
+		defer wg.Done()
+		p.Do(func() {})
+	}()
+	// The queued Do registers as pending before a worker accepts it.
+	deadline := 0
+	for p.Pending() < 1 {
+		if deadline++; deadline > 1e7 {
+			t.Fatal("queued Do never showed up in Pending")
+		}
+		runtime.Gosched()
+	}
+	close(block)
+	wg.Wait()
+	if got := p.Pending(); got != 0 {
+		t.Fatalf("drained pool Pending = %d, want 0", got)
+	}
 }
 
 func TestPoolUsableAfterClose(t *testing.T) {

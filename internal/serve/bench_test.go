@@ -15,6 +15,8 @@ import (
 //	mode=cold       every request misses (distinct seeds)
 //	mode=cached     every request hits one warmed key
 //	mode=coalesced  16 concurrent clients per op share one fresh key
+//	mode=quota      cached path with per-tenant quotas enabled: the
+//	                admission layer's overhead on the hot path
 //
 // cmd/khist-bench renders the output into BENCH_serve.json with
 // requests/sec per mode; CI uploads it as the bench-serve artifact.
@@ -58,8 +60,31 @@ func BenchmarkServe(b *testing.B) {
 		}
 	})
 
+	b.Run("mode=quota", func(b *testing.B) {
+		s := New(Config{
+			Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+			Quotas: QuotaConfig{
+				Default: TenantQuota{RPS: 1e12, Burst: 1e12, MaxInFlight: 1 << 20},
+			},
+		})
+		defer s.Close()
+		h := s.Handler()
+		body := mkBody(1)
+		if code := learnPost(h, body); code != 200 { // warm the key
+			b.Fatalf("warmup code %d", code)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := learnPost(h, body); code != 200 {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+
 	b.Run("mode=coalesced", func(b *testing.B) {
-		s := New(Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0})
+		// MaxQueuePerShard stays above the client count so the admission
+		// gate never sheds: the mode measures coalescing, not shedding.
+		s := New(Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0, MaxQueuePerShard: 64})
 		defer s.Close()
 		h := s.Handler()
 		const clients = 16

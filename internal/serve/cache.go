@@ -51,7 +51,11 @@ func (c *cache) get(key string) (any, bool) {
 // cached at all; re-putting an existing key refreshes its value and
 // accounting.
 func (c *cache) put(key string, val any, bytes int64) {
-	if bytes > c.capBytes { // also covers capBytes <= 0: caching disabled
+	// The disabled-cache and zero-byte guards must be explicit: a
+	// bytes == 0 entry passes `bytes > capBytes` even when capBytes <= 0,
+	// so a "disabled" cache could admit (and forever retain — eviction
+	// only reclaims accounted bytes) weightless entries and serve hits.
+	if c.capBytes <= 0 || bytes <= 0 || bytes > c.capBytes {
 		return
 	}
 	c.mu.Lock()

@@ -1,0 +1,57 @@
+package serve
+
+import "testing"
+
+// TestDisabledCacheRejectsZeroByteEntries is the regression test for the
+// put guard: with a non-positive budget (caching disabled) a zero-byte
+// entry used to slip past the `bytes > capBytes` check (0 > 0 is false)
+// and get cached — a "disabled" cache serving hits. The guard must be
+// explicit about both the disabled budget and weightless entries.
+func TestDisabledCacheRejectsZeroByteEntries(t *testing.T) {
+	for _, capBytes := range []int64{0, -1} {
+		c := newCache(capBytes)
+		c.put("k", "v", 0)
+		if _, ok := c.get("k"); ok {
+			t.Fatalf("cap %d: zero-byte entry was cached in a disabled cache", capBytes)
+		}
+		if entries, used := c.stats(); entries != 0 || used != 0 {
+			t.Fatalf("cap %d: disabled cache holds %d entries / %d bytes", capBytes, entries, used)
+		}
+	}
+}
+
+// TestEnabledCacheRejectsWeightlessEntries: even with a positive budget,
+// entries accounted at <= 0 bytes must not be admitted — they would
+// never be reclaimed by eviction (which only frees accounted bytes).
+func TestEnabledCacheRejectsWeightlessEntries(t *testing.T) {
+	c := newCache(1 << 10)
+	c.put("zero", "v", 0)
+	c.put("negative", "v", -8)
+	for _, key := range []string{"zero", "negative"} {
+		if _, ok := c.get(key); ok {
+			t.Fatalf("weightless entry %q was cached", key)
+		}
+	}
+	// Sanity: normally weighted entries still work.
+	c.put("real", "v", 8)
+	if _, ok := c.get("real"); !ok {
+		t.Fatal("positively weighted entry missing after put")
+	}
+}
+
+// TestCacheBudgetStillEvicts guards that the new put guard did not break
+// the LRU: entries beyond the budget evict oldest-first.
+func TestCacheBudgetStillEvicts(t *testing.T) {
+	c := newCache(100)
+	c.put("a", 1, 60)
+	c.put("b", 2, 60) // evicts a
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a survived an over-budget put")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("b missing after eviction pass")
+	}
+	if entries, used := c.stats(); entries != 1 || used != 60 {
+		t.Fatalf("stats = %d entries / %d bytes, want 1/60", entries, used)
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup is the serving layer's one singleflight-over-cache
+// implementation: an LRU cache in front of a coalescing table, so an
+// immutable value is built at most once across concurrent callers and
+// successful builds are published for later hits. Both the shard's
+// sample-set tabulations and the source registry's O(n) constructions
+// go through it — one copy of the subtle concurrency (done-channel
+// fan-out, publish-successes-only, delete-then-close ordering) to
+// maintain.
+type flightGroup struct {
+	cache *cache
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress build: followers wait on done and then
+// share val (or the leader's error). val is immutable once done closes.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup(c *cache) *flightGroup {
+	return &flightGroup{cache: c, flights: make(map[string]*flight)}
+}
+
+// do returns the immutable value for key, building it at most once
+// across concurrent callers: a cache hit returns immediately; a caller
+// that finds the key being built waits for the leader and shares its
+// result; otherwise the caller becomes the leader, builds, and
+// publishes to the cache (successes only — a failed build is retried
+// by the next caller, never cached). The returned status says which
+// path was taken (StatusHit, StatusCoalesced, StatusMiss).
+//
+// build must be a pure function of key — that is what makes hit, miss,
+// and coalesced results indistinguishable in content.
+func (g *flightGroup) do(key string, build func() (val any, bytes int64, err error)) (any, string, error) {
+	g.mu.Lock()
+	if v, ok := g.cache.get(key); ok {
+		g.mu.Unlock()
+		return v, StatusHit, nil
+	}
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, StatusCoalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	// Contain build panics here, not just in callers: if the leader
+	// unwound past the cleanup below, the flight would stay in-flight
+	// forever and every later request for the key would hang on done.
+	// (The shard path also recovers inside pool tasks; the registry
+	// path runs builds inline and relies on this recover.)
+	var bytes int64
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				f.err = fmt.Errorf("serve: build panic: %v", p)
+			}
+		}()
+		f.val, bytes, f.err = build()
+	}()
+
+	g.mu.Lock()
+	if f.err == nil {
+		g.cache.put(key, f.val, bytes)
+	}
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, StatusMiss, f.err
+}

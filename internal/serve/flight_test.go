@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightGroupBuildPanicDoesNotWedgeKey: a panicking build must
+// become an error for the leader (and any coalesced followers), and the
+// key must stay buildable — if the leader unwound past the in-flight
+// cleanup, every later request for the key would hang forever on the
+// flight's done channel. Registry builds run inline (no pool recover
+// above them), so this is the only containment they have.
+func TestFlightGroupBuildPanicDoesNotWedgeKey(t *testing.T) {
+	g := newFlightGroup(newCache(1 << 10))
+	_, status, err := g.do("k", func() (any, int64, error) { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") || status != StatusMiss {
+		t.Fatalf("panicking build: status %q err %v, want miss with contained panic", status, err)
+	}
+	// The key is not wedged and the failure was not cached.
+	v, status, err := g.do("k", func() (any, int64, error) { return "ok", 2, nil })
+	if err != nil || status != StatusMiss || v != "ok" {
+		t.Fatalf("retry after panic: v=%v status=%q err=%v", v, status, err)
+	}
+	if v, status, _ := g.do("k", nil); status != StatusHit || v != "ok" {
+		t.Fatalf("success not cached: v=%v status=%q", v, status)
+	}
+}
+
+// TestFlightGroupErrorsSharedNotSticky: followers coalesced onto a
+// failing leader share its error; the next arrival rebuilds.
+func TestFlightGroupErrorsSharedNotSticky(t *testing.T) {
+	g := newFlightGroup(newCache(1 << 10))
+	boom := errors.New("nope")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, status, err := g.do("k", func() (any, int64, error) {
+			close(started)
+			<-release
+			return nil, 0, boom
+		})
+		if status != StatusMiss || !errors.Is(err, boom) {
+			t.Errorf("leader: status %q err %v", status, err)
+		}
+	}()
+	<-started
+	go func() {
+		defer wg.Done()
+		// The follower either coalesces onto the failing leader or
+		// arrives after cleanup and rebuilds (also failing); both paths
+		// must surface the error and cache nothing.
+		_, _, err := g.do("k", func() (any, int64, error) { return nil, 0, boom })
+		if !errors.Is(err, boom) {
+			t.Errorf("follower err = %v, want %v", err, boom)
+		}
+	}()
+	close(release)
+	wg.Wait()
+	if _, status, err := g.do("k", func() (any, int64, error) { return "ok", 1, nil }); status != StatusMiss || err != nil {
+		t.Fatalf("error was cached: status %q err %v", status, err)
+	}
+}

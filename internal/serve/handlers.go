@@ -2,8 +2,10 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"khist/internal/collision"
 	"khist/internal/dist"
@@ -56,9 +58,14 @@ type LearnResponse struct {
 
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	var req LearnRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
+	sh, release, ok := s.admit(w, req.Tenant, req.Source.key())
+	if !ok {
+		return
+	}
+	defer release()
 	d, err := s.resolveSource(req.Source)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -81,8 +88,6 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := setsKey(d.Fingerprint(), req.Seed, ell, rr, m)
-	sh := s.shardFor(req.Tenant, req.Source.key())
-	sh.requests.Add(1)
 	bundle, status, err := sh.tabulated(key, func() (any, int64) {
 		return drawSets(d, req.Seed, ell, rr, m, s.cfg.WorkersPerShard)
 	})
@@ -149,9 +154,14 @@ type TestResponse struct {
 func (s *Server) handleTest(norm string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req TestRequest
-		if !decode(w, r, &req) {
+		if !s.decode(w, r, &req) {
 			return
 		}
+		sh, release, ok := s.admit(w, req.Tenant, req.Source.key())
+		if !ok {
+			return
+		}
+		defer release()
 		d, err := s.resolveSource(req.Source)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -182,8 +192,6 @@ func (s *Server) handleTest(norm string) http.HandlerFunc {
 		// shares a namespace with /v1/learn, so a learner and tester
 		// with identical budgets share one draw.
 		key := setsKey(d.Fingerprint(), req.Seed, 0, rr, m)
-		sh := s.shardFor(req.Tenant, req.Source.key())
-		sh.requests.Add(1)
 		bundle, status, err := sh.tabulated(key, func() (any, int64) {
 			return drawSets(d, req.Seed, 0, rr, m, s.cfg.WorkersPerShard)
 		})
@@ -259,9 +267,14 @@ type Learn2DResponse struct {
 
 func (s *Server) handleLearn2D(w http.ResponseWriter, r *http.Request) {
 	var req Learn2DRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
+	sh, release, ok := s.admit(w, req.Tenant, req.Source.key())
+	if !ok {
+		return
+	}
+	defer release()
 	g, err := s.resolveSource2D(req.Source)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -292,8 +305,6 @@ func (s *Server) handleLearn2D(w http.ResponseWriter, r *http.Request) {
 
 	flat := g.Flatten()
 	key := fmt.Sprintf("sets2d|%dx%d|fp=%016x|seed=%d|m=%d", g.Rows(), g.Cols(), flat.Fingerprint(), req.Seed, m)
-	sh := s.shardFor(req.Tenant, req.Source.key())
-	sh.requests.Add(1)
 	bundle, status, err := sh.tabulated(key, func() (any, int64) {
 		sampler := dist.NewSampler(flat, par.NewRand(uint64(req.Seed)))
 		emp, err := grid.NewEmpirical2D(g.Rows(), g.Cols(), dist.DrawBatch(sampler, m))
@@ -337,10 +348,16 @@ func (s *Server) handleLearn2D(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// ShardStats is one shard's counters in a /v1/stats response.
+// ShardStats is one shard's counters in a /v1/stats response. InFlight
+// is the shard's currently admitted requests (executing plus waiting
+// for a pool worker), QueueDepth the subset actually waiting on the
+// pool right now, and Shed the requests refused at the shard gate.
 type ShardStats struct {
 	Shard        int   `json:"shard"`
 	Requests     int64 `json:"requests"`
+	InFlight     int64 `json:"in_flight"`
+	QueueDepth   int   `json:"queue_depth"`
+	Shed         int64 `json:"shed"`
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	Coalesced    int64 `json:"coalesced"`
@@ -348,29 +365,41 @@ type ShardStats struct {
 	CacheBytes   int64 `json:"cache_bytes"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. Requests counts admitted
+// requests only; Shed counts shard-gate refusals, and the per-tenant
+// rate/concurrency sheds live in Tenants.
 type StatsResponse struct {
-	Shards          int          `json:"shards"`
-	WorkersPerShard int          `json:"workers_per_shard"`
-	CacheBytesCap   int64        `json:"cache_bytes_cap"`
-	Requests        int64        `json:"requests"`
-	CacheHits       int64        `json:"cache_hits"`
-	CacheMisses     int64        `json:"cache_misses"`
-	Coalesced       int64        `json:"coalesced"`
-	PerShard        []ShardStats `json:"per_shard"`
+	Shards             int           `json:"shards"`
+	WorkersPerShard    int           `json:"workers_per_shard"`
+	CacheBytesCap      int64         `json:"cache_bytes_cap"`
+	CacheBytesPerShard int64         `json:"cache_bytes_per_shard"`
+	MaxQueuePerShard   int           `json:"max_queue_per_shard"`
+	Requests           int64         `json:"requests"`
+	Shed               int64         `json:"shed"`
+	CacheHits          int64         `json:"cache_hits"`
+	CacheMisses        int64         `json:"cache_misses"`
+	Coalesced          int64         `json:"coalesced"`
+	PerShard           []ShardStats  `json:"per_shard"`
+	Tenants            []TenantStats `json:"tenants,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := StatsResponse{
-		Shards:          len(s.shards),
-		WorkersPerShard: s.cfg.WorkersPerShard,
-		CacheBytesCap:   s.cfg.CacheBytes,
+		Shards:             len(s.shards),
+		WorkersPerShard:    s.cfg.WorkersPerShard,
+		CacheBytesCap:      s.cfg.CacheBytes,
+		CacheBytesPerShard: s.perShardCache,
+		MaxQueuePerShard:   s.cfg.MaxQueuePerShard,
+		Tenants:            s.quotas.stats(),
 	}
 	for i, sh := range s.shards {
 		entries, bytes := sh.cache.stats()
 		st := ShardStats{
 			Shard:        i,
 			Requests:     sh.requests.Load(),
+			InFlight:     sh.inflight.Load(),
+			QueueDepth:   sh.pool.Pending(),
+			Shed:         sh.shed.Load(),
 			CacheHits:    sh.hits.Load(),
 			CacheMisses:  sh.misses.Load(),
 			Coalesced:    sh.coalesced.Load(),
@@ -378,6 +407,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			CacheBytes:   bytes,
 		}
 		resp.Requests += st.Requests
+		resp.Shed += st.Shed
 		resp.CacheHits += st.CacheHits
 		resp.CacheMisses += st.CacheMisses
 		resp.Coalesced += st.Coalesced
@@ -415,11 +445,20 @@ func drawSets(d *dist.Distribution, seed int64, ell, r, m, workers int) (any, in
 }
 
 // decode parses a JSON request body strictly (unknown fields are 400s,
-// catching misspelled parameters before they silently default).
-func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(r.Body)
+// catching misspelled parameters before they silently default), with
+// the body capped at MaxBodyBytes so a request cannot allocate
+// unboundedly before admission is decided: overflow is a 413, reported
+// before any source resolution or sampling happens.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: request body exceeds the server's -max-body-bytes %d", s.cfg.MaxBodyBytes))
+			return false
+		}
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return false
 	}
@@ -429,6 +468,15 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// writeShed answers a load-shed request: 429 with a Retry-After hint
+// (seconds). Shedding happens before any compute, so the body is the
+// uniform error shape — admitted requests are the only ones whose
+// bodies carry algorithm output.
+func writeShed(w http.ResponseWriter, retryAfter int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeErr(w, http.StatusTooManyRequests, err)
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {

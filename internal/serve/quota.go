@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TenantQuota is one tenant's admission budget. The zero value means
+// unlimited: quotas bound *whether* a request is admitted, never what
+// an admitted request returns, so an unconfigured server behaves
+// exactly as before.
+type TenantQuota struct {
+	// RPS is the sustained request rate (token-bucket refill,
+	// requests/second). Non-positive means unlimited rate.
+	RPS float64 `json:"rps,omitempty"`
+	// Burst is the bucket size: how many requests may arrive at once
+	// before the rate limit bites. Non-positive means max(RPS, 1).
+	Burst float64 `json:"burst,omitempty"`
+	// MaxInFlight caps the tenant's concurrently admitted requests
+	// across all shards. Non-positive means unlimited.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// burst resolves the effective bucket size.
+func (q TenantQuota) burst() float64 {
+	if q.Burst > 0 {
+		return q.Burst
+	}
+	return math.Max(q.RPS, 1)
+}
+
+// QuotaConfig is the per-tenant admission policy: a default applied to
+// every tenant plus named overrides. The zero value admits everything.
+type QuotaConfig struct {
+	// Default applies to tenants without an override (including the
+	// empty tenant name).
+	Default TenantQuota `json:"default,omitempty"`
+	// Tenants maps tenant name to its override. An override replaces
+	// the default wholesale for that tenant.
+	Tenants map[string]TenantQuota `json:"tenants,omitempty"`
+	// MaxTrackedTenants bounds the live state table for tenants
+	// *without* an override: tenant names are client-supplied, so the
+	// table must not grow without bound. Configured tenants are always
+	// tracked; past the cap, idle unconfigured states are evicted
+	// (resetting their buckets — per-tenant guarantees are exact for
+	// configured tenants, best-effort under name-flooding for the
+	// default tier). Values below 1 mean DefaultMaxTrackedTenants.
+	MaxTrackedTenants int `json:"max_tracked_tenants,omitempty"`
+}
+
+// DefaultMaxTrackedTenants bounds the dynamic tenant-state table (see
+// QuotaConfig.MaxTrackedTenants).
+const DefaultMaxTrackedTenants = 4096
+
+// forTenant resolves the quota that governs tenant.
+func (c QuotaConfig) forTenant(tenant string) TenantQuota {
+	if q, ok := c.Tenants[tenant]; ok {
+		return q
+	}
+	return c.Default
+}
+
+// LoadQuotaConfig reads a QuotaConfig from a JSON file (the
+// -quotas flag of khist-server). Unknown fields are errors, catching
+// misspelled limits before they silently admit everything.
+func LoadQuotaConfig(path string) (QuotaConfig, error) {
+	var cfg QuotaConfig
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, fmt.Errorf("reading quota config: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("parsing quota config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// tenantState is one tenant's live admission state: a token bucket for
+// rate, an in-flight count for concurrency, and usage counters surfaced
+// in /v1/stats. tokens/last are guarded by mu; counters are atomic so
+// stats never contend with admission.
+type tenantState struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	inflight atomic.Int64
+	admitted atomic.Int64
+	shedRate atomic.Int64
+	shedConc atomic.Int64
+}
+
+// quotas is the server-wide per-tenant admission table. Tenant quotas
+// are global across shards (a tenant's requests may fan out to many
+// shards, one budget governs them all) — the per-shard admission gate
+// is layered separately in shard.acquire.
+type quotas struct {
+	cfg QuotaConfig
+	// now is the clock, injectable so tests can exhaust and refill
+	// buckets deterministically.
+	now func() time.Time
+
+	// mu is a reader/writer lock so the hot path (an already-tracked
+	// tenant, i.e. every request after a tenant's first) is a shared
+	// read of the map, not a serialization point across shards; the
+	// exclusive lock is only for first-seen insertion and eviction.
+	mu      sync.RWMutex
+	tenants map[string]*tenantState
+}
+
+func newQuotas(cfg QuotaConfig) *quotas {
+	if cfg.MaxTrackedTenants < 1 {
+		cfg.MaxTrackedTenants = DefaultMaxTrackedTenants
+	}
+	return &quotas{cfg: cfg, now: time.Now, tenants: make(map[string]*tenantState)}
+}
+
+// state returns (creating if needed) the live state for tenant. The
+// table is bounded: tenant names are client-supplied, so past
+// MaxTrackedTenants (plus the configured tenants, which are never
+// evicted) idle unconfigured states are dropped to make room.
+func (qs *quotas) state(tenant string) *tenantState {
+	qs.mu.RLock()
+	st, ok := qs.tenants[tenant]
+	qs.mu.RUnlock()
+	if ok {
+		return st
+	}
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if st, ok := qs.tenants[tenant]; ok { // raced with another insert
+		return st
+	}
+	if len(qs.tenants) >= qs.cfg.MaxTrackedTenants+len(qs.cfg.Tenants) {
+		qs.evictLocked()
+	}
+	st = &tenantState{tokens: qs.cfg.forTenant(tenant).burst(), last: qs.now()}
+	qs.tenants[tenant] = st
+	return st
+}
+
+// evictLocked drops one unconfigured, idle (no requests in flight)
+// tenant state. Eviction resets that tenant's bucket, so default-tier
+// rate limits are best-effort under tenant-name flooding; configured
+// tenants keep exact accounting. Called with qs.mu held.
+func (qs *quotas) evictLocked() {
+	for name, st := range qs.tenants {
+		if _, configured := qs.cfg.Tenants[name]; configured {
+			continue
+		}
+		if st.inflight.Load() == 0 {
+			delete(qs.tenants, name)
+			return
+		}
+	}
+}
+
+// grant is one admitted request's hold on its tenant's quota. Exactly
+// one of release or cancel must be called.
+type grant struct {
+	st *tenantState
+	q  TenantQuota
+}
+
+// release ends the request normally: the concurrency slot frees, the
+// rate token stays spent.
+func (g grant) release() { g.st.inflight.Add(-1) }
+
+// cancel undoes the admission entirely — the request was never served
+// (e.g. shed at the shard gate after passing its tenant quota), so the
+// slot, the usage count, and the rate token all go back. Without the
+// refund, shard saturation would silently drain unrelated tenants'
+// rate budgets.
+func (g grant) cancel() {
+	g.st.inflight.Add(-1)
+	g.st.admitted.Add(-1)
+	if g.q.RPS > 0 {
+		g.st.mu.Lock()
+		g.st.tokens = math.Min(g.q.burst(), g.st.tokens+1)
+		g.st.mu.Unlock()
+	}
+}
+
+// admit decides admission for one request from tenant. On success the
+// returned grant must be released (normal completion) or cancelled
+// (request refused downstream) exactly once. On shedding it returns
+// ok=false with the 429 Retry-After hint in seconds and a
+// human-readable reason.
+func (qs *quotas) admit(tenant string) (g grant, retryAfter int, reason string, ok bool) {
+	q := qs.cfg.forTenant(tenant)
+	st := qs.state(tenant)
+
+	// Take the concurrency slot optimistically (add-then-check): a
+	// load-then-add would let concurrent requests all pass a stale
+	// read and breach the cap exactly under the load it exists for.
+	if st.inflight.Add(1) > int64(q.MaxInFlight) && q.MaxInFlight > 0 {
+		st.inflight.Add(-1)
+		st.shedConc.Add(1)
+		return grant{}, 1, fmt.Sprintf("tenant %q is at its concurrency cap (%d in flight)", tenant, q.MaxInFlight), false
+	}
+	if q.RPS > 0 {
+		st.mu.Lock()
+		now := qs.now()
+		st.tokens = math.Min(q.burst(), st.tokens+now.Sub(st.last).Seconds()*q.RPS)
+		st.last = now
+		if st.tokens < 1 {
+			wait := (1 - st.tokens) / q.RPS
+			st.mu.Unlock()
+			st.inflight.Add(-1) // roll back the slot taken above
+			st.shedRate.Add(1)
+			retry := int(math.Ceil(wait))
+			if retry < 1 {
+				retry = 1
+			}
+			return grant{}, retry, fmt.Sprintf("tenant %q exceeded its rate quota (%.3g req/s)", tenant, q.RPS), false
+		}
+		st.tokens--
+		st.mu.Unlock()
+	}
+
+	st.admitted.Add(1)
+	return grant{st: st, q: q}, 0, "", true
+}
+
+// TenantStats is one tenant's usage in a /v1/stats response.
+type TenantStats struct {
+	Tenant          string `json:"tenant"`
+	Admitted        int64  `json:"admitted"`
+	InFlight        int64  `json:"in_flight"`
+	ShedRate        int64  `json:"shed_rate"`
+	ShedConcurrency int64  `json:"shed_concurrency"`
+}
+
+// stats snapshots every tenant seen so far, sorted by name so the
+// stats body is deterministic.
+func (qs *quotas) stats() []TenantStats {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	out := make([]TenantStats, 0, len(qs.tenants))
+	for name, st := range qs.tenants {
+		out = append(out, TenantStats{
+			Tenant:          name,
+			Admitted:        st.admitted.Load(),
+			InFlight:        st.inflight.Load(),
+			ShedRate:        st.shedRate.Load(),
+			ShedConcurrency: st.shedConc.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

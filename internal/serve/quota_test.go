@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a controllable clock for deterministic token-bucket
+// tests: *at holds the current time and tests advance it explicitly.
+func fixedClock(at *time.Time) func() time.Time {
+	return func() time.Time { return *at }
+}
+
+func TestQuotaRateLimit(t *testing.T) {
+	qs := newQuotas(QuotaConfig{Tenants: map[string]TenantQuota{
+		"acme": {RPS: 1, Burst: 2},
+	}})
+	now := time.Unix(1000, 0)
+	qs.now = fixedClock(&now)
+
+	// Burst of 2 is admitted, the third request is shed with a >= 1s hint.
+	for i := 0; i < 2; i++ {
+		g, _, _, ok := qs.admit("acme")
+		if !ok {
+			t.Fatalf("burst request %d shed, want admitted", i)
+		}
+		g.release()
+	}
+	_, retry, reason, ok := qs.admit("acme")
+	if ok {
+		t.Fatal("third request admitted past a burst of 2")
+	}
+	if retry < 1 || !strings.Contains(reason, "rate quota") {
+		t.Fatalf("rate shed: retry=%d reason=%q", retry, reason)
+	}
+
+	// Tokens refill with the clock: one second buys one request.
+	now = now.Add(time.Second)
+	if _, _, _, ok := qs.admit("acme"); !ok {
+		t.Fatal("request shed after a full refill interval")
+	}
+
+	// Other tenants are untouched by acme's exhaustion.
+	if _, _, _, ok := qs.admit("other"); !ok {
+		t.Fatal("unrelated tenant shed by acme's quota")
+	}
+}
+
+func TestQuotaConcurrencyCap(t *testing.T) {
+	qs := newQuotas(QuotaConfig{Default: TenantQuota{MaxInFlight: 2}})
+	g1, _, _, ok1 := qs.admit("t")
+	g2, _, _, ok2 := qs.admit("t")
+	if !ok1 || !ok2 {
+		t.Fatal("requests under the concurrency cap were shed")
+	}
+	_, retry, reason, ok := qs.admit("t")
+	if ok {
+		t.Fatal("third concurrent request admitted past max_in_flight 2")
+	}
+	if retry != 1 || !strings.Contains(reason, "concurrency cap") {
+		t.Fatalf("concurrency shed: retry=%d reason=%q", retry, reason)
+	}
+	g1.release()
+	if _, _, _, ok := qs.admit("t"); !ok {
+		t.Fatal("request shed after a slot was released")
+	}
+	g2.release()
+}
+
+// TestQuotaConcurrencyCapUnderConcurrency is the TOCTOU regression: the
+// cap must hold when many requests race it (an admit that loads the
+// in-flight count before incrementing would let a burst of N all pass a
+// stale read).
+func TestQuotaConcurrencyCapUnderConcurrency(t *testing.T) {
+	const limit = 4
+	qs := newQuotas(QuotaConfig{Default: TenantQuota{MaxInFlight: limit}})
+	const clients = 64
+	grants := make(chan grant, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if g, _, _, ok := qs.admit("t"); ok {
+				grants <- g
+			}
+		}()
+	}
+	wg.Wait()
+	close(grants)
+	admitted := 0
+	for g := range grants {
+		admitted++
+		g.release()
+	}
+	if admitted > limit {
+		t.Fatalf("%d concurrent requests admitted past max_in_flight %d", admitted, limit)
+	}
+	if admitted == 0 {
+		t.Fatal("no request admitted at all")
+	}
+}
+
+// TestTenantTableBounded: tenant names are client-supplied, so the live
+// state table must stay bounded under name flooding, while configured
+// tenants are never evicted.
+func TestTenantTableBounded(t *testing.T) {
+	qs := newQuotas(QuotaConfig{
+		MaxTrackedTenants: 8,
+		Tenants:           map[string]TenantQuota{"keep": {RPS: 100, Burst: 100}},
+	})
+	g, _, _, ok := qs.admit("keep")
+	if !ok {
+		t.Fatal("configured tenant shed")
+	}
+	g.release()
+	for i := 0; i < 1000; i++ {
+		if g, _, _, ok := qs.admit(fmt.Sprintf("flood-%d", i)); ok {
+			g.release()
+		}
+	}
+	qs.mu.Lock()
+	size := len(qs.tenants)
+	_, kept := qs.tenants["keep"]
+	qs.mu.Unlock()
+	if size > 8+1 {
+		t.Fatalf("tenant table grew to %d states under flooding, cap 8 (+1 configured)", size)
+	}
+	if !kept {
+		t.Fatal("configured tenant evicted by flooding")
+	}
+}
+
+func TestQuotaZeroValueAdmitsEverything(t *testing.T) {
+	qs := newQuotas(QuotaConfig{})
+	for i := 0; i < 100; i++ {
+		g, _, _, ok := qs.admit("anyone")
+		if !ok {
+			t.Fatalf("request %d shed under the zero-value config", i)
+		}
+		g.release()
+	}
+	st := qs.stats()
+	if len(st) != 1 || st[0].Admitted != 100 || st[0].InFlight != 0 {
+		t.Fatalf("usage tracking off under zero-value config: %+v", st)
+	}
+}
+
+// TestQuotaExhaustion429 is the end-to-end shape of tenant shedding: a
+// tenant over its rate quota gets 429 + Retry-After while another tenant
+// on the same shard keeps being served, and the sheds show in /v1/stats.
+func TestQuotaExhaustion429(t *testing.T) {
+	s, h := newTestServer(t, Config{
+		Shards: 1, WorkersPerShard: 2, CacheBytes: 64 << 20,
+		Quotas: QuotaConfig{Tenants: map[string]TenantQuota{
+			"acme": {RPS: 1, Burst: 1},
+		}},
+	})
+	now := time.Unix(2000, 0)
+	s.quotas.now = fixedClock(&now)
+
+	if w := post(h, "/v1/learn", learnBody); w.Code != 200 {
+		t.Fatalf("first request: code %d: %s", w.Code, w.Body.String())
+	}
+	w := post(h, "/v1/learn", learnBody)
+	if w.Code != 429 {
+		t.Fatalf("over-quota request: code %d, want 429 (body %s)", w.Code, w.Body.String())
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	if !strings.Contains(w.Body.String(), "rate quota") {
+		t.Fatalf("429 body does not name the quota: %s", w.Body.String())
+	}
+
+	// The same shard still serves a tenant with room. (One shard, so
+	// they share everything except the quota.)
+	other := strings.Replace(learnBody, `"tenant":"acme"`, `"tenant":"calm"`, 1)
+	if w := post(h, "/v1/learn", other); w.Code != 200 {
+		t.Fatalf("other tenant on the same shard: code %d", w.Code)
+	}
+
+	var st StatsResponse
+	if err := json.Unmarshal(get(h, "/v1/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	var acme *TenantStats
+	for i := range st.Tenants {
+		if st.Tenants[i].Tenant == "acme" {
+			acme = &st.Tenants[i]
+		}
+	}
+	if acme == nil || acme.Admitted != 1 || acme.ShedRate != 1 {
+		t.Fatalf("tenant stats = %+v, want acme admitted 1 / shed_rate 1", st.Tenants)
+	}
+
+	// After the refill interval the tenant is served again.
+	now = now.Add(2 * time.Second)
+	if w := post(h, "/v1/learn", learnBody); w.Code != 200 {
+		t.Fatalf("post-refill request: code %d", w.Code)
+	}
+}
+
+// TestConcurrencyQuota429 drives the in-flight cap through the handler:
+// with the tenant pinned at its cap, requests shed with 429 and recover
+// once the slot frees.
+func TestConcurrencyQuota429(t *testing.T) {
+	s, h := newTestServer(t, Config{
+		Shards: 1, WorkersPerShard: 2, CacheBytes: 64 << 20,
+		Quotas: QuotaConfig{Tenants: map[string]TenantQuota{
+			"acme": {MaxInFlight: 1},
+		}},
+	})
+	// Occupy the tenant's only slot as a long-running request would.
+	st := s.quotas.state("acme")
+	st.inflight.Add(1)
+	w := post(h, "/v1/learn", learnBody)
+	if w.Code != 429 || w.Header().Get("Retry-After") != "1" {
+		t.Fatalf("at-cap request: code %d Retry-After %q, want 429/1", w.Code, w.Header().Get("Retry-After"))
+	}
+	st.inflight.Add(-1)
+	if w := post(h, "/v1/learn", learnBody); w.Code != 200 {
+		t.Fatalf("post-release request: code %d", w.Code)
+	}
+}
+
+// TestShardQueueShedding drives the per-shard admission gate: with the
+// gate saturated, new requests are shed with 429 + Retry-After (instead
+// of piling up on Pool.Do) and counted in /v1/stats; with the gate
+// drained they are served again.
+func TestShardQueueShedding(t *testing.T) {
+	s, h := newTestServer(t, Config{
+		Shards: 2, WorkersPerShard: 1, CacheBytes: 64 << 20, MaxQueuePerShard: 2,
+	})
+	var req LearnRequest
+	if err := json.Unmarshal([]byte(learnBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	sh := s.shardFor(req.Tenant, req.Source.key())
+	// Saturate the gate as two stuck requests would.
+	if !sh.acquire() || !sh.acquire() {
+		t.Fatal("gate refused requests under its limit")
+	}
+	w := post(h, "/v1/learn", learnBody)
+	if w.Code != 429 || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("saturated shard: code %d Retry-After %q, want 429 with hint", w.Code, w.Header().Get("Retry-After"))
+	}
+	if !strings.Contains(w.Body.String(), "queue full") {
+		t.Fatalf("429 body does not name the shard queue: %s", w.Body.String())
+	}
+
+	var st StatsResponse
+	if err := json.Unmarshal(get(h, "/v1/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed != 1 {
+		t.Fatalf("stats shed = %d, want 1", st.Shed)
+	}
+	var shedShard *ShardStats
+	for i := range st.PerShard {
+		if st.PerShard[i].Shed > 0 {
+			shedShard = &st.PerShard[i]
+		}
+	}
+	if shedShard == nil || shedShard.InFlight != 2 {
+		t.Fatalf("per-shard shed/in-flight accounting off: %+v", st.PerShard)
+	}
+
+	sh.release()
+	sh.release()
+	if w := post(h, "/v1/learn", learnBody); w.Code != 200 {
+		t.Fatalf("drained shard: code %d", w.Code)
+	}
+}
+
+// TestShardShedRefundsRateToken: a request that passes its tenant quota
+// but is shed at the shard gate got no service, so its rate token must
+// be refunded — otherwise shard saturation silently drains unrelated
+// tenants' rate budgets. With burst 1 and a frozen clock, the retry
+// after the gate drains only succeeds if the token came back.
+func TestShardShedRefundsRateToken(t *testing.T) {
+	s, h := newTestServer(t, Config{
+		Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20, MaxQueuePerShard: 1,
+		Quotas: QuotaConfig{Tenants: map[string]TenantQuota{
+			"acme": {RPS: 1, Burst: 1},
+		}},
+	})
+	now := time.Unix(3000, 0)
+	s.quotas.now = fixedClock(&now)
+
+	sh := s.shards[0]
+	if !sh.acquire() { // saturate the gate as a stuck request would
+		t.Fatal("gate refused a request under its limit")
+	}
+	w := post(h, "/v1/learn", learnBody)
+	if w.Code != 429 || !strings.Contains(w.Body.String(), "queue full") {
+		t.Fatalf("saturated shard: code %d body %s, want 429 queue full", w.Code, w.Body.String())
+	}
+	sh.release()
+
+	// Same frozen instant: no refill has happened, so a 200 here proves
+	// the shed request's token was refunded, not re-earned.
+	if w := post(h, "/v1/learn", learnBody); w.Code != 200 {
+		t.Fatalf("retry after gate drained: code %d (rate token not refunded?): %s", w.Code, w.Body.String())
+	}
+	// The cancelled admission must not show up in the tenant's usage.
+	st := s.quotas.stats()
+	if len(st) != 1 || st[0].Admitted != 1 {
+		t.Fatalf("tenant usage after cancel = %+v, want admitted 1", st)
+	}
+}
+
+// TestQuotasNeverChangeAdmittedBodies is the PR's invariant: quotas
+// decide whether a request is admitted, never what an admitted request
+// returns. The same request answered with quotas off, with generous
+// quotas, and as the single admitted request of a burst-1 tenant must
+// be byte-identical.
+func TestQuotasNeverChangeAdmittedBodies(t *testing.T) {
+	paths := map[string]string{
+		"/v1/learn":   learnBody,
+		"/v1/test/l2": testL2Body,
+		"/v1/learn2d": `{"tenant":"acme","source":{"gen":"rect","rows":12,"cols":12,"k":3,"seed":2},"k":3,"eps":0.2,"samples":2000,"seed":5}`,
+	}
+	configs := []Config{
+		{Shards: 2, WorkersPerShard: 2, CacheBytes: 64 << 20},
+		{Shards: 2, WorkersPerShard: 2, CacheBytes: 64 << 20, MaxQueuePerShard: 4,
+			Quotas: QuotaConfig{Default: TenantQuota{RPS: 1000, Burst: 1000, MaxInFlight: 64}}},
+		{Shards: 2, WorkersPerShard: 2, CacheBytes: 64 << 20,
+			Quotas: QuotaConfig{Tenants: map[string]TenantQuota{"acme": {RPS: 0.001, Burst: 1}}}},
+	}
+	for path, body := range paths {
+		var want []byte
+		for i, cfg := range configs {
+			_, h := newTestServer(t, cfg)
+			w := post(h, path, body)
+			if w.Code != 200 {
+				t.Fatalf("%s config %d: code %d: %s", path, i, w.Code, w.Body.String())
+			}
+			if want == nil {
+				want = w.Body.Bytes()
+			} else if !bytes.Equal(w.Body.Bytes(), want) {
+				t.Fatalf("%s config %d: admitted body differs with quotas on:\n%s\nvs\n%s", path, i, w.Body.Bytes(), want)
+			}
+		}
+	}
+}
+
+// TestRegistryCoalescesConcurrentBuilds is the regression test for the
+// source registry: concurrent misses on one source key must share a
+// single O(n) build (the shard.tabulated singleflight pattern), not
+// rebuild per caller.
+func TestRegistryCoalescesConcurrentBuilds(t *testing.T) {
+	r := newRegistry()
+	spec := SourceSpec{Gen: "khist", N: 1 << 14, K: 8, Seed: 42}
+	const callers = 16
+	dists := make([]any, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := r.resolve(spec)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			dists[i] = d
+		}(i)
+	}
+	wg.Wait()
+	if got := r.builds.Load(); got != 1 {
+		t.Fatalf("%d concurrent resolves built the source %d times, want 1", callers, got)
+	}
+	for i, d := range dists {
+		if d != dists[0] {
+			t.Fatalf("caller %d got a different *Distribution: coalesced callers must share one value", i)
+		}
+	}
+	// Failed builds are not cached and errors are shared, not sticky.
+	if _, err := r.resolve(SourceSpec{Gen: "nope", N: 4}); err == nil {
+		t.Fatal("unknown generator resolved")
+	}
+	if _, err := r.resolve(spec); err != nil {
+		t.Fatalf("resolve after unrelated failure: %v", err)
+	}
+}
+
+// TestMaxBodyBytes413 is the regression test for unbounded request
+// decoding: a body over -max-body-bytes is refused with 413 before the
+// server allocates for it, and a body under the cap still works.
+func TestMaxBodyBytes413(t *testing.T) {
+	_, h := newTestServer(t, Config{Shards: 1, WorkersPerShard: 1, CacheBytes: 1 << 20, MaxBodyBytes: 512})
+
+	var huge strings.Builder
+	huge.WriteString(`{"source":{"weights":[`)
+	for i := 0; i < 4096; i++ {
+		if i > 0 {
+			huge.WriteByte(',')
+		}
+		huge.WriteString("1")
+	}
+	huge.WriteString(`]},"k":2,"eps":0.2,"seed":1}`)
+	w := post(h, "/v1/learn", huge.String())
+	if w.Code != 413 {
+		t.Fatalf("oversized body: code %d, want 413 (body %s)", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "max-body-bytes") {
+		t.Fatalf("413 body does not name the limit: %s", w.Body.String())
+	}
+
+	small := `{"source":{"weights":[1,1,1,1,8,8,8,8]},"k":2,"eps":0.2,"scale":0.1,"cap":2000,"seed":2}`
+	if w := post(h, "/v1/learn", small); w.Code != 200 {
+		t.Fatalf("under-cap body: code %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestTinyCacheBudgetSplitsUp is the regression test for the floor-split
+// bug: any positive -cache-bytes must leave every shard a positive cap
+// (Shards 8 / CacheBytes 7 used to yield per-shard 0 — caching silently
+// disabled), and the effective per-shard budget must be visible in
+// /v1/stats.
+func TestTinyCacheBudgetSplitsUp(t *testing.T) {
+	s, h := newTestServer(t, Config{Shards: 8, WorkersPerShard: 1, CacheBytes: 7})
+	if s.perShardCache != 1 {
+		t.Fatalf("per-shard cap = %d for 7 bytes over 8 shards, want 1 (round up)", s.perShardCache)
+	}
+	for i, sh := range s.shards {
+		if sh.cache.capBytes != 1 {
+			t.Fatalf("shard %d cache cap = %d, want 1", i, sh.cache.capBytes)
+		}
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(get(h, "/v1/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheBytesPerShard != 1 || st.CacheBytesCap != 7 {
+		t.Fatalf("stats budgets = per-shard %d / total %d, want 1 / 7", st.CacheBytesPerShard, st.CacheBytesCap)
+	}
+
+	// A budget that actually fits a bundle still caches after the split:
+	// with enough room per shard, the second identical request is a hit.
+	big, bh := newTestServer(t, Config{Shards: 3, WorkersPerShard: 1, CacheBytes: 3*(32<<20) - 1})
+	if per := big.perShardCache; per != 32<<20 {
+		t.Fatalf("per-shard cap = %d, want %d (round up)", per, 32<<20)
+	}
+	post(bh, "/v1/learn", learnBody)
+	if w := post(bh, "/v1/learn", learnBody); w.Header().Get(CacheHeader) != StatusHit {
+		t.Fatalf("second request after round-up split: %s = %q, want hit", CacheHeader, w.Header().Get(CacheHeader))
+	}
+
+	// Non-positive budgets still mean disabled, on every shard.
+	off, _ := newTestServer(t, Config{Shards: 4, WorkersPerShard: 1, CacheBytes: 0})
+	if off.perShardCache != 0 {
+		t.Fatalf("disabled cache got per-shard cap %d", off.perShardCache)
+	}
+}
+
+// TestLoadQuotaConfig covers the -quotas file loading used by
+// cmd/khist-server.
+func TestLoadQuotaConfig(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "quotas.json")
+	if err := os.WriteFile(good, []byte(
+		`{"default":{"rps":100,"burst":200},"tenants":{"acme":{"rps":1,"burst":1,"max_in_flight":4}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadQuotaConfig(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default.RPS != 100 || cfg.Tenants["acme"].MaxInFlight != 4 {
+		t.Fatalf("loaded config off: %+v", cfg)
+	}
+	if q := cfg.forTenant("acme"); q.RPS != 1 {
+		t.Fatalf("override not applied: %+v", q)
+	}
+	if q := cfg.forTenant("unnamed"); q.RPS != 100 {
+		t.Fatalf("default not applied: %+v", q)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tennants":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadQuotaConfig(bad); err == nil {
+		t.Fatal("misspelled quota field accepted")
+	}
+	if _, err := LoadQuotaConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing quota file accepted")
+	}
+}

@@ -41,8 +41,9 @@ type Config struct {
 	// par.DefaultWorkers().
 	WorkersPerShard int
 	// CacheBytes is the total tabulation-cache budget, split evenly
-	// across shards. Non-positive disables sample-set caching (requests
-	// still coalesce).
+	// across shards (rounded up, so any positive budget leaves every
+	// shard a positive cap). Non-positive disables sample-set caching
+	// (requests still coalesce).
 	CacheBytes int64
 	// MaxSamplesPerSet is the server-side ceiling on every drawn sample
 	// set, applied on top of (and never loosened by) the request's own
@@ -55,6 +56,22 @@ type Config struct {
 	// rows*cols); larger sources are rejected with 400. Values below 1
 	// mean DefaultMaxDomain.
 	MaxDomain int
+	// MaxBodyBytes caps every request body (http.MaxBytesReader), so
+	// the admission decision happens before a request can allocate:
+	// oversized bodies are 413s. Inline-weights sources near MaxDomain
+	// need a raised cap. Values below 1 mean DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxQueuePerShard bounds the requests concurrently admitted to one
+	// shard (executing plus waiting for a pool worker). Excess requests
+	// are shed with 429 + Retry-After instead of piling up on the
+	// shard's Pool.Do. Values below 1 mean
+	// DefaultQueueFactor * WorkersPerShard.
+	MaxQueuePerShard int
+	// Quotas is the per-tenant admission policy (rate + concurrency).
+	// The zero value admits everything. Quotas decide whether a request
+	// is admitted, never what an admitted request returns: response
+	// bodies stay byte-identical with quotas on or off.
+	Quotas QuotaConfig
 }
 
 // Default resource ceilings: generous for real workloads (a maximal
@@ -63,6 +80,14 @@ type Config struct {
 const (
 	DefaultMaxSamplesPerSet = 1 << 20
 	DefaultMaxDomain        = 1 << 20
+	// DefaultMaxBodyBytes admits inline-weights sources up to several
+	// hundred thousand entries; raise it (with -max-body-bytes) to post
+	// weights near DefaultMaxDomain.
+	DefaultMaxBodyBytes = 16 << 20
+	// DefaultQueueFactor sizes the default per-shard admission limit:
+	// DefaultQueueFactor * WorkersPerShard requests may be in flight on
+	// a shard before load shedding starts.
+	DefaultQueueFactor = 8
 )
 
 // Server is the serving layer: construct with New, mount Handler, Close
@@ -71,6 +96,10 @@ type Server struct {
 	cfg     Config
 	shards  []*shard
 	sources *registry
+	quotas  *quotas
+	// perShardCache is the effective per-shard cache cap after the
+	// rounded-up split, surfaced in /v1/stats.
+	perShardCache int64
 }
 
 // New builds a Server from the config.
@@ -87,10 +116,27 @@ func New(cfg Config) *Server {
 	if cfg.MaxDomain < 1 {
 		cfg.MaxDomain = DefaultMaxDomain
 	}
-	perShard := cfg.CacheBytes / int64(cfg.Shards)
-	s := &Server{cfg: cfg, sources: newRegistry()}
+	if cfg.MaxBodyBytes < 1 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxQueuePerShard < 1 {
+		cfg.MaxQueuePerShard = DefaultQueueFactor * cfg.WorkersPerShard
+	}
+	// Split the budget rounding up: a floor division would turn any
+	// positive budget below the shard count into a per-shard cap of 0 —
+	// caching silently disabled on every shard.
+	var perShard int64
+	if cfg.CacheBytes > 0 {
+		perShard = (cfg.CacheBytes + int64(cfg.Shards) - 1) / int64(cfg.Shards)
+	}
+	s := &Server{
+		cfg:           cfg,
+		sources:       newRegistry(),
+		quotas:        newQuotas(cfg.Quotas),
+		perShardCache: perShard,
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, newShard(cfg.WorkersPerShard, perShard))
+		s.shards = append(s.shards, newShard(cfg.WorkersPerShard, perShard, cfg.MaxQueuePerShard))
 	}
 	return s
 }
@@ -146,6 +192,34 @@ func (s *Server) shardFor(tenant, sourceKey string) *shard {
 	h.Write([]byte{0})
 	h.Write([]byte(sourceKey))
 	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// admit is the front door every algorithm request passes before any
+// resolution or compute: the tenant's quota first (token-bucket rate
+// plus concurrency cap, global across shards), then the target shard's
+// admission gate. Both decisions need only the request's routing
+// strings, so the only work a shed request has cost is its (MaxBodyBytes-
+// capped) body decode — no O(n) source build, no sample draw, no seat
+// on a shard pool. On success the request is counted and the shard plus
+// a release func (call exactly once, when the request finishes) are
+// returned; on shedding, admit writes the 429 + Retry-After itself and
+// returns ok = false. A shard-gate shed cancels the tenant grant, so
+// the rate token it briefly held is refunded — shard saturation never
+// drains tenants' rate budgets.
+func (s *Server) admit(w http.ResponseWriter, tenant, sourceKey string) (sh *shard, release func(), ok bool) {
+	sh = s.shardFor(tenant, sourceKey)
+	g, retry, reason, ok := s.quotas.admit(tenant)
+	if !ok {
+		writeShed(w, retry, fmt.Errorf("serve: %s", reason))
+		return nil, nil, false
+	}
+	if !sh.acquire() {
+		g.cancel()
+		writeShed(w, 1, fmt.Errorf("serve: shard queue full (limit %d requests in flight)", sh.admitLimit))
+		return nil, nil, false
+	}
+	sh.requests.Add(1)
+	return sh, func() { sh.release(); g.release() }, true
 }
 
 // Handler returns the HTTP API:

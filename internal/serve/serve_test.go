@@ -187,6 +187,8 @@ func TestColdCacheCoalescedEquivalence(t *testing.T) {
 		{Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20},
 		{Shards: 4, WorkersPerShard: 3, CacheBytes: 64 << 20},
 		{Shards: 7, WorkersPerShard: 8, CacheBytes: 1 << 20}, // tight cache: evictions
+		{Shards: 2, WorkersPerShard: 2, CacheBytes: 64 << 20, MaxQueuePerShard: 8, // quotas on: admission never touches bodies
+			Quotas: QuotaConfig{Default: TenantQuota{RPS: 1e6, Burst: 1e6, MaxInFlight: 1 << 16}}},
 	}
 	for path, body := range bodies {
 		var want string
@@ -284,6 +286,15 @@ func TestStatsCounters(t *testing.T) {
 	}
 	if len(st.PerShard) != 1 || st.PerShard[0].CacheEntries != 1 || st.PerShard[0].CacheBytes <= 0 {
 		t.Fatalf("per-shard cache accounting off: %+v", st.PerShard)
+	}
+	if st.CacheBytesPerShard != 64<<20 || st.MaxQueuePerShard != DefaultQueueFactor {
+		t.Fatalf("effective budgets off: per-shard cache %d queue %d", st.CacheBytesPerShard, st.MaxQueuePerShard)
+	}
+	if st.Shed != 0 || st.PerShard[0].InFlight != 0 || st.PerShard[0].QueueDepth != 0 {
+		t.Fatalf("admission counters off at rest: %+v", st.PerShard[0])
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].Tenant != "acme" || st.Tenants[0].Admitted != 2 || st.Tenants[0].InFlight != 0 {
+		t.Fatalf("tenant usage off: %+v", st.Tenants)
 	}
 }
 
@@ -390,7 +401,7 @@ func TestResourceCeilings(t *testing.T) {
 // compute task becomes a per-request error (for the leader and its
 // coalesced followers), never a process crash, and is not cached.
 func TestComputePanicContained(t *testing.T) {
-	sh := newShard(2, 1<<20)
+	sh := newShard(2, 1<<20, 16)
 	defer sh.close()
 	if err := sh.run(func() { panic("boom") }); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("run returned %v, want contained panic", err)

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"khist/internal/par"
@@ -20,16 +19,23 @@ const (
 
 // shard is one unit of the serving plane: a persistent worker pool that
 // bounds the shard's compute, an LRU cache of immutable tabulated
-// sample-set bundles, and a coalescer that collapses concurrent requests
-// for the same (source, seed, budget) key onto a single draw. Requests
+// sample-set bundles, a coalescer that collapses concurrent requests
+// for the same (source, seed, budget) key onto a single draw, and an
+// admission gate that sheds load once the shard is saturated. Requests
 // are routed to shards by tenant/domain key, so one tenant's cache
 // churn and queueing cannot evict or starve another shard's.
 type shard struct {
 	pool  *par.Pool
 	cache *cache
+	group *flightGroup
 
-	mu       sync.Mutex
-	inflight map[string]*flight
+	// Admission gate: at most admitLimit requests are concurrently
+	// admitted (executing plus waiting on the pool); the rest are shed
+	// with 429 before they can queue on Pool.Do or allocate. inflight
+	// counts currently admitted requests, shed the rejected ones.
+	admitLimit int
+	inflight   atomic.Int64
+	shed       atomic.Int64
 
 	requests  atomic.Int64
 	hits      atomic.Int64
@@ -37,64 +43,66 @@ type shard struct {
 	coalesced atomic.Int64
 }
 
-// flight is one in-progress tabulation: followers wait on done and then
-// share val (or the leader's error). val is immutable once done closes.
-type flight struct {
-	done  chan struct{}
-	val   any
-	bytes int64
-	err   error
-}
-
-func newShard(workers int, cacheBytes int64) *shard {
+func newShard(workers int, cacheBytes int64, admitLimit int) *shard {
+	if admitLimit < 1 {
+		admitLimit = 1
+	}
+	c := newCache(cacheBytes)
 	return &shard{
-		pool:     par.NewPool(workers),
-		cache:    newCache(cacheBytes),
-		inflight: make(map[string]*flight),
+		pool:       par.NewPool(workers),
+		cache:      c,
+		group:      newFlightGroup(c),
+		admitLimit: admitLimit,
 	}
 }
 
 func (sh *shard) close() { sh.pool.Close() }
 
-// tabulated returns the immutable value for key, building it at most once
-// across concurrent callers: a cache hit returns immediately; a request
-// that finds the key being built waits for the leader and shares its
-// result without occupying a pool worker; otherwise the caller becomes
-// the leader, builds on the shard pool (bounded by the pool size), and
-// publishes to the cache. The returned status says which path was taken.
+// acquire admits one request to the shard, or sheds it: when the shard
+// already has admitLimit requests in flight (executing or waiting for a
+// pool worker), the request is refused before it can block on Pool.Do,
+// and the caller answers 429. Call release exactly once per successful
+// acquire.
+func (sh *shard) acquire() bool {
+	if sh.inflight.Add(1) > int64(sh.admitLimit) {
+		sh.inflight.Add(-1)
+		sh.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (sh *shard) release() { sh.inflight.Add(-1) }
+
+// tabulated returns the immutable value for key via the shard's
+// flightGroup: a cache hit returns immediately; a request that finds
+// the key being built waits for the leader and shares its result
+// without occupying a pool worker; otherwise the caller becomes the
+// leader and builds on the shard pool (bounded by the pool size). The
+// returned status says which path was taken.
 //
 // build must be a pure function of key — that is what makes hit, miss,
 // and coalesced responses indistinguishable in content. A panic inside
 // build is contained to this request (and its coalesced followers) as an
 // error; nothing is cached and the server stays up.
 func (sh *shard) tabulated(key string, build func() (val any, bytes int64)) (any, string, error) {
-	sh.mu.Lock()
-	if v, ok := sh.cache.get(key); ok {
-		sh.mu.Unlock()
+	v, status, err := sh.group.do(key, func() (any, int64, error) {
+		var (
+			val   any
+			bytes int64
+		)
+		rerr := sh.run(func() { val, bytes = build() })
+		return val, bytes, rerr
+	})
+	switch status {
+	case StatusHit:
 		sh.hits.Add(1)
-		return v, StatusHit, nil
-	}
-	if f, ok := sh.inflight[key]; ok {
-		sh.mu.Unlock()
+	case StatusCoalesced:
 		sh.coalesced.Add(1)
-		<-f.done
-		return f.val, StatusCoalesced, f.err
+	case StatusMiss:
+		sh.misses.Add(1)
 	}
-	f := &flight{done: make(chan struct{})}
-	sh.inflight[key] = f
-	sh.mu.Unlock()
-	sh.misses.Add(1)
-
-	f.err = sh.run(func() { f.val, f.bytes = build() })
-
-	sh.mu.Lock()
-	if f.err == nil {
-		sh.cache.put(key, f.val, f.bytes)
-	}
-	delete(sh.inflight, key)
-	sh.mu.Unlock()
-	close(f.done)
-	return f.val, StatusMiss, f.err
+	return v, status, err
 }
 
 // run executes fn on the shard pool, bounding the shard's concurrent

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"khist/internal/cli"
 	"khist/internal/dist"
@@ -68,65 +69,88 @@ const registryBytes = 64 << 20
 
 // registry caches resolved sources (Distribution and Grid values) behind
 // an LRU so repeated requests against the same registered source skip
-// the O(n) rebuild. Entries are immutable and shared.
+// the O(n) rebuild, and coalesces concurrent misses on one key onto a
+// single build through the same flightGroup implementation
+// shard.tabulated uses for sample-set draws — a burst of first requests
+// against one source costs one O(n) construction, not one per request.
+// Entries are immutable and shared.
 type registry struct {
-	cache *cache
+	group *flightGroup
+
+	// builds counts actual constructions (coalesced followers share the
+	// leader's); tests assert on it.
+	builds atomic.Int64
 }
 
-func newRegistry() *registry { return &registry{cache: newCache(registryBytes)} }
+func newRegistry() *registry {
+	return &registry{group: newFlightGroup(newCache(registryBytes))}
+}
+
+// resolved returns the cached value for key, building it at most once
+// across concurrent callers (see flightGroup.do; failed builds are not
+// cached and the error is shared, not sticky).
+func (r *registry) resolved(key string, build func() (val any, bytes int64, err error)) (any, error) {
+	v, _, err := r.group.do(key, func() (any, int64, error) {
+		r.builds.Add(1)
+		return build()
+	})
+	return v, err
+}
 
 // resolve returns the immutable Distribution for the spec.
 func (r *registry) resolve(spec SourceSpec) (*dist.Distribution, error) {
-	key := spec.key()
-	if v, ok := r.cache.get(key); ok {
-		return v.(*dist.Distribution), nil
-	}
-	var (
-		d   *dist.Distribution
-		err error
-	)
-	if len(spec.Weights) > 0 {
-		d, err = dist.FromWeights(spec.Weights)
-	} else {
-		d, err = cli.Generate(spec.Gen, spec.N, spec.K, spec.Seed)
-	}
+	v, err := r.resolved(spec.key(), func() (any, int64, error) {
+		var (
+			d   *dist.Distribution
+			err error
+		)
+		if len(spec.Weights) > 0 {
+			d, err = dist.FromWeights(spec.Weights)
+		} else {
+			d, err = cli.Generate(spec.Gen, spec.N, spec.K, spec.Seed)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		// pmf + two prefix arrays, 8 bytes each, plus headers.
+		return d, 24*int64(d.N()) + 64, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	// pmf + two prefix arrays, 8 bytes each, plus headers.
-	r.cache.put(key, d, 24*int64(d.N())+64)
-	return d, nil
+	return v.(*dist.Distribution), nil
 }
 
 // resolve2D returns the immutable Grid for the spec.
 func (r *registry) resolve2D(spec Source2DSpec) (*grid.Grid, error) {
-	key := spec.key()
-	if v, ok := r.cache.get(key); ok {
-		return v.(*grid.Grid), nil
-	}
-	if spec.Rows < 1 || spec.Cols < 1 {
-		return nil, grid.ErrBadShape
-	}
-	var (
-		g   *grid.Grid
-		err error
-	)
-	switch {
-	case len(spec.Weights) > 0:
-		g, err = grid.FromWeights2D(spec.Rows, spec.Cols, spec.Weights)
-	case spec.Gen == "uniform":
-		g = grid.Uniform2D(spec.Rows, spec.Cols)
-	case spec.Gen == "rect":
-		if spec.K < 1 {
-			return nil, grid.ErrBadK
+	v, err := r.resolved(spec.key(), func() (any, int64, error) {
+		if spec.Rows < 1 || spec.Cols < 1 {
+			return nil, 0, grid.ErrBadShape
 		}
-		g = grid.RandomRectHistogram(spec.Rows, spec.Cols, spec.K, rand.New(rand.NewSource(spec.Seed)))
-	default:
-		return nil, fmt.Errorf("serve: unknown 2d generator %q (want rect | uniform)", spec.Gen)
-	}
+		var (
+			g   *grid.Grid
+			err error
+		)
+		switch {
+		case len(spec.Weights) > 0:
+			g, err = grid.FromWeights2D(spec.Rows, spec.Cols, spec.Weights)
+		case spec.Gen == "uniform":
+			g = grid.Uniform2D(spec.Rows, spec.Cols)
+		case spec.Gen == "rect":
+			if spec.K < 1 {
+				return nil, 0, grid.ErrBadK
+			}
+			g = grid.RandomRectHistogram(spec.Rows, spec.Cols, spec.K, rand.New(rand.NewSource(spec.Seed)))
+		default:
+			return nil, 0, fmt.Errorf("serve: unknown 2d generator %q (want rect | uniform)", spec.Gen)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, 24*int64(spec.Rows)*int64(spec.Cols) + 64, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.cache.put(key, g, 24*int64(spec.Rows)*int64(spec.Cols)+64)
-	return g, nil
+	return v.(*grid.Grid), nil
 }
