@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +52,8 @@ func main() {
 		maxBodyBytes = flag.Int64("max-body-bytes", serve.DefaultMaxBodyBytes, "largest accepted request body; bigger bodies are 413s before they can allocate")
 		maxQueue     = flag.Int("max-queue-per-shard", 0, "requests concurrently admitted per shard before load shedding (429); 0 means 8x workers-per-shard")
 		quotasPath   = flag.String("quotas", "", "per-tenant quota config (JSON: {\"default\": {\"rps\":..,\"burst\":..,\"max_in_flight\":..}, \"tenants\": {...}}); empty admits everything")
+		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster node, including this one (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080); empty runs standalone")
+		self         = flag.String("self", "", "this node's base URL exactly as it appears in -peers (required with -peers)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
@@ -63,7 +66,13 @@ func main() {
 		}
 	}
 
-	srv := serve.New(serve.Config{
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	srv, err := serve.New(serve.Config{
 		Shards:           *shards,
 		WorkersPerShard:  *workers,
 		CacheBytes:       *cacheBytes,
@@ -72,7 +81,11 @@ func main() {
 		MaxBodyBytes:     *maxBodyBytes,
 		MaxQueuePerShard: *maxQueue,
 		Quotas:           quotas,
+		Cluster:          serve.ClusterConfig{Self: *self, Peers: peerList},
 	})
+	if err != nil {
+		cli.Fatal("khist-server", err)
+	}
 	hs := &http.Server{Handler: srv.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -81,6 +94,9 @@ func main() {
 	}
 	fmt.Printf("khist-server: listening on %s (shards=%d workers-per-shard=%d cache-bytes=%d)\n",
 		ln.Addr(), *shards, *workers, *cacheBytes)
+	if len(peerList) > 0 {
+		fmt.Printf("khist-server: cluster of %d nodes, self=%s\n", len(peerList), *self)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Wire headers of the forwarding protocol. A forwarded request carries
+// both; a direct client request carries neither.
+const (
+	// ForwardedHeader is the hop guard: the name of the node that
+	// forwarded the request. A node never re-forwards a request carrying
+	// it — it either owns the key (and serves) or rejects the forward as
+	// misrouted — so a forwarded request takes at most one hop and ring
+	// disagreements surface as errors instead of loops. Servers echo it
+	// in the response so forwards are observable end to end.
+	ForwardedHeader = "X-Khist-Forwarded"
+	// ExcludedHeader lists the peers the forwarder excluded as failed
+	// (comma-separated), so the receiver can verify it owns the key on
+	// the same reduced ring the sender routed against.
+	ExcludedHeader = "X-Khist-Excluded"
+)
+
+// BundlePath is the intra-cluster endpoint serving encoded sample-set
+// bundles for cache warming (see serve's /v1/cluster/bundle handler).
+const BundlePath = "/v1/cluster/bundle"
+
+// ErrBundleMiss reports that the queried peer does not hold the
+// requested bundle in its cache. A warming node treats it as a plain
+// miss, never a failure.
+var ErrBundleMiss = errors.New("cluster: peer does not hold the bundle")
+
+// maxRelayBytes caps how much of a peer response the client buffers:
+// peers are trusted, but a bound keeps one corrupt response from
+// exhausting memory. Well above any real response (bodies scale with
+// the domain ceiling, far below this).
+const maxRelayBytes = 512 << 20
+
+// Response is a relayed peer answer: whatever the owning node said,
+// plus which node said it and how many dead peers were excluded on the
+// way. Any HTTP status is a valid answer (a 429 from the owner is the
+// tenant's quota verdict and must reach the client); only transport
+// failures trigger failover.
+type Response struct {
+	Node    string
+	Status  int
+	Header  http.Header
+	Body    []byte
+	Retries int
+}
+
+// Client forwards requests to peer nodes. self is this node's own name
+// on the ring (never forwarded to); the zero HTTP client gets a
+// conservative default timeout.
+type Client struct {
+	self string
+	http *http.Client
+}
+
+// NewClient builds a forwarding client for the node named self. hc may
+// be nil, in which case a client with a 60s total timeout is used
+// (tabulating a cold maximal bundle takes seconds, not minutes).
+func NewClient(self string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Client{self: self, http: hc}
+}
+
+// Self returns the node name the client forwards on behalf of.
+func (c *Client) Self() string { return c.self }
+
+// Forward relays a request body to the node owning key on ring and
+// returns its answer. Peers that fail at the transport level are
+// excluded and the key re-routed on the reduced ring (each retry
+// excludes at least one node, so the loop terminates); when no remote
+// candidate remains — every peer failed, or ownership fell back to self
+// — Forward returns an error and the caller serves locally. The request
+// carries the hop-guard and exclusion headers so the receiver can
+// verify ownership and never re-forward.
+func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType string, body []byte) (*Response, error) {
+	excluded := make(map[string]bool)
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: forward cancelled: %w", err)
+		}
+		owner, ok := ring.OwnerExcluding(key, excluded)
+		if !ok || owner == c.self {
+			if lastErr == nil {
+				return nil, fmt.Errorf("cluster: key is owned by self, nothing to forward to")
+			}
+			return nil, fmt.Errorf("cluster: no reachable peer owns the key (%d excluded): %w", len(excluded), lastErr)
+		}
+		resp, err := c.post(ctx, owner, path, contentType, body, excluded)
+		if err != nil {
+			excluded[owner] = true
+			lastErr = err
+			continue
+		}
+		if resp.Status == http.StatusMisdirectedRequest {
+			// The peer's ring disagrees with ours (a rolling config
+			// change window): it refused the forward as misrouted.
+			// That verdict is about routing, not the request — exclude
+			// the peer and fail over instead of surfacing a 421 to a
+			// client that sent a perfectly good request.
+			excluded[owner] = true
+			lastErr = fmt.Errorf("cluster: %s refused the forward as misrouted (ring mismatch)", owner)
+			continue
+		}
+		resp.Retries = len(excluded)
+		return resp, nil
+	}
+}
+
+// post sends one forwarded request to node and buffers its answer.
+func (c *Client) post(ctx context.Context, node, path, contentType string, body []byte, excluded map[string]bool) (*Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building forward to %s: %w", node, err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	if len(excluded) > 0 {
+		req.Header.Set(ExcludedHeader, FormatExcluded(excluded))
+	}
+	hr, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: forwarding to %s: %w", node, err)
+	}
+	defer hr.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(hr.Body, maxRelayBytes))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading forward response from %s: %w", node, err)
+	}
+	return &Response{Node: node, Status: hr.StatusCode, Header: hr.Header, Body: b}, nil
+}
+
+// FetchBundle asks node for the encoded sample-set bundle cached under
+// key (the serve-layer cache key), for warming the local cache.
+// ErrBundleMiss means the peer does not hold it.
+func (c *Client) FetchBundle(ctx context.Context, node, key string) ([]byte, error) {
+	body := []byte(fmt.Sprintf(`{"key":%q}`, key))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+BundlePath, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building bundle fetch from %s: %w", node, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hr, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching bundle from %s: %w", node, err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode == http.StatusNotFound {
+		return nil, ErrBundleMiss
+	}
+	if hr.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: bundle fetch from %s: status %d", node, hr.StatusCode)
+	}
+	b, err := io.ReadAll(io.LimitReader(hr.Body, maxRelayBytes))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading bundle from %s: %w", node, err)
+	}
+	return b, nil
+}
+
+// FormatExcluded renders an exclusion set for the wire: sorted and
+// comma-joined, so equal sets always serialize identically.
+func FormatExcluded(excluded map[string]bool) string {
+	names := make([]string, 0, len(excluded))
+	for n, ok := range excluded {
+		if ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// ParseExcluded parses the wire form back into an exclusion set.
+func ParseExcluded(header string) map[string]bool {
+	if header == "" {
+		return nil
+	}
+	out := make(map[string]bool)
+	for _, n := range strings.Split(header, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out[n] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// echoNode runs a test peer that records the forward headers it saw and
+// answers with a fixed body.
+func echoNode(t *testing.T, reply string) (*httptest.Server, *http.Header) {
+	t.Helper()
+	var seen http.Header
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Clone()
+		io.ReadAll(r.Body)
+		w.Header().Set("X-Khist-Cache", "miss")
+		w.Write([]byte(reply))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &seen
+}
+
+func TestForwardCarriesHopGuard(t *testing.T) {
+	peer, seen := echoNode(t, `{"ok":true}`)
+	ring, err := NewRing([]string{peer.URL, "http://self"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient("http://self", peer.Client())
+
+	// Pick a key the peer owns so the forward has a remote target.
+	key := ""
+	for i := 0; i < 1000; i++ {
+		k := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if ring.Owner(k) == peer.URL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by the peer in 1000 tries")
+	}
+	resp, err := c.Forward(context.Background(), ring, key, "/v1/learn", "application/json", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != `{"ok":true}` || resp.Node != peer.URL || resp.Retries != 0 {
+		t.Fatalf("forward response: %+v", resp)
+	}
+	if got := seen.Get(ForwardedHeader); got != "http://self" {
+		t.Fatalf("peer saw %s = %q, want the forwarder's name", ForwardedHeader, got)
+	}
+	if got := seen.Get(ExcludedHeader); got != "" {
+		t.Fatalf("clean forward carried exclusions: %q", got)
+	}
+	if got := seen.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("content type not relayed: %q", got)
+	}
+	if got := resp.Header.Get("X-Khist-Cache"); got != "miss" {
+		t.Fatalf("peer response headers not captured: %q", got)
+	}
+}
+
+// TestForwardExcludesDeadPeerAndRetries: a transport failure on the
+// owner must exclude it and land on the substitute owner, with the
+// exclusion visible to the substitute.
+func TestForwardExcludesDeadPeerAndRetries(t *testing.T) {
+	alive, seen := echoNode(t, `ok`)
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // connection refused from now on
+
+	ring, err := NewRing([]string{alive.URL, deadURL, "http://self"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient("http://self", alive.Client())
+
+	key := ""
+	for i := 0; i < 5000; i++ {
+		k := "k" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+		if ring.Owner(k) == deadURL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by the dead peer")
+	}
+	resp, err := c.Forward(context.Background(), ring, key, "/p", "", nil)
+	// The substitute may be the live peer or self; only the live-peer
+	// case yields a response.
+	sub, _ := ring.OwnerExcluding(key, map[string]bool{deadURL: true})
+	if sub == "http://self" {
+		if err == nil {
+			t.Fatal("forward to self-owned key succeeded")
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("failover forward: %v", err)
+	}
+	if resp.Node != alive.URL || resp.Retries != 1 {
+		t.Fatalf("failover landed on %q after %d retries, want %q after 1", resp.Node, resp.Retries, alive.URL)
+	}
+	if got := seen.Get(ExcludedHeader); got != deadURL {
+		t.Fatalf("substitute saw exclusions %q, want %q", got, deadURL)
+	}
+}
+
+// TestForwardSelfOwnedKeyErrors: when the ring (after exclusions)
+// assigns the key to the forwarder itself, Forward must hand control
+// back instead of posting to itself.
+func TestForwardSelfOwnedKeyErrors(t *testing.T) {
+	ring, err := NewRing([]string{"http://self"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient("http://self", nil)
+	if _, err := c.Forward(context.Background(), ring, "any", "/p", "", nil); err == nil {
+		t.Fatal("forward of a self-owned key did not error")
+	}
+}
+
+// TestForwardAllPeersDown: every remote candidate failing must surface
+// as an error (the caller then serves locally), not an infinite retry.
+func TestForwardAllPeersDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	ring, err := NewRing([]string{deadURL, "http://self"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient("http://self", nil)
+	key := ""
+	for i := 0; i < 1000; i++ {
+		k := "q" + string(rune('a'+i%26)) + string(rune('0'+i/26%10))
+		if ring.Owner(k) == deadURL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by the dead peer")
+	}
+	if _, err := c.Forward(context.Background(), ring, key, "/p", "", nil); err == nil {
+		t.Fatal("forward with every peer down did not error")
+	}
+}
+
+func TestFetchBundleMissAndHit(t *testing.T) {
+	payload := []byte("khB1-bytes")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != BundlePath {
+			t.Errorf("bundle fetch hit %q", r.URL.Path)
+		}
+		b, _ := io.ReadAll(r.Body)
+		if string(b) == `{"key":"have"}` {
+			w.Write(payload)
+			return
+		}
+		http.Error(w, "no bundle", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	c := NewClient("http://self", srv.Client())
+	got, err := c.FetchBundle(context.Background(), srv.URL, "have")
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("hit fetch: %q, %v", got, err)
+	}
+	if _, err := c.FetchBundle(context.Background(), srv.URL, "miss"); !errors.Is(err, ErrBundleMiss) {
+		t.Fatalf("miss fetch: %v, want ErrBundleMiss", err)
+	}
+}
+
+func TestForwardRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ring, err := NewRing([]string{"http://a", "http://self"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient("http://self", nil)
+	if _, err := c.Forward(ctx, ring, "k", "/p", "", nil); err == nil {
+		t.Fatal("cancelled forward did not error")
+	}
+}
+
+// TestForwardFailsOverOnMisrouted421: a peer that refuses the forward
+// as misrouted (ring disagreement during a rolling config change) is
+// excluded like a dead peer — the verdict is about routing, not the
+// request — so the caller falls back instead of relaying the 421.
+func TestForwardFailsOverOnMisrouted421(t *testing.T) {
+	confused := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "misrouted", http.StatusMisdirectedRequest)
+	}))
+	defer confused.Close()
+	ring, err := NewRing([]string{confused.URL, "http://self"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient("http://self", confused.Client())
+	key := ""
+	for i := 0; i < 1000; i++ {
+		k := "m" + string(rune('a'+i%26)) + string(rune('0'+i/26%10))
+		if ring.Owner(k) == confused.URL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by the confused peer")
+	}
+	_, err = c.Forward(context.Background(), ring, key, "/p", "", nil)
+	if err == nil || !strings.Contains(err.Error(), "misrouted") {
+		t.Fatalf("Forward = %v, want a misrouted failover error (caller then serves locally)", err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package cluster is the multi-process scale-out tier of the serving
+// layer: a consistent-hash ring that assigns every routing key one
+// owning node, and a forwarding client that relays requests to the
+// owner with retry/exclusion when peers fail.
+//
+// The design extends the single-process shard routing one level up. A
+// request's (tenant, source) key already hashes to a shard inside one
+// server; the ring hashes the same key to a *node* first, so every key
+// has exactly one owner across the whole cluster — one cache to warm,
+// one quota table to charge, one pool to bound the compute. Ownership
+// is a pure function of (key, node set): every node with the same peer
+// list computes the same owner with no coordination traffic, and a
+// single-node ring owns everything (the server behaves exactly as it
+// does standalone).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the number of virtual points each node contributes
+// to the ring. More points smooth the key distribution across nodes;
+// 64 keeps the largest/smallest node share within a few percent for
+// small clusters while the ring stays tiny (64 points x nodes).
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over a set of node names
+// (the serving tier uses base URLs). Construct with NewRing; methods
+// are safe for concurrent use.
+type Ring struct {
+	replicas int
+	nodes    []string // sorted, deduplicated
+	points   []point  // sorted by hash
+}
+
+// point is one virtual node: a position on the hash circle owned by
+// nodes[node].
+type point struct {
+	hash uint64
+	node int
+}
+
+// NewRing builds a ring over the given node names with replicas virtual
+// points per node (values below 1 mean DefaultReplicas). Node order
+// does not matter — the ring is a pure function of the node *set* — but
+// names must be non-empty and unique.
+func NewRing(nodes []string, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if replicas < 1 {
+		replicas = DefaultReplicas
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+	}
+	r := &Ring{
+		replicas: replicas,
+		nodes:    sorted,
+		points:   make([]point, 0, replicas*len(sorted)),
+	}
+	for i, n := range sorted {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node index so the ring
+		// stays a pure function of the node set.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the ring's node names in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Contains reports whether node is a member of the ring.
+func (r *Ring) Contains(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// Owner returns the node that owns key: the node of the first ring
+// point at or clockwise of the key's hash.
+func (r *Ring) Owner(key string) string {
+	owner, _ := r.OwnerExcluding(key, nil)
+	return owner
+}
+
+// OwnerExcluding returns the owner of key on the ring with the excluded
+// nodes removed: the first point clockwise of the key's hash whose node
+// is not excluded. It reports false when every node is excluded. The
+// forwarding client uses it to fail over — excluding a dead peer
+// reassigns only that peer's keys, and every node given the same
+// exclusion set agrees on the substitute owner.
+func (r *Ring) OwnerExcluding(key string, excluded map[string]bool) (string, bool) {
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if name := r.nodes[p.node]; !excluded[name] {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// ringHash is the ring's point/key hash: FNV-1a 64 with a SplitMix64
+// avalanche finalizer, stable across processes and platforms so every
+// node computes identical ownership. The finalizer matters: raw FNV of
+// sequential vnode labels ("node#0", "node#1", ...) differs mostly in
+// its low bytes and spreads points unevenly around the circle.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+// TestRingIsPureFunctionOfNodeSet: ownership must not depend on the
+// order the peer list was written in — every node in a cluster computes
+// the same owner from its own copy of the flags.
+func TestRingIsPureFunctionOfNodeSet(t *testing.T) {
+	a, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://n3", "http://n1", "http://n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("tenant-%d\x00source-%d", i, i%7)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner differs across node orderings: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestSingleNodeRingOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"http://only"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if owner := r.Owner(fmt.Sprintf("key-%d", i)); owner != "http://only" {
+			t.Fatalf("single-node ring returned owner %q", owner)
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes must spread keys across nodes — no
+// node should own a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("tenant-%d\x00g|zipf|n=%d", i, i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of keys, want a roughly even split: %v", n, 100*share, counts)
+		}
+	}
+}
+
+// TestOwnerExcludingFailsOver: excluding the owner reassigns its keys
+// to another node deterministically, leaves other keys alone where the
+// ring allows, and excluding everyone reports false.
+func TestOwnerExcludingFailsOver(t *testing.T) {
+	r, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "tenant\x00g|zipf|n=512"
+	owner := r.Owner(key)
+	sub, ok := r.OwnerExcluding(key, map[string]bool{owner: true})
+	if !ok || sub == owner {
+		t.Fatalf("exclusion of %q produced (%q, %v)", owner, sub, ok)
+	}
+	// Deterministic: the same exclusion always picks the same substitute.
+	for i := 0; i < 10; i++ {
+		if again, _ := r.OwnerExcluding(key, map[string]bool{owner: true}); again != sub {
+			t.Fatalf("substitute owner flapped: %q vs %q", again, sub)
+		}
+	}
+	all := map[string]bool{"http://n1": true, "http://n2": true, "http://n3": true}
+	if _, ok := r.OwnerExcluding(key, all); ok {
+		t.Fatal("all-excluded ring still returned an owner")
+	}
+}
+
+// TestOwnershipStableUnderMembership: consistent hashing's point — keys
+// not owned by a removed node keep their owner when the ring shrinks.
+func TestOwnershipStableUnderMembership(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	full, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(nodes[:3], 0) // n4 removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("k-%d", i)
+		was := full.Owner(key)
+		now := reduced.Owner(key)
+		if was != "http://n4" && was != now {
+			t.Fatalf("key %q moved from %q to %q although its owner stayed in the ring", key, was, now)
+		}
+		if was == "http://n4" {
+			moved++
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("%d/%d keys owned by the removed node, want a ~quarter share", moved, keys)
+	}
+
+	// Removal and exclusion agree: routing around a dead node with
+	// OwnerExcluding matches a ring rebuilt without it.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("k-%d", i)
+		ex, _ := full.OwnerExcluding(key, map[string]bool{"http://n4": true})
+		if ex != reduced.Owner(key) {
+			t.Fatalf("key %q: exclusion owner %q != reduced-ring owner %q", key, ex, reduced.Owner(key))
+		}
+	}
+}
+
+func TestContainsAndNodes(t *testing.T) {
+	r, err := NewRing([]string{"b", "a"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains("a") || !r.Contains("b") || r.Contains("c") {
+		t.Fatal("Contains is wrong")
+	}
+	if n := r.Nodes(); len(n) != 2 || n[0] != "a" || n[1] != "b" {
+		t.Fatalf("Nodes() = %v, want sorted [a b]", n)
+	}
+	if r.Size() != 2 {
+		t.Fatalf("Size() = %d", r.Size())
+	}
+}
+
+func TestExcludedHeaderRoundTrip(t *testing.T) {
+	set := map[string]bool{"http://n2": true, "http://n1": true}
+	wire := FormatExcluded(set)
+	if wire != "http://n1,http://n2" {
+		t.Fatalf("FormatExcluded = %q, want sorted join", wire)
+	}
+	back := ParseExcluded(wire)
+	if len(back) != 2 || !back["http://n1"] || !back["http://n2"] {
+		t.Fatalf("ParseExcluded(%q) = %v", wire, back)
+	}
+	if ParseExcluded("") != nil {
+		t.Fatal("empty header parsed to a non-nil set")
+	}
+}

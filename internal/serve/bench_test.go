@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -17,6 +20,12 @@ import (
 //	mode=coalesced  16 concurrent clients per op share one fresh key
 //	mode=quota      cached path with per-tenant quotas enabled: the
 //	                admission layer's overhead on the hot path
+//	mode=cluster    cached path through a 2-node ring: each op hits the
+//	                non-owner and is forwarded over real HTTP to the
+//	                owner's warm cache — the full cross-node tax
+//	                (routing + TCP round trip + relay), which is why it
+//	                is the one mode measured over the network rather
+//	                than at the handler
 //
 // cmd/khist-bench renders the output into BENCH_serve.json with
 // requests/sec per mode; CI uploads it as the bench-serve artifact.
@@ -33,7 +42,7 @@ func BenchmarkServe(b *testing.B) {
 	}
 
 	b.Run("mode=cold", func(b *testing.B) {
-		s := New(Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0})
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0})
 		defer s.Close()
 		h := s.Handler()
 		b.ResetTimer()
@@ -45,7 +54,7 @@ func BenchmarkServe(b *testing.B) {
 	})
 
 	b.Run("mode=cached", func(b *testing.B) {
-		s := New(Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20})
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20})
 		defer s.Close()
 		h := s.Handler()
 		body := mkBody(1)
@@ -61,7 +70,7 @@ func BenchmarkServe(b *testing.B) {
 	})
 
 	b.Run("mode=quota", func(b *testing.B) {
-		s := New(Config{
+		s := mustNew(b, Config{
 			Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
 			Quotas: QuotaConfig{
 				Default: TenantQuota{RPS: 1e12, Burst: 1e12, MaxInFlight: 1 << 20},
@@ -81,10 +90,59 @@ func BenchmarkServe(b *testing.B) {
 		}
 	})
 
+	b.Run("mode=cluster", func(b *testing.B) {
+		handlers := make([]atomic.Value, 2)
+		var urls []string
+		for i := 0; i < 2; i++ {
+			i := i
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				handlers[i].Load().(http.Handler).ServeHTTP(w, r)
+			}))
+			defer ts.Close()
+			urls = append(urls, ts.URL)
+		}
+		var servers []*Server
+		for i := 0; i < 2; i++ {
+			s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+				Cluster: ClusterConfig{Self: urls[i], Peers: urls}})
+			defer s.Close()
+			handlers[i].Store(s.Handler())
+			servers = append(servers, s)
+		}
+		body := mkBody(1)
+		var req LearnRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			b.Fatal(err)
+		}
+		// Hit the non-owner so every op crosses the ring.
+		target := urls[0]
+		if servers[0].ring.Owner(routingKey(req.Tenant, req.Source.key())) == urls[0] {
+			target = urls[1]
+		}
+		forward := func() int {
+			resp, err := http.Post(target+"/v1/learn", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return resp.StatusCode
+		}
+		if code := forward(); code != 200 { // warm the owner's key
+			b.Fatalf("warmup code %d", code)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := forward(); code != 200 {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+
 	b.Run("mode=coalesced", func(b *testing.B) {
 		// MaxQueuePerShard stays above the client count so the admission
 		// gate never sheds: the mode measures coalescing, not shedding.
-		s := New(Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0, MaxQueuePerShard: 64})
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0, MaxQueuePerShard: 64})
 		defer s.Close()
 		h := s.Handler()
 		const clients = 16

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -40,9 +41,17 @@ func newFlightGroup(c *cache) *flightGroup {
 // by the next caller, never cached). The returned status says which
 // path was taken (StatusHit, StatusCoalesced, StatusMiss).
 //
+// ctx bounds only the *waiting*: a follower whose context is cancelled
+// (its client disconnected) stops waiting and returns ctx's error, so
+// the admission slots its request holds are released promptly instead
+// of until the leader finishes. The leader deliberately ignores ctx —
+// its build may be shared by followers whose clients are still there,
+// and an immutable value is worth publishing even if its first
+// requester left.
+//
 // build must be a pure function of key — that is what makes hit, miss,
 // and coalesced results indistinguishable in content.
-func (g *flightGroup) do(key string, build func() (val any, bytes int64, err error)) (any, string, error) {
+func (g *flightGroup) do(ctx context.Context, key string, build func() (val any, bytes int64, err error)) (any, string, error) {
 	g.mu.Lock()
 	if v, ok := g.cache.get(key); ok {
 		g.mu.Unlock()
@@ -50,8 +59,12 @@ func (g *flightGroup) do(key string, build func() (val any, bytes int64, err err
 	}
 	if f, ok := g.flights[key]; ok {
 		g.mu.Unlock()
-		<-f.done
-		return f.val, StatusCoalesced, f.err
+		select {
+		case <-f.done:
+			return f.val, StatusCoalesced, f.err
+		case <-ctx.Done():
+			return nil, StatusCoalesced, fmt.Errorf("serve: abandoned wait for %q: %w", key, ctx.Err())
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	g.flights[key] = f

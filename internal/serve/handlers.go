@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -57,8 +59,15 @@ type LearnResponse struct {
 }
 
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req LearnRequest
-	if !s.decode(w, r, &req) {
+	if !s.decodeBytes(w, body, &req) {
+		return
+	}
+	if s.route(w, r, req.Tenant, req.Source.key(), body) {
 		return
 	}
 	sh, release, ok := s.admit(w, req.Tenant, req.Source.key())
@@ -88,7 +97,8 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := setsKey(d.Fingerprint(), req.Seed, ell, rr, m)
-	bundle, status, err := sh.tabulated(key, func() (any, int64) {
+	s.markBundleKey(w, key)
+	bundle, status, err := sh.tabulated(r.Context(), key, func() (any, int64) {
 		return drawSets(d, req.Seed, ell, rr, m, s.cfg.WorkersPerShard)
 	})
 	if err != nil {
@@ -153,8 +163,15 @@ type TestResponse struct {
 
 func (s *Server) handleTest(norm string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		body, ok := s.readBody(w, r)
+		if !ok {
+			return
+		}
 		var req TestRequest
-		if !s.decode(w, r, &req) {
+		if !s.decodeBytes(w, body, &req) {
+			return
+		}
+		if s.route(w, r, req.Tenant, req.Source.key(), body) {
 			return
 		}
 		sh, release, ok := s.admit(w, req.Tenant, req.Source.key())
@@ -192,7 +209,8 @@ func (s *Server) handleTest(norm string) http.HandlerFunc {
 		// shares a namespace with /v1/learn, so a learner and tester
 		// with identical budgets share one draw.
 		key := setsKey(d.Fingerprint(), req.Seed, 0, rr, m)
-		bundle, status, err := sh.tabulated(key, func() (any, int64) {
+		s.markBundleKey(w, key)
+		bundle, status, err := sh.tabulated(r.Context(), key, func() (any, int64) {
 			return drawSets(d, req.Seed, 0, rr, m, s.cfg.WorkersPerShard)
 		})
 		if err != nil {
@@ -266,8 +284,15 @@ type Learn2DResponse struct {
 }
 
 func (s *Server) handleLearn2D(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req Learn2DRequest
-	if !s.decode(w, r, &req) {
+	if !s.decodeBytes(w, body, &req) {
+		return
+	}
+	if s.route(w, r, req.Tenant, req.Source.key(), body) {
 		return
 	}
 	sh, release, ok := s.admit(w, req.Tenant, req.Source.key())
@@ -305,7 +330,7 @@ func (s *Server) handleLearn2D(w http.ResponseWriter, r *http.Request) {
 
 	flat := g.Flatten()
 	key := fmt.Sprintf("sets2d|%dx%d|fp=%016x|seed=%d|m=%d", g.Rows(), g.Cols(), flat.Fingerprint(), req.Seed, m)
-	bundle, status, err := sh.tabulated(key, func() (any, int64) {
+	bundle, status, err := sh.tabulated(r.Context(), key, func() (any, int64) {
 		sampler := dist.NewSampler(flat, par.NewRand(uint64(req.Seed)))
 		emp, err := grid.NewEmpirical2D(g.Rows(), g.Cols(), dist.DrawBatch(sampler, m))
 		if err != nil {
@@ -369,28 +394,33 @@ type ShardStats struct {
 // requests only; Shed counts shard-gate refusals, and the per-tenant
 // rate/concurrency sheds live in Tenants.
 type StatsResponse struct {
-	Shards             int           `json:"shards"`
-	WorkersPerShard    int           `json:"workers_per_shard"`
-	CacheBytesCap      int64         `json:"cache_bytes_cap"`
-	CacheBytesPerShard int64         `json:"cache_bytes_per_shard"`
-	MaxQueuePerShard   int           `json:"max_queue_per_shard"`
-	Requests           int64         `json:"requests"`
-	Shed               int64         `json:"shed"`
-	CacheHits          int64         `json:"cache_hits"`
-	CacheMisses        int64         `json:"cache_misses"`
-	Coalesced          int64         `json:"coalesced"`
-	PerShard           []ShardStats  `json:"per_shard"`
-	Tenants            []TenantStats `json:"tenants,omitempty"`
+	Shards             int   `json:"shards"`
+	WorkersPerShard    int   `json:"workers_per_shard"`
+	CacheBytesCap      int64 `json:"cache_bytes_cap"`
+	CacheBytesPerShard int64 `json:"cache_bytes_per_shard"`
+	MaxQueuePerShard   int   `json:"max_queue_per_shard"`
+	Requests           int64 `json:"requests"`
+	Shed               int64 `json:"shed"`
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	Coalesced          int64 `json:"coalesced"`
+	// UntrackedTenantRequests counts requests served on ephemeral quota
+	// states because the tenant table was hard-full (every unconfigured
+	// state busy): sustained growth means a tenant-name flood.
+	UntrackedTenantRequests int64         `json:"untracked_tenant_requests,omitempty"`
+	PerShard                []ShardStats  `json:"per_shard"`
+	Tenants                 []TenantStats `json:"tenants,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := StatsResponse{
-		Shards:             len(s.shards),
-		WorkersPerShard:    s.cfg.WorkersPerShard,
-		CacheBytesCap:      s.cfg.CacheBytes,
-		CacheBytesPerShard: s.perShardCache,
-		MaxQueuePerShard:   s.cfg.MaxQueuePerShard,
-		Tenants:            s.quotas.stats(),
+		Shards:                  len(s.shards),
+		WorkersPerShard:         s.cfg.WorkersPerShard,
+		CacheBytesCap:           s.cfg.CacheBytes,
+		CacheBytesPerShard:      s.perShardCache,
+		MaxQueuePerShard:        s.cfg.MaxQueuePerShard,
+		UntrackedTenantRequests: s.quotas.untracked.Load(),
+		Tenants:                 s.quotas.stats(),
 	}
 	for i, sh := range s.shards {
 		entries, bytes := sh.cache.stats()
@@ -444,21 +474,33 @@ func drawSets(d *dist.Distribution, seed int64, ell, r, m, workers int) (any, in
 	return sets, bytes
 }
 
-// decode parses a JSON request body strictly (unknown fields are 400s,
-// catching misspelled parameters before they silently default), with
-// the body capped at MaxBodyBytes so a request cannot allocate
-// unboundedly before admission is decided: overflow is a 413, reported
-// before any source resolution or sampling happens.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
+// readBody buffers the request body through the MaxBodyBytes cap, so a
+// request cannot allocate unboundedly before admission is decided:
+// overflow is a 413, reported before any source resolution or sampling
+// happens. The raw bytes are kept because a cluster forward relays them
+// verbatim — re-encoding a decoded request could reorder fields and
+// break the byte-identity contract between direct and forwarded calls.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeErr(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("serve: request body exceeds the server's -max-body-bytes %d", s.cfg.MaxBodyBytes))
-			return false
+			return nil, false
 		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeBytes parses a JSON request body strictly (unknown fields are
+// 400s, catching misspelled parameters before they silently default).
+func (s *Server) decodeBytes(w http.ResponseWriter, body []byte, dst any) bool {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return false
 	}

@@ -115,6 +115,13 @@ type quotas struct {
 	// exclusive lock is only for first-seen insertion and eviction.
 	mu      sync.RWMutex
 	tenants map[string]*tenantState
+	// unconfigured counts the tracked states without a configured
+	// override — the population MaxTrackedTenants bounds. Guarded by mu.
+	unconfigured int
+	// untracked counts requests served on ephemeral states because the
+	// table was hard-full (every unconfigured state busy); surfaced so
+	// operators can see name-flood pressure. Atomic: bumped outside mu.
+	untracked atomic.Int64
 }
 
 func newQuotas(cfg QuotaConfig) *quotas {
@@ -124,10 +131,16 @@ func newQuotas(cfg QuotaConfig) *quotas {
 	return &quotas{cfg: cfg, now: time.Now, tenants: make(map[string]*tenantState)}
 }
 
-// state returns (creating if needed) the live state for tenant. The
-// table is bounded: tenant names are client-supplied, so past
-// MaxTrackedTenants (plus the configured tenants, which are never
-// evicted) idle unconfigured states are dropped to make room.
+// state returns the live state for tenant, creating and tracking it
+// when the table has room. The table is hard-bounded: tenant names are
+// client-supplied, so at most MaxTrackedTenants unconfigured states are
+// ever tracked (configured tenants are always tracked, on top). When
+// the bound is reached an idle unconfigured state is evicted to make
+// room; when nothing is evictable — every unconfigured state has
+// requests in flight — the request is served on an *ephemeral* state
+// under its (default) quota instead of growing the table: before this
+// guard, an all-in-flight name flood grew the map without bound, one
+// state per flooded name.
 func (qs *quotas) state(tenant string) *tenantState {
 	qs.mu.RLock()
 	st, ok := qs.tenants[tenant]
@@ -135,33 +148,45 @@ func (qs *quotas) state(tenant string) *tenantState {
 	if ok {
 		return st
 	}
+	_, configured := qs.cfg.Tenants[tenant]
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
 	if st, ok := qs.tenants[tenant]; ok { // raced with another insert
 		return st
 	}
-	if len(qs.tenants) >= qs.cfg.MaxTrackedTenants+len(qs.cfg.Tenants) {
-		qs.evictLocked()
+	if !configured && qs.unconfigured >= qs.cfg.MaxTrackedTenants && !qs.evictLocked() {
+		// Hard bound holds: serve this request untracked. A fresh bucket
+		// admits it (rate limits for flooded default-tier names are
+		// best-effort by design); release/cancel act on the ephemeral
+		// state and the table stays at its cap.
+		qs.untracked.Add(1)
+		return &tenantState{tokens: qs.cfg.forTenant(tenant).burst(), last: qs.now()}
 	}
 	st = &tenantState{tokens: qs.cfg.forTenant(tenant).burst(), last: qs.now()}
 	qs.tenants[tenant] = st
+	if !configured {
+		qs.unconfigured++
+	}
 	return st
 }
 
 // evictLocked drops one unconfigured, idle (no requests in flight)
-// tenant state. Eviction resets that tenant's bucket, so default-tier
-// rate limits are best-effort under tenant-name flooding; configured
-// tenants keep exact accounting. Called with qs.mu held.
-func (qs *quotas) evictLocked() {
+// tenant state, reporting whether it found one. Eviction resets that
+// tenant's bucket, so default-tier rate limits are best-effort under
+// tenant-name flooding; configured tenants keep exact accounting.
+// Called with qs.mu held.
+func (qs *quotas) evictLocked() bool {
 	for name, st := range qs.tenants {
 		if _, configured := qs.cfg.Tenants[name]; configured {
 			continue
 		}
 		if st.inflight.Load() == 0 {
 			delete(qs.tenants, name)
-			return
+			qs.unconfigured--
+			return true
 		}
 	}
+	return false
 }
 
 // grant is one admitted request's hold on its tenant's quota. Exactly

@@ -496,3 +496,85 @@ func TestLoadQuotaConfig(t *testing.T) {
 		t.Fatal("missing quota file accepted")
 	}
 }
+
+// TestTenantTableHardBoundAllInFlight is the table-breach regression:
+// when every tracked unconfigured state has requests in flight,
+// evictLocked finds nothing evictable — and before the fix the insert
+// proceeded anyway, so a name flood timed to in-flight requests grew
+// the table without bound. Now such requests are served under the
+// Default quota on an ephemeral state and the table never exceeds its
+// cap, while configured tenants are still always tracked.
+func TestTenantTableHardBoundAllInFlight(t *testing.T) {
+	const cap = 8
+	qs := newQuotas(QuotaConfig{
+		MaxTrackedTenants: cap,
+		Tenants:           map[string]TenantQuota{"keep": {RPS: 100, Burst: 100}},
+	})
+	// Pin cap unconfigured tenants in flight: nothing is evictable.
+	var held []grant
+	for i := 0; i < cap; i++ {
+		g, _, _, ok := qs.admit(fmt.Sprintf("busy-%d", i))
+		if !ok {
+			t.Fatalf("tenant %d shed while filling the table", i)
+		}
+		held = append(held, g)
+	}
+
+	// Flood with fresh names: every request must still be served (under
+	// the default quota), and the table must not grow.
+	for i := 0; i < 1000; i++ {
+		g, _, _, ok := qs.admit(fmt.Sprintf("flood-%d", i))
+		if !ok {
+			t.Fatalf("flood request %d shed, want served untracked under the default quota", i)
+		}
+		g.release()
+	}
+	qs.mu.RLock()
+	size := len(qs.tenants)
+	unconfigured := qs.unconfigured
+	qs.mu.RUnlock()
+	if size > cap {
+		t.Fatalf("tenant table grew to %d states under an all-in-flight flood, cap %d", size, cap)
+	}
+	if unconfigured != cap {
+		t.Fatalf("unconfigured count = %d, want %d", unconfigured, cap)
+	}
+	if got := qs.untracked.Load(); got != 1000 {
+		t.Fatalf("untracked counter = %d, want 1000", got)
+	}
+
+	// A configured tenant is tracked even at the hard bound.
+	g, _, _, ok := qs.admit("keep")
+	if !ok {
+		t.Fatal("configured tenant shed at the hard bound")
+	}
+	g.release()
+	qs.mu.RLock()
+	_, kept := qs.tenants["keep"]
+	size = len(qs.tenants)
+	qs.mu.RUnlock()
+	if !kept {
+		t.Fatal("configured tenant not tracked at the hard bound")
+	}
+	if size != cap+1 {
+		t.Fatalf("table size %d after configured insert, want %d", size, cap+1)
+	}
+
+	// Once a pinned tenant drains, new names are tracked again (with
+	// eviction of the idle state).
+	held[0].release()
+	if g, _, _, ok := qs.admit("fresh"); ok {
+		g.release()
+	} else {
+		t.Fatal("request shed after a state became evictable")
+	}
+	qs.mu.RLock()
+	_, tracked := qs.tenants["fresh"]
+	qs.mu.RUnlock()
+	if !tracked {
+		t.Fatal("new tenant not tracked after an eviction slot opened")
+	}
+	for _, g := range held[1:] {
+		g.release()
+	}
+}

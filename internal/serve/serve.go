@@ -25,6 +25,7 @@ import (
 	"hash/fnv"
 	"net/http"
 
+	"khist/internal/cluster"
 	"khist/internal/dist"
 	"khist/internal/grid"
 	"khist/internal/par"
@@ -72,6 +73,10 @@ type Config struct {
 	// is admitted, never what an admitted request returns: response
 	// bodies stay byte-identical with quotas on or off.
 	Quotas QuotaConfig
+	// Cluster configures the multi-process tier (see cluster.go). The
+	// zero value — and a one-node ring — behaves byte-identically to a
+	// standalone server.
+	Cluster ClusterConfig
 }
 
 // Default resource ceilings: generous for real workloads (a maximal
@@ -100,10 +105,17 @@ type Server struct {
 	// perShardCache is the effective per-shard cache cap after the
 	// rounded-up split, surfaced in /v1/stats.
 	perShardCache int64
+
+	// Cluster tier (nil ring = standalone): the consistent-hash ring
+	// over peer processes, the forwarding client, and its counters.
+	ring    *cluster.Ring
+	peers   *cluster.Client
+	cluster clusterCounters
 }
 
-// New builds a Server from the config.
-func New(cfg Config) *Server {
+// New builds a Server from the config. It errors only on an invalid
+// cluster configuration; a standalone config always succeeds.
+func New(cfg Config) (*Server, error) {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
@@ -138,12 +150,21 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(cfg.WorkersPerShard, perShard, cfg.MaxQueuePerShard))
 	}
-	return s
+	if err := s.initCluster(cfg.Cluster); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // Close stops the shard pools. In-flight requests finish first (their
-// tasks are already queued); new requests after Close panic, so stop the
-// HTTP listener before closing.
+// tasks are already queued), and requests that slip in after Close are
+// still served correctly — par.Pool.Do degrades to running the task on
+// the calling goroutine, so only the per-shard compute bound is lost,
+// never the response. The cluster drain path relies on this: a node
+// being removed from the ring can Close its pools and still answer the
+// tail of requests (its own and forwarded ones) until the HTTP listener
+// shuts, instead of panicking mid-drain.
 func (s *Server) Close() {
 	for _, sh := range s.shards {
 		sh.close()
@@ -224,12 +245,17 @@ func (s *Server) admit(w http.ResponseWriter, tenant, sourceKey string) (sh *sha
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/learn     — greedy k-histogram learner (Theorems 1-2)
-//	POST /v1/test/l2   — tiling k-histogram tester, l2 (Theorem 3)
-//	POST /v1/test/l1   — tiling k-histogram tester, l1 (Theorem 4)
-//	POST /v1/learn2d   — rectangle-histogram learner over grids
-//	GET  /v1/stats     — per-shard traffic and cache counters
-//	GET  /healthz      — liveness probe
+//	POST /v1/learn          — greedy k-histogram learner (Theorems 1-2)
+//	POST /v1/test/l2        — tiling k-histogram tester, l2 (Theorem 3)
+//	POST /v1/test/l1        — tiling k-histogram tester, l1 (Theorem 4)
+//	POST /v1/learn2d        — rectangle-histogram learner over grids
+//	GET  /v1/stats          — per-shard traffic and cache counters
+//	GET  /v1/cluster        — ring membership and forwarding counters
+//	POST /v1/cluster/bundle — encoded sample-set bundles for peer warming
+//	GET  /healthz           — liveness probe
+//
+// The algorithm endpoints route through the cluster ring when one is
+// configured; the bundle endpoint is only mounted on cluster nodes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/learn", s.handleLearn)
@@ -237,6 +263,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/test/l1", s.handleTest("l1"))
 	mux.HandleFunc("POST /v1/learn2d", s.handleLearn2D)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	if s.ring != nil {
+		mux.HandleFunc("POST "+cluster.BundlePath, s.handleBundle)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})

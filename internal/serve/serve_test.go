@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,13 +10,26 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"khist/internal/learn"
 )
+
+// mustNew builds a Server, failing the test on a config error.
+func mustNew(tb testing.TB, cfg Config) *Server {
+	tb.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	return s
+}
 
 // newTestServer builds a Server and returns it with its handler; the
 // caller owns Close.
 func newTestServer(t *testing.T, cfg Config) (*Server, http.Handler) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	t.Cleanup(s.Close)
 	return s, s.Handler()
 }
@@ -301,7 +315,7 @@ func TestStatsCounters(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	// A budget big enough for roughly one bundle: hammering distinct
 	// seeds must keep cache_bytes under the cap.
-	probe := New(Config{Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20})
+	probe := mustNew(t, Config{Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20})
 	ph := probe.Handler()
 	post(ph, "/v1/learn", learnBody)
 	_, oneBundle := probe.shards[0].cache.stats()
@@ -406,12 +420,12 @@ func TestComputePanicContained(t *testing.T) {
 	if err := sh.run(func() { panic("boom") }); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("run returned %v, want contained panic", err)
 	}
-	_, status, err := sh.tabulated("key", func() (any, int64) { panic("draw failed") })
+	_, status, err := sh.tabulated(context.Background(), "key", func() (any, int64) { panic("draw failed") })
 	if err == nil || status != StatusMiss {
 		t.Fatalf("tabulated returned status %q err %v, want miss with error", status, err)
 	}
 	// The failed build must not be cached; a retry rebuilds and succeeds.
-	v, status, err := sh.tabulated("key", func() (any, int64) { return "ok", 2 })
+	v, status, err := sh.tabulated(context.Background(), "key", func() (any, int64) { return "ok", 2 })
 	if err != nil || status != StatusMiss || v != "ok" {
 		t.Fatalf("retry after panic: v=%v status=%q err=%v", v, status, err)
 	}
@@ -428,5 +442,116 @@ func TestLearnTestersShareDrawNamespace(t *testing.T) {
 	entries, _ := s.shards[0].cache.stats()
 	if entries != 2 {
 		t.Fatalf("learn+test created %d cache entries, want 2 distinct budgets", entries)
+	}
+}
+
+// TestCancelledFollowerReleasesAdmissionSlots drives the slot-leak
+// regression end to end: a request that coalesces onto a slow leader
+// and then has its context cancelled (client disconnected) must return
+// — releasing its shard admission slot and tenant in-flight slot —
+// while the leader is still drawing. Before the fix the follower's
+// handler blocked inside sh.tabulated until the leader finished, so a
+// burst of disconnected followers could pin a shard's whole admission
+// budget to one slow draw.
+func TestCancelledFollowerReleasesAdmissionSlots(t *testing.T) {
+	s, h := newTestServer(t, Config{Shards: 1, WorkersPerShard: 2, CacheBytes: 64 << 20})
+
+	// Compute the sets key exactly as handleLearn does, then occupy it
+	// with a controlled leader so the follower's timing is deterministic.
+	var req LearnRequest
+	if err := json.Unmarshal([]byte(learnBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.resolveSource(req.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := learn.Options{K: req.K, Eps: req.Eps, SampleScale: req.Scale,
+		MaxSamplesPerSet: s.sampleCap(req.Cap), Parallelism: s.cfg.WorkersPerShard}
+	ell, rr, m, err := opts.SetSizes(d.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := setsKey(d.Fingerprint(), req.Seed, ell, rr, m)
+	sh := s.shardFor(req.Tenant, req.Source.key())
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := sh.tabulated(context.Background(), key, func() (any, int64) {
+			close(started)
+			<-release
+			return drawSets(d, req.Seed, ell, rr, m, s.cfg.WorkersPerShard)
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	// The follower is a real request through the handler with a
+	// cancellable context, as an HTTP client disconnect delivers it.
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/v1/learn", strings.NewReader(learnBody)).WithContext(ctx)
+		h.ServeHTTP(w, r)
+		followerDone <- w
+	}()
+	// Wait for the follower to take its admission slot, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never acquired an admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case w := <-followerDone:
+		if w.Code != http.StatusInternalServerError {
+			t.Fatalf("cancelled follower: code %d, want 500", w.Code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled follower still holds its slots, blocked on the leader")
+	}
+	// Slots are back while the leader is *still* running.
+	if got := sh.inflight.Load(); got != 0 {
+		t.Fatalf("shard in-flight = %d after follower cancel, want 0", got)
+	}
+	if st := s.quotas.stats(); len(st) != 1 || st[0].InFlight != 0 {
+		t.Fatalf("tenant in-flight not released: %+v", st)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader disturbed by abandoned follower: %v", err)
+	}
+	// The bundle was published: the next request is a plain cache hit.
+	if w := post(h, "/v1/learn", learnBody); w.Code != 200 || w.Header().Get(CacheHeader) != StatusHit {
+		t.Fatalf("post-cancel request: code %d cache %q, want 200 hit", w.Code, w.Header().Get(CacheHeader))
+	}
+}
+
+// TestRequestsAfterCloseStillServed pins the Server.Close contract the
+// cluster drain path relies on: requests that slip in after Close are
+// still served correctly (par.Pool.Do degrades to caller execution —
+// the per-shard compute bound is gone, not the behavior), so a node
+// being drained can finish its tail of requests before the listener
+// closes.
+func TestRequestsAfterCloseStillServed(t *testing.T) {
+	s := mustNew(t, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0})
+	h := s.Handler()
+	before := post(h, "/v1/learn", learnBody)
+	if before.Code != 200 {
+		t.Fatalf("pre-close request: code %d", before.Code)
+	}
+	s.Close()
+	after := post(h, "/v1/learn", learnBody)
+	if after.Code != 200 {
+		t.Fatalf("post-close request: code %d, want 200 (Close must not break late requests)", after.Code)
+	}
+	if !bytes.Equal(before.Body.Bytes(), after.Body.Bytes()) {
+		t.Fatal("post-close body differs from pre-close body")
 	}
 }

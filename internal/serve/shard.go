@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -79,14 +80,17 @@ func (sh *shard) release() { sh.inflight.Add(-1) }
 // the key being built waits for the leader and shares its result
 // without occupying a pool worker; otherwise the caller becomes the
 // leader and builds on the shard pool (bounded by the pool size). The
-// returned status says which path was taken.
+// returned status says which path was taken. ctx (the request's
+// context) bounds a follower's wait: a disconnected client's request
+// stops waiting and errors so its admission slots free promptly,
+// without disturbing the leader's build.
 //
 // build must be a pure function of key — that is what makes hit, miss,
 // and coalesced responses indistinguishable in content. A panic inside
 // build is contained to this request (and its coalesced followers) as an
 // error; nothing is cached and the server stays up.
-func (sh *shard) tabulated(key string, build func() (val any, bytes int64)) (any, string, error) {
-	v, status, err := sh.group.do(key, func() (any, int64, error) {
+func (sh *shard) tabulated(ctx context.Context, key string, build func() (val any, bytes int64)) (any, string, error) {
+	v, status, err := sh.group.do(ctx, key, func() (any, int64, error) {
 		var (
 			val   any
 			bytes int64

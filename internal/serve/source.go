@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -88,9 +89,11 @@ func newRegistry() *registry {
 
 // resolved returns the cached value for key, building it at most once
 // across concurrent callers (see flightGroup.do; failed builds are not
-// cached and the error is shared, not sticky).
+// cached and the error is shared, not sticky). Followers wait without a
+// deadline — source builds are O(n) and fast, unlike sample draws, so
+// they are not worth abandoning on client disconnect.
 func (r *registry) resolved(key string, build func() (val any, bytes int64, err error)) (any, error) {
-	v, _, err := r.group.do(key, func() (any, int64, error) {
+	v, _, err := r.group.do(context.Background(), key, func() (any, int64, error) {
 		r.builds.Add(1)
 		return build()
 	})
