@@ -12,10 +12,18 @@
 // GOMAXPROCS, the cpu: line go test prints) is recorded because parallel
 // speedup is only meaningful relative to the cores that were available.
 //
+// With -server it additionally queries a live khist-server's /v1/stats
+// and prints the server's own learned latency histogram — the k-piece
+// summary the serving layer's metrics plane produced with the repo's
+// v-optimal learner — next to the measured rps, so the server's
+// self-measurement can be compared against the external measurement in
+// one place. The snapshot is also embedded in the JSON report.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'Parallel' -benchtime 2x . | khist-bench -out BENCH_parallel.json
 //	khist-bench -in bench.txt -out BENCH_parallel.json
+//	khist-bench -in serve.txt -server http://localhost:8080 -out BENCH_serve.json
 package main
 
 import (
@@ -24,11 +32,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
+
+	"khist/internal/obs"
 )
 
 // Result is one benchmark measurement.
@@ -57,6 +69,10 @@ type Report struct {
 	GoMaxProcs int      `json:"gomaxprocs"`
 	Note       string   `json:"note,omitempty"`
 	Results    []Result `json:"results"`
+	// ServerLatency is the live server's self-reported latency snapshot
+	// (-server): the k-histogram its metrics plane learned over its own
+	// request latencies with the repo's v-optimal learner.
+	ServerLatency *obs.LatencySnapshot `json:"server_latency,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
@@ -65,8 +81,9 @@ var modePart = regexp.MustCompile(`/mode=(\w+)`)
 
 func main() {
 	var (
-		in  = flag.String("in", "", "benchmark output file (default: stdin)")
-		out = flag.String("out", "", "JSON report file (default: stdout)")
+		in     = flag.String("in", "", "benchmark output file (default: stdin)")
+		out    = flag.String("out", "", "JSON report file (default: stdout)")
+		server = flag.String("server", "", "base URL of a live khist-server; its self-reported learned latency histogram (/v1/stats) is printed next to the measured rps and embedded in the report")
 	)
 	flag.Parse()
 
@@ -83,8 +100,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if len(report.Results) == 0 {
+	if len(report.Results) == 0 && *server == "" {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	if *server != "" {
+		snap, err := fetchServerLatency(*server)
+		if err != nil {
+			fatal(err)
+		}
+		report.ServerLatency = snap
+		printServerLatency(os.Stderr, snap, report.Results)
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -163,6 +188,53 @@ func parse(r io.Reader) (*Report, error) {
 		}
 	}
 	return report, nil
+}
+
+// fetchServerLatency pulls the latency snapshot out of a live server's
+// /v1/stats body.
+func fetchServerLatency(base string) (*obs.LatencySnapshot, error) {
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(strings.TrimRight(base, "/") + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("fetching %s/v1/stats: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/v1/stats: status %d", base, resp.StatusCode)
+	}
+	var stats struct {
+		Latency *obs.LatencySnapshot `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil, fmt.Errorf("decoding %s/v1/stats: %w", base, err)
+	}
+	if stats.Latency == nil {
+		return nil, fmt.Errorf("%s reports no latency snapshot (metrics disabled, or no snapshot window elapsed yet)", base)
+	}
+	return stats.Latency, nil
+}
+
+// printServerLatency renders the server's own learned latency histogram
+// next to the externally measured serve-mode rps rows, so the
+// self-measurement and the measurement face each other.
+func printServerLatency(w io.Writer, snap *obs.LatencySnapshot, results []Result) {
+	for _, res := range results {
+		if res.Mode != "" && res.RPS > 0 {
+			fmt.Fprintf(w, "measured  mode=%-10s %12.1f req/s\n", res.Mode, res.RPS)
+		}
+	}
+	fmt.Fprintf(w, "server    count=%d mean=%.0fus p50=%dus p90=%dus p99=%dus max=%dus\n",
+		snap.Count, snap.MeanUS, snap.P50US, snap.P90US, snap.P99US, snap.MaxUS)
+	if len(snap.Pieces) == 0 {
+		fmt.Fprintln(w, "server    no learned histogram yet (stream below the learner's minimum)")
+		return
+	}
+	fmt.Fprintf(w, "server    learned latency histogram (k=%d -> %d pieces, err_l2=%.3g, %d of %d observations held):\n",
+		snap.K, snap.LearnedK, snap.ErrL2, snap.Samples, snap.SamplesSeen)
+	for _, p := range snap.Pieces {
+		bar := strings.Repeat("#", int(p.Mass*40+0.5))
+		fmt.Fprintf(w, "  [%10dus, %10dus) %6.1f%% %s\n", p.LoUS, p.HiUS, p.Mass*100, bar)
+	}
 }
 
 func fatal(err error) {

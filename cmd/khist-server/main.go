@@ -55,6 +55,9 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster node, including this one (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080); empty runs standalone")
 		self         = flag.String("self", "", "this node's base URL exactly as it appears in -peers (required with -peers)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		noMetrics    = flag.Bool("no-metrics", false, "disable the metrics plane entirely (no /metrics endpoint, no latency learning)")
+		metricsWin   = flag.Duration("metrics-window", serve.DefaultMetricsWindow, "snapshot period of the metrics plane: how often request latency is re-learned into a k-histogram")
+		metricsK     = flag.Int("metrics-k", serve.DefaultMetricsK, "piece budget of the learned latency histogram on /metrics and /v1/stats")
 	)
 	flag.Parse()
 
@@ -82,6 +85,7 @@ func main() {
 		MaxQueuePerShard: *maxQueue,
 		Quotas:           quotas,
 		Cluster:          serve.ClusterConfig{Self: *self, Peers: peerList},
+		Metrics:          serve.MetricsConfig{Disabled: *noMetrics, Window: *metricsWin, K: *metricsK},
 	})
 	if err != nil {
 		cli.Fatal("khist-server", err)

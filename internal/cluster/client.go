@@ -56,13 +56,32 @@ type Response struct {
 	Retries int
 }
 
+// Hooks are the client's optional observation points, for the serving
+// layer's metrics plane. Both callbacks may be nil; non-nil callbacks
+// must be safe for concurrent use and cheap (they run on the forwarding
+// path).
+type Hooks struct {
+	// ForwardDone fires after each completed relay attempt that got an
+	// HTTP answer: the peer that answered, the wall time of the round
+	// trip (send + receive + buffer), and the status it returned.
+	ForwardDone func(peer string, d time.Duration, status int)
+	// PeerExcluded fires each time a peer is excluded during a forward:
+	// a transport failure, or a 421 ring-disagreement refusal.
+	PeerExcluded func(peer string)
+}
+
 // Client forwards requests to peer nodes. self is this node's own name
 // on the ring (never forwarded to); the zero HTTP client gets a
 // conservative default timeout.
 type Client struct {
-	self string
-	http *http.Client
+	self  string
+	http  *http.Client
+	hooks Hooks
 }
+
+// SetHooks installs observation callbacks. Call before the client is
+// shared across goroutines (i.e. during server construction).
+func (c *Client) SetHooks(h Hooks) { c.hooks = h }
 
 // NewClient builds a forwarding client for the node named self. hc may
 // be nil, in which case a client with a 60s total timeout is used
@@ -103,6 +122,9 @@ func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType
 		if err != nil {
 			excluded[owner] = true
 			lastErr = err
+			if c.hooks.PeerExcluded != nil {
+				c.hooks.PeerExcluded(owner)
+			}
 			continue
 		}
 		if resp.Status == http.StatusMisdirectedRequest {
@@ -113,6 +135,9 @@ func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType
 			// client that sent a perfectly good request.
 			excluded[owner] = true
 			lastErr = fmt.Errorf("cluster: %s refused the forward as misrouted (ring mismatch)", owner)
+			if c.hooks.PeerExcluded != nil {
+				c.hooks.PeerExcluded(owner)
+			}
 			continue
 		}
 		resp.Retries = len(excluded)
@@ -122,6 +147,10 @@ func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType
 
 // post sends one forwarded request to node and buffers its answer.
 func (c *Client) post(ctx context.Context, node, path, contentType string, body []byte, excluded map[string]bool) (*Response, error) {
+	var t0 time.Time
+	if c.hooks.ForwardDone != nil {
+		t0 = time.Now()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: building forward to %s: %w", node, err)
@@ -141,6 +170,9 @@ func (c *Client) post(ctx context.Context, node, path, contentType string, body 
 	b, err := io.ReadAll(io.LimitReader(hr.Body, maxRelayBytes))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: reading forward response from %s: %w", node, err)
+	}
+	if c.hooks.ForwardDone != nil {
+		c.hooks.ForwardDone(node, time.Since(t0), hr.StatusCode)
 	}
 	return &Response{Node: node, Status: hr.StatusCode, Header: hr.Header, Body: b}, nil
 }

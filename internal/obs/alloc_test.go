@@ -1,0 +1,35 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The hot-path cost contract: counters and recorder observations must
+// not allocate in steady state (the race detector instruments allocs,
+// so the test only runs without -race).
+
+func TestCounterZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("khist_alloc_total", "alloc test")
+	if avg := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); avg != 0 {
+		t.Errorf("Counter allocates %v per op", avg)
+	}
+}
+
+func TestRecorderObserveZeroAlloc(t *testing.T) {
+	rec := NewRecorder("khist_alloc_latency", "alloc test",
+		RecorderOptions{Shards: 2, ReservoirPerShard: 64})
+	// Warm past the reservoir-fill and GK-growth phase so the steady
+	// state is what AllocsPerRun sees (GK still compresses periodically;
+	// amortized that is < 1 alloc per observation, so require < 0.5).
+	for i := 0; i < 10000; i++ {
+		rec.Observe(time.Duration(i%2000) * time.Microsecond)
+	}
+	d := 137 * time.Microsecond
+	if avg := testing.AllocsPerRun(5000, func() { rec.Observe(d) }); avg > 0.5 {
+		t.Errorf("Observe allocates %v per op", avg)
+	}
+}

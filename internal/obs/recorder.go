@@ -1,0 +1,402 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"khist/internal/dist"
+	"khist/internal/learn"
+	"khist/internal/stream"
+)
+
+// The latency domain. Durations are mapped to a small discrete domain so
+// the k-histogram learner (whose running time scales with the number of
+// distinct sampled values) stays cheap enough to run in the background:
+// microsecond-exact buckets below 16us, then 8 sub-buckets per power of
+// two (HDR-histogram style, <= 12.5% relative width) up to ~134s. The
+// mapping is integer-only and monotone, so learned bucket boundaries
+// translate back to microsecond ranges exactly.
+const (
+	latLinear  = 16 // exact 1us buckets for [0, 16) us
+	latSubBits = 3
+	latSub     = 1 << latSubBits // sub-buckets per octave
+	latMaxExp  = 27              // values >= 2^27 us (~134s) clamp to the top bucket
+
+	// LatencyDomain is the recorder's domain size n: every observation
+	// maps to a bucket index in [0, LatencyDomain).
+	LatencyDomain = latLinear + (latMaxExp-4)*latSub
+)
+
+// latencyBucket maps a non-negative microsecond value to its domain
+// bucket.
+func latencyBucket(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	if us < latLinear {
+		return int(us)
+	}
+	e := bits.Len64(uint64(us)) // e >= 5: 2^(e-1) <= us < 2^e
+	if e > latMaxExp {
+		return LatencyDomain - 1
+	}
+	sub := int(us>>(e-1-latSubBits)) & (latSub - 1)
+	return latLinear + (e-5)*latSub + sub
+}
+
+// BucketLoUS returns the inclusive microsecond lower edge of bucket b.
+func BucketLoUS(b int) int64 {
+	if b < 0 {
+		return 0
+	}
+	if b < latLinear {
+		return int64(b)
+	}
+	if b >= LatencyDomain {
+		return int64(1) << latMaxExp
+	}
+	oct := (b - latLinear) / latSub // e = oct + 5
+	sub := (b - latLinear) % latSub
+	return int64(latSub+sub) << (oct + 4 - latSubBits)
+}
+
+// BucketHiUS returns the exclusive microsecond upper edge of bucket b.
+func BucketHiUS(b int) int64 { return BucketLoUS(b + 1) }
+
+// RecorderOptions sizes a Recorder.
+type RecorderOptions struct {
+	// Shards is the number of independent sketch shards observations are
+	// spread over (round-robin); more shards mean less lock contention.
+	// Values below 1 mean 4.
+	Shards int
+	// ReservoirPerShard is each shard's reservoir capacity. Values below
+	// 1 mean 1024.
+	ReservoirPerShard int
+	// Learned marks the recorder for k-histogram learning: Snapshot runs
+	// the v-optimal learner over the merged reservoir and publishes the
+	// learned pieces. Non-learned recorders still publish counts, sums,
+	// and quantiles.
+	Learned bool
+	// Seed drives the per-shard reservoir rngs and the snapshot shuffle;
+	// it only affects which observations the bounded sketches retain,
+	// never any served response.
+	Seed int64
+}
+
+func (o RecorderOptions) withDefaults() RecorderOptions {
+	if o.Shards < 1 {
+		o.Shards = 4
+	}
+	if o.ReservoirPerShard < 1 {
+		o.ReservoirPerShard = 1024
+	}
+	return o
+}
+
+// recShard is one sketch shard: a bounded uniform reservoir and a GK
+// quantile summary over latency buckets, guarded by a short mutex.
+type recShard struct {
+	mu  sync.Mutex
+	res *stream.Reservoir
+	gk  *stream.GK
+}
+
+// Recorder measures one latency population. Observe is safe for
+// concurrent use and allocation-free in steady state: three atomic adds
+// plus one sharded critical section that feeds two bounded sketches.
+// Snapshot (periodic, off the hot path) merges the shards and, for
+// learned recorders, runs the k-bucket v-optimal learner over the merged
+// empirical latency distribution.
+type Recorder struct {
+	name, help string
+	opts       RecorderOptions
+
+	count atomic.Int64
+	sumUS atomic.Int64
+	maxUS atomic.Int64
+	next  atomic.Uint64
+	sh    []*recShard
+
+	// snapMu serializes snapshots; snap holds the latest result.
+	snapMu    sync.Mutex
+	snapRng   *rand.Rand
+	snap      atomic.Pointer[LatencySnapshot]
+	snapshots atomic.Int64
+}
+
+// NewRecorder builds an unregistered recorder; most callers use
+// Registry.Recorder instead.
+func NewRecorder(name, help string, opts RecorderOptions) *Recorder {
+	opts = opts.withDefaults()
+	r := &Recorder{name: name, help: help, opts: opts,
+		snapRng: rand.New(rand.NewSource(opts.Seed ^ 0x7f4a7c15))}
+	for i := 0; i < opts.Shards; i++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(i)*0x9e3779b9 + 1))
+		res, _ := stream.NewReservoir(opts.ReservoirPerShard, rng)
+		gk, _ := stream.NewGK(0.01)
+		r.sh = append(r.sh, &recShard{res: res, gk: gk})
+	}
+	return r
+}
+
+// Name returns the metric name the recorder renders under.
+func (r *Recorder) Name() string { return r.name }
+
+// Observe records one latency.
+func (r *Recorder) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	r.count.Add(1)
+	r.sumUS.Add(us)
+	for {
+		old := r.maxUS.Load()
+		if us <= old || r.maxUS.CompareAndSwap(old, us) {
+			break
+		}
+	}
+	b := latencyBucket(us)
+	sh := r.sh[r.next.Add(1)%uint64(len(r.sh))]
+	sh.mu.Lock()
+	sh.res.Observe(b)
+	sh.gk.Insert(b)
+	sh.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (r *Recorder) Count() int64 { return r.count.Load() }
+
+// SumUS returns the summed observations in microseconds.
+func (r *Recorder) SumUS() int64 { return r.sumUS.Load() }
+
+// MaxUS returns the largest observation in microseconds.
+func (r *Recorder) MaxUS() int64 { return r.maxUS.Load() }
+
+// LatencyPiece is one piece of a learned latency histogram: a
+// microsecond range and the probability mass the learner assigned it.
+type LatencyPiece struct {
+	LoUS int64   `json:"lo_us"`
+	HiUS int64   `json:"hi_us"`
+	Mass float64 `json:"mass"`
+}
+
+// fixedLE is the fixed cumulative-bucket grid rendered on /metrics
+// (Prometheus needs stable le labels across scrapes), in microseconds.
+var fixedLE = []int64{250, 1000, 4000, 16000, 64000, 256000, 1024000, 4096000}
+
+// LatencySnapshot is one tabulation of a recorder's sketches: stream
+// totals, GK quantiles, a fixed-boundary cumulative histogram, and — for
+// learned recorders — the k-histogram the v-optimal learner produced
+// from the merged reservoir.
+type LatencySnapshot struct {
+	// Count/MeanUS/MaxUS describe the whole stream (exact atomics).
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	MaxUS  int64   `json:"max_us"`
+	// P50US/P90US/P99US are GK quantile estimates (bucket lower edges;
+	// rank error ~1% of the stream, value error <= 12.5% from bucketing).
+	P50US int64 `json:"p50_us"`
+	P90US int64 `json:"p90_us"`
+	P99US int64 `json:"p99_us"`
+	// CumLE[i] estimates how many observations were <= fixedLE[i] us,
+	// scaled from the merged reservoir to the stream count.
+	CumLE []int64 `json:"-"`
+	// Samples is the merged reservoir size the learner (and CumLE) saw;
+	// SamplesSeen the stream length behind it.
+	Samples     int64 `json:"samples"`
+	SamplesSeen int64 `json:"samples_seen"`
+	// K is the requested piece budget; Pieces the learned histogram
+	// (empty when the reservoir was too small to learn), LearnedK its
+	// actual piece count, ErrL2 the squared l2 distance between the
+	// learned density and the merged empirical density, and SamplesUsed
+	// the learner's sample accounting.
+	K           int            `json:"k,omitempty"`
+	Pieces      []LatencyPiece `json:"pieces,omitempty"`
+	LearnedK    int            `json:"learned_k,omitempty"`
+	ErrL2       float64        `json:"err_l2,omitempty"`
+	SamplesUsed int64          `json:"samples_used,omitempty"`
+	// Snapshots counts snapshots taken over the recorder's lifetime.
+	Snapshots int64 `json:"snapshots"`
+}
+
+// Latest returns the most recent snapshot, or nil before the first one.
+func (r *Recorder) Latest() *LatencySnapshot { return r.snap.Load() }
+
+// minLearnSamples is the smallest merged reservoir the learner runs on:
+// below it the snapshot still carries counts and quantiles, just no
+// learned histogram.
+const minLearnSamples = 8
+
+// Snapshot merges the per-shard sketches into one view, runs the
+// k-bucket v-optimal learner over the merged empirical latency
+// distribution (learned recorders with at least minLearnSamples held
+// observations), stores the result as Latest, and returns it. It is
+// cheap relative to its period (the domain is LatencyDomain wide) and
+// runs entirely off the request path.
+func (r *Recorder) Snapshot(k int) *LatencySnapshot {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+
+	// Copy the sketch state out from under the shard locks quickly;
+	// merge and learn without holding any of them.
+	reservoirs := make([]*stream.Reservoir, len(r.sh))
+	var mergedGK *stream.GK
+	for i, sh := range r.sh {
+		sh.mu.Lock()
+		items := sh.res.Items()
+		seen := sh.res.Seen()
+		gk := sh.gk.Clone()
+		sh.mu.Unlock()
+		reservoirs[i] = stream.ReservoirView(items, seen)
+		if mergedGK == nil {
+			mergedGK = gk
+		} else {
+			mergedGK.Merge(gk)
+		}
+	}
+
+	snap := &LatencySnapshot{
+		Count:     r.count.Load(),
+		MaxUS:     r.maxUS.Load(),
+		K:         k,
+		Snapshots: r.snapshots.Add(1),
+	}
+	if snap.Count > 0 {
+		snap.MeanUS = float64(r.sumUS.Load()) / float64(snap.Count)
+	}
+	if mergedGK != nil && mergedGK.N() > 0 {
+		snap.P50US = BucketLoUS(mergedGK.Query(0.50))
+		snap.P90US = BucketLoUS(mergedGK.Query(0.90))
+		snap.P99US = BucketLoUS(mergedGK.Query(0.99))
+	}
+
+	merged, err := stream.MergeReservoirs(len(r.sh)*r.opts.ReservoirPerShard, r.snapRng, reservoirs...)
+	if err != nil {
+		r.snap.Store(snap)
+		return snap
+	}
+	items := merged.Items()
+	snap.Samples = int64(len(items))
+	snap.SamplesSeen = merged.Seen()
+
+	if len(items) > 0 {
+		emp := dist.NewEmpirical(items, LatencyDomain)
+		cum := make([]int64, len(fixedLE))
+		for i, le := range fixedLE {
+			// Bucket containing le: everything in buckets whose upper
+			// edge is <= le is definitely <= le.
+			b := latencyBucket(le)
+			frac := emp.FractionIn(dist.Interval{Lo: 0, Hi: b + 1})
+			cum[i] = int64(frac * float64(snap.Count))
+		}
+		snap.CumLE = cum
+	}
+
+	if r.opts.Learned && len(items) >= minLearnSamples && k >= 1 {
+		r.learn(snap, items, k)
+	}
+	r.snap.Store(snap)
+	return snap
+}
+
+// learn runs the repo's v-optimal k-histogram learner over the merged
+// reservoir items, dogfooding internal/learn as the latency summarizer.
+func (r *Recorder) learn(snap *LatencySnapshot, items []int, k int) {
+	// Split the held sample like stream.Maintainer does: half for weight
+	// estimates, the rest into r collision sets (adaptive so every set
+	// keeps at least a few items).
+	shuffled := append([]int(nil), items...)
+	r.snapRng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	weights := shuffled[:len(shuffled)/2]
+	rest := shuffled[len(shuffled)/2:]
+	sets := len(rest) / 4
+	if sets < 1 {
+		sets = 1
+	}
+	if sets > 8 {
+		sets = 8
+	}
+	chunk := len(rest) / sets
+	coll := make([][]int, sets)
+	for i := 0; i < sets; i++ {
+		coll[i] = rest[i*chunk : (i+1)*chunk]
+	}
+	res, err := learn.FromSamples(LatencyDomain, weights, coll, learn.Options{
+		K: k, Eps: 0.25, Parallelism: 1,
+	}, true)
+	if err != nil {
+		return
+	}
+	bounds := res.Tiling.Bounds()
+	values := res.Tiling.Values()
+	pieces := make([]LatencyPiece, 0, len(values))
+	for j := range values {
+		pieces = append(pieces, LatencyPiece{
+			LoUS: BucketLoUS(bounds[j]),
+			HiUS: BucketLoUS(bounds[j+1]),
+			Mass: values[j] * float64(bounds[j+1]-bounds[j]),
+		})
+	}
+	snap.Pieces = pieces
+	snap.LearnedK = len(pieces)
+	snap.SamplesUsed = res.SamplesUsed
+
+	// Learn error: squared l2 distance between the learned density and
+	// the merged empirical density over the latency domain.
+	emp := dist.NewEmpirical(items, LatencyDomain)
+	var errL2 float64
+	for j := range values {
+		for i := bounds[j]; i < bounds[j+1]; i++ {
+			p := float64(emp.Occ(i)) / float64(len(items))
+			d := p - values[j]
+			errL2 += d * d
+		}
+	}
+	snap.ErrL2 = errL2
+}
+
+// writePrometheus renders the recorder's series: exact totals, the
+// latest snapshot's quantiles and fixed-boundary cumulative buckets, and
+// (for learned recorders) the learned k-histogram with its boundaries in
+// labels and its piece count and learn error as companion series.
+func (r *Recorder) writePrometheus(b *strings.Builder) {
+	n := r.name
+	fmt.Fprintf(b, "# HELP %s_count %s (observations)\n# TYPE %s_count counter\n%s_count %d\n", n, r.help, n, n, r.Count())
+	fmt.Fprintf(b, "# TYPE %s_sum_us counter\n%s_sum_us %d\n", n, n, r.SumUS())
+	fmt.Fprintf(b, "# TYPE %s_max_us gauge\n%s_max_us %d\n", n, n, r.MaxUS())
+	snap := r.Latest()
+	if snap == nil {
+		return
+	}
+	fmt.Fprintf(b, "# TYPE %s_us gauge\n", n)
+	for _, q := range []struct {
+		phi string
+		v   int64
+	}{{"0.5", snap.P50US}, {"0.9", snap.P90US}, {"0.99", snap.P99US}} {
+		fmt.Fprintf(b, "%s_us{quantile=%q} %d\n", n, q.phi, q.v)
+	}
+	if snap.CumLE != nil {
+		fmt.Fprintf(b, "# TYPE %s_us_bucket gauge\n", n)
+		for i, le := range fixedLE {
+			fmt.Fprintf(b, "%s_us_bucket{le=\"%d\"} %d\n", n, le, snap.CumLE[i])
+		}
+		fmt.Fprintf(b, "%s_us_bucket{le=\"+Inf\"} %d\n", n, snap.Count)
+	}
+	fmt.Fprintf(b, "# TYPE %s_snapshots_total counter\n%s_snapshots_total %d\n", n, n, snap.Snapshots)
+	if len(snap.Pieces) > 0 {
+		fmt.Fprintf(b, "# HELP %s_learned_bucket mass per piece of the k-histogram learned from the latency sketch by the v-optimal learner\n", n)
+		fmt.Fprintf(b, "# TYPE %s_learned_bucket gauge\n", n)
+		for i, p := range snap.Pieces {
+			fmt.Fprintf(b, "%s_learned_bucket{piece=\"%d\",lo_us=\"%d\",hi_us=\"%d\"} %s\n", n, i, p.LoUS, p.HiUS, formatFloat(p.Mass))
+		}
+		fmt.Fprintf(b, "# TYPE %s_learned_pieces gauge\n%s_learned_pieces %d\n", n, n, snap.LearnedK)
+		fmt.Fprintf(b, "# TYPE %s_learned_err_l2 gauge\n%s_learned_err_l2 %s\n", n, n, formatFloat(snap.ErrL2))
+		fmt.Fprintf(b, "# TYPE %s_learned_samples gauge\n%s_learned_samples %d\n", n, n, snap.Samples)
+	}
+}

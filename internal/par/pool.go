@@ -3,6 +3,7 @@ package par
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool is a set of persistent worker goroutines that execute submitted
@@ -38,7 +39,25 @@ type Pool struct {
 	// request blocks on Do.
 	pending atomic.Int64
 
+	// waitObs, when set (OnWait), receives the queue wait of every
+	// Do-submitted task: the time between submission and execution
+	// start. It lets a serving layer split request latency into
+	// queue-wait vs compute without wrapping every Do call site. Stored
+	// as an atomic value so setting it is race-free against in-flight
+	// Do calls; when unset, Do takes no timestamps at all.
+	waitObs atomic.Pointer[func(time.Duration)]
+
 	closeOnce sync.Once
+}
+
+// OnWait installs fn as the pool's queue-wait observer (see waitObs).
+// fn must be safe for concurrent use; nil removes the observer.
+func (p *Pool) OnWait(fn func(time.Duration)) {
+	if fn == nil {
+		p.waitObs.Store(nil)
+		return
+	}
+	p.waitObs.Store(&fn)
 }
 
 // NewPool starts a pool of size persistent workers. size values below 1
@@ -93,17 +112,28 @@ func (p *Pool) Go(fn func()) {
 // bound is gone but the call still completes, so a request caught
 // mid-flight by owner shutdown finishes instead of panicking.
 func (p *Pool) Do(fn func()) {
+	obs := p.waitObs.Load()
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
 	p.pending.Add(1)
 	done := make(chan struct{})
 	select {
 	case p.tasks <- func() {
 		p.pending.Add(-1)
+		if obs != nil {
+			(*obs)(time.Since(t0))
+		}
 		defer close(done)
 		fn()
 	}:
 		<-done
 	case <-p.quit:
 		p.pending.Add(-1)
+		if obs != nil {
+			(*obs)(time.Since(t0))
+		}
 		fn()
 	}
 }

@@ -16,7 +16,13 @@ import (
 // (no TCP, so the numbers isolate routing + cache + compute):
 //
 //	mode=cold       every request misses (distinct seeds)
-//	mode=cached     every request hits one warmed key
+//	mode=cached     every request hits one warmed key, metrics plane
+//	                disabled — the baseline the metrics overhead is
+//	                measured against
+//	mode=metrics    the cached path with the metrics plane enabled
+//	                (instrumented handlers, recorders, background
+//	                learner): its rps over mode=cached is the whole
+//	                observability tax
 //	mode=coalesced  16 concurrent clients per op share one fresh key
 //	mode=quota      cached path with per-tenant quotas enabled: the
 //	                admission layer's overhead on the hot path
@@ -54,6 +60,23 @@ func BenchmarkServe(b *testing.B) {
 	})
 
 	b.Run("mode=cached", func(b *testing.B) {
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+			Metrics: MetricsConfig{Disabled: true}})
+		defer s.Close()
+		h := s.Handler()
+		body := mkBody(1)
+		if code := learnPost(h, body); code != 200 { // warm the key
+			b.Fatalf("warmup code %d", code)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := learnPost(h, body); code != 200 {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+
+	b.Run("mode=metrics", func(b *testing.B) {
 		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20})
 		defer s.Close()
 		h := s.Handler()
@@ -66,6 +89,11 @@ func BenchmarkServe(b *testing.B) {
 			if code := learnPost(h, body); code != 200 {
 				b.Fatalf("code %d", code)
 			}
+		}
+		b.StopTimer()
+		// The plane must actually have been measuring: every op observed.
+		if got := s.metrics.latency.Count(); got < int64(b.N) {
+			b.Fatalf("latency recorder saw %d observations, want >= %d", got, b.N)
 		}
 	})
 

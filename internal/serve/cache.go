@@ -17,6 +17,14 @@ type cache struct {
 	used     int64
 	order    *list.List // front = most recently used
 	entries  map[string]*list.Element
+
+	// Byte-flow counters for the metrics plane, maintained under mu (the
+	// operations they count already hold it): bytes handed out on hits,
+	// bytes accepted by put, and entries/bytes reclaimed by eviction.
+	hitBytes      int64
+	insertedBytes int64
+	evictions     int64
+	evictedBytes  int64
 }
 
 // centry is one cached value with its accounted size.
@@ -43,7 +51,9 @@ func (c *cache) get(key string) (any, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*centry).val, true
+	e := el.Value.(*centry)
+	c.hitBytes += e.bytes
+	return e.val, true
 }
 
 // put inserts val under key, evicting least-recently-used entries until
@@ -60,6 +70,7 @@ func (c *cache) put(key string, val any, bytes int64) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.insertedBytes += bytes
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*centry)
 		c.used += bytes - e.bytes
@@ -78,6 +89,8 @@ func (c *cache) put(key string, val any, bytes int64) {
 		c.order.Remove(oldest)
 		delete(c.entries, e.key)
 		c.used -= e.bytes
+		c.evictions++
+		c.evictedBytes += e.bytes
 	}
 }
 
@@ -86,4 +99,12 @@ func (c *cache) stats() (entries int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries), c.used
+}
+
+// flowStats returns the cumulative byte-flow counters: bytes served on
+// hits, bytes accepted on puts, and eviction count plus reclaimed bytes.
+func (c *cache) flowStats() (hitBytes, insertedBytes, evictions, evictedBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hitBytes, c.insertedBytes, c.evictions, c.evictedBytes
 }

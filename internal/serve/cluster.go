@@ -97,6 +97,18 @@ func (s *Server) initCluster(cfg ClusterConfig) error {
 	}
 	s.ring = ring
 	s.peers = cluster.NewClient(cfg.Self, cfg.HTTPClient)
+	if s.metrics != nil {
+		for _, node := range ring.Nodes() {
+			if node != cfg.Self {
+				s.metrics.newPeer(node)
+			}
+		}
+		s.metrics.mirrorCluster(s)
+		s.peers.SetHooks(cluster.Hooks{
+			ForwardDone:  s.metrics.forwardDone,
+			PeerExcluded: s.metrics.peerExcluded,
+		})
+	}
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"khist/internal/grid"
 	"khist/internal/histtest"
 	"khist/internal/learn"
+	"khist/internal/obs"
 	"khist/internal/par"
 )
 
@@ -388,6 +389,12 @@ type ShardStats struct {
 	Coalesced    int64 `json:"coalesced"`
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
+	// Cache byte flow: bytes served on hits, bytes accepted on puts, and
+	// evictions with the bytes they reclaimed.
+	CacheHitBytes      int64 `json:"cache_hit_bytes"`
+	CacheInsertedBytes int64 `json:"cache_inserted_bytes"`
+	CacheEvictions     int64 `json:"cache_evictions"`
+	CacheEvictedBytes  int64 `json:"cache_evicted_bytes"`
 }
 
 // StatsResponse is the body of GET /v1/stats. Requests counts admitted
@@ -410,6 +417,11 @@ type StatsResponse struct {
 	UntrackedTenantRequests int64         `json:"untracked_tenant_requests,omitempty"`
 	PerShard                []ShardStats  `json:"per_shard"`
 	Tenants                 []TenantStats `json:"tenants,omitempty"`
+	// Latency is the latest dogfooded latency snapshot: request latency
+	// sketched by internal/stream and summarized into a k-histogram by
+	// the repo's own v-optimal learner (metrics plane enabled and at
+	// least one snapshot window elapsed).
+	Latency *obs.LatencySnapshot `json:"latency,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -422,19 +434,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		UntrackedTenantRequests: s.quotas.untracked.Load(),
 		Tenants:                 s.quotas.stats(),
 	}
+	if s.metrics != nil {
+		resp.Latency = s.metrics.latency.Latest()
+	}
 	for i, sh := range s.shards {
 		entries, bytes := sh.cache.stats()
+		hitB, insB, ev, evB := sh.cache.flowStats()
 		st := ShardStats{
-			Shard:        i,
-			Requests:     sh.requests.Load(),
-			InFlight:     sh.inflight.Load(),
-			QueueDepth:   sh.pool.Pending(),
-			Shed:         sh.shed.Load(),
-			CacheHits:    sh.hits.Load(),
-			CacheMisses:  sh.misses.Load(),
-			Coalesced:    sh.coalesced.Load(),
-			CacheEntries: entries,
-			CacheBytes:   bytes,
+			Shard:              i,
+			Requests:           sh.requests.Load(),
+			InFlight:           sh.inflight.Load(),
+			QueueDepth:         sh.pool.Pending(),
+			Shed:               sh.shed.Load(),
+			CacheHits:          sh.hits.Load(),
+			CacheMisses:        sh.misses.Load(),
+			Coalesced:          sh.coalesced.Load(),
+			CacheEntries:       entries,
+			CacheBytes:         bytes,
+			CacheHitBytes:      hitB,
+			CacheInsertedBytes: insB,
+			CacheEvictions:     ev,
+			CacheEvictedBytes:  evB,
 		}
 		resp.Requests += st.Requests
 		resp.Shed += st.Shed

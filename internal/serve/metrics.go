@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"khist/internal/obs"
+)
+
+// The metrics plane. Every layer of the server feeds a lock-cheap obs
+// registry — per-endpoint traffic at handler entry/exit, queue-wait vs
+// compute split at the shard pools, byte flow at the caches, per-class
+// admission at the quota table, per-peer forwarding at the cluster
+// client — and the whole registry renders as Prometheus text on
+// GET /metrics. The request-latency recorder is the dogfooded one: a
+// background snapshotter periodically tabulates its bounded sketches and
+// runs the repo's own k-bucket v-optimal learner over the empirical
+// latency distribution, so the server's latency summary on /metrics and
+// /v1/stats is the paper's algorithm applied to the server itself.
+//
+// Instrumentation never touches response bodies — counters and
+// recorders only — so the serving plane's byte-identity contract
+// (cold/cached/coalesced/forwarded responses are bit-identical) holds
+// with metrics on or off.
+
+// Metrics defaults: a 5s learning window keeps the learned histogram
+// fresh without measurable load (one snapshot tabulates a <=4096-item
+// reservoir over a 200-bucket domain), and k=6 pieces summarize a
+// typical bimodal hit/miss latency population with room for tails.
+const (
+	DefaultMetricsWindow = 5 * time.Second
+	DefaultMetricsK      = 6
+)
+
+// MetricsConfig sizes the metrics plane. The zero value means enabled
+// with defaults, so every configuration of the server — including the
+// equivalence suites — exercises the instrumented path.
+type MetricsConfig struct {
+	// Disabled turns the metrics plane off entirely: no registry, no
+	// /metrics endpoint, no snapshotter, zero per-request overhead. The
+	// overhead benchmarks use it as their baseline.
+	Disabled bool
+	// Window is the snapshot period: how often the background
+	// snapshotter tabulates the latency sketches and re-runs the
+	// learner. Non-positive means DefaultMetricsWindow.
+	Window time.Duration
+	// K is the piece budget of the learned latency histogram.
+	// Non-positive means DefaultMetricsK.
+	K int
+	// Seed drives the sketch reservoirs (which observations the bounded
+	// sketches retain, never any response). Zero is a fine seed.
+	Seed int64
+}
+
+func (c MetricsConfig) withDefaults() MetricsConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultMetricsWindow
+	}
+	if c.K < 1 {
+		c.K = DefaultMetricsK
+	}
+	return c
+}
+
+// statusClass buckets an HTTP status code into one of the four rendered
+// classes (out-of-range codes clamp to the nearest class).
+func statusClass(code int) int {
+	c := code / 100
+	if c < 2 {
+		c = 2
+	}
+	if c > 5 {
+		c = 5
+	}
+	return c - 2
+}
+
+var statusClassNames = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+// endpointMetrics is one endpoint's traffic series: request count,
+// responses by status class, body bytes both ways, and an e2e latency
+// recorder (handler entry to handler exit, including the admission and
+// relay paths).
+type endpointMetrics struct {
+	requests  *obs.Counter
+	status    [4]*obs.Counter
+	reqBytes  *obs.Counter
+	respBytes *obs.Counter
+	latency   *obs.Recorder
+}
+
+// peerMetrics is one cluster peer's forwarding series: completed relays
+// by status class, summed round-trip time, and exclusions (transport
+// failures plus 421 ring-mismatch refusals).
+type peerMetrics struct {
+	forwards [4]*obs.Counter
+	sumUS    *obs.Counter
+	excluded *obs.Counter
+}
+
+// serverMetrics wires the obs registry through the server. It is built
+// at construction time; the hot path touches only the pre-registered
+// counter and recorder handles.
+type serverMetrics struct {
+	cfg MetricsConfig
+	reg *obs.Registry
+
+	// latency is the dogfooded recorder: every request's e2e latency,
+	// learned into a k-histogram by the snapshotter.
+	latency *obs.Recorder
+	// poolWait and compute split admitted requests' time on the shard
+	// pools: queue wait (submission to execution start) vs compute (the
+	// algorithm/tabulation run itself).
+	poolWait *obs.Recorder
+	compute  *obs.Recorder
+	// forward is the merged cross-peer relay latency distribution
+	// (per-peer means come from the peerMetrics counters).
+	forward *obs.Recorder
+
+	endpoints map[string]*endpointMetrics
+	peers     map[string]*peerMetrics
+
+	// aux are the non-learned recorders the snapshotter tabulates for
+	// quantiles alongside the learned latency recorder.
+	aux []*obs.Recorder
+}
+
+func newServerMetrics(cfg MetricsConfig) *serverMetrics {
+	cfg = cfg.withDefaults()
+	m := &serverMetrics{
+		cfg:       cfg,
+		reg:       obs.NewRegistry(),
+		endpoints: make(map[string]*endpointMetrics),
+		peers:     make(map[string]*peerMetrics),
+	}
+	m.latency = m.reg.Recorder("khist_request_latency",
+		"e2e request latency in us, learned into a k-histogram by the v-optimal learner",
+		obs.RecorderOptions{Learned: true, Seed: cfg.Seed})
+	m.poolWait = m.auxRecorder("khist_pool_wait",
+		"queue wait on the shard pools in us (submission to execution start)", 1)
+	m.compute = m.auxRecorder("khist_compute",
+		"compute time on the shard pools in us (tabulations and algorithm runs)", 2)
+	m.forward = m.auxRecorder("khist_forward_latency",
+		"cluster forward round-trip in us, all peers merged", 3)
+	for _, ep := range []string{
+		"learn", "test_l2", "test_l1", "learn2d",
+		"stats", "cluster", "cluster_bundle", "healthz", "metrics",
+	} {
+		m.endpoints[ep] = m.newEndpoint(ep)
+	}
+	return m
+}
+
+// auxRecorder registers a small non-learned recorder (quantiles and
+// counts only) and tracks it for the snapshotter.
+func (m *serverMetrics) auxRecorder(name, help string, salt int64) *obs.Recorder {
+	rec := m.reg.Recorder(name, help,
+		obs.RecorderOptions{Shards: 2, ReservoirPerShard: 256, Seed: m.cfg.Seed + salt})
+	m.aux = append(m.aux, rec)
+	return rec
+}
+
+func (m *serverMetrics) newEndpoint(ep string) *endpointMetrics {
+	em := &endpointMetrics{
+		requests: m.reg.Counter("khist_requests_total",
+			"requests received per endpoint", "endpoint", ep),
+		reqBytes: m.reg.Counter("khist_request_bytes_total",
+			"request body bytes received per endpoint", "endpoint", ep),
+		respBytes: m.reg.Counter("khist_response_bytes_total",
+			"response body bytes written per endpoint", "endpoint", ep),
+		latency: m.auxRecorder("khist_latency_"+ep,
+			"e2e latency of the "+ep+" endpoint in us", 16+int64(len(m.aux))),
+	}
+	for i, class := range statusClassNames {
+		em.status[i] = m.reg.Counter("khist_responses_total",
+			"responses per endpoint and status class", "endpoint", ep, "class", class)
+	}
+	return em
+}
+
+// newPeer registers the forwarding series for one cluster peer; called
+// from initCluster for every ring node except self.
+func (m *serverMetrics) newPeer(peer string) *peerMetrics {
+	pm := &peerMetrics{
+		sumUS: m.reg.Counter("khist_peer_forward_us_total",
+			"summed forward round-trip per peer in us", "peer", peer),
+		excluded: m.reg.Counter("khist_peer_excluded_total",
+			"times this peer was excluded during a forward (transport failure or ring mismatch)",
+			"peer", peer),
+	}
+	for i, class := range statusClassNames {
+		pm.forwards[i] = m.reg.Counter("khist_peer_forwards_total",
+			"completed forwards per peer and status class", "peer", peer, "class", class)
+	}
+	m.peers[peer] = pm
+	return pm
+}
+
+// mirrorServer registers render-time views of the counters that already
+// live in the shard, cache, and quota structures — the subsystems keep
+// their own atomics (and /v1/stats its existing shape), and /metrics
+// reads them through callbacks without double-counting.
+func (m *serverMetrics) mirrorServer(s *Server) {
+	intGauge := func(name, help string, fn func() int64, kv ...string) {
+		m.reg.Gauge(name, help, func() float64 { return float64(fn()) }, kv...)
+	}
+	intCounter := func(name, help string, fn func() int64, kv ...string) {
+		m.reg.CounterFunc(name, help, func() float64 { return float64(fn()) }, kv...)
+	}
+	for i, sh := range s.shards {
+		sh := sh
+		lbl := strconv.Itoa(i)
+		intCounter("khist_shard_requests_total", "admitted requests per shard", sh.requests.Load, "shard", lbl)
+		intCounter("khist_shard_shed_total", "requests shed at the shard admission gate", sh.shed.Load, "shard", lbl)
+		intGauge("khist_shard_inflight", "currently admitted requests per shard", sh.inflight.Load, "shard", lbl)
+		intGauge("khist_shard_queue_depth", "requests waiting on the shard pool", func() int64 { return int64(sh.pool.Pending()) }, "shard", lbl)
+		intCounter("khist_cache_hits_total", "tabulation cache hits per shard", sh.hits.Load, "shard", lbl)
+		intCounter("khist_cache_misses_total", "tabulation cache misses per shard", sh.misses.Load, "shard", lbl)
+		intCounter("khist_cache_coalesced_total", "requests coalesced into another request's draw", sh.coalesced.Load, "shard", lbl)
+		intGauge("khist_cache_entries", "live tabulation cache entries per shard", func() int64 {
+			entries, _ := sh.cache.stats()
+			return int64(entries)
+		}, "shard", lbl)
+		intGauge("khist_cache_bytes", "accounted tabulation cache bytes per shard", func() int64 {
+			_, bytes := sh.cache.stats()
+			return bytes
+		}, "shard", lbl)
+		intCounter("khist_cache_hit_bytes_total", "bytes served from the tabulation cache per shard", func() int64 {
+			hit, _, _, _ := sh.cache.flowStats()
+			return hit
+		}, "shard", lbl)
+		intCounter("khist_cache_inserted_bytes_total", "bytes accepted into the tabulation cache per shard", func() int64 {
+			_, ins, _, _ := sh.cache.flowStats()
+			return ins
+		}, "shard", lbl)
+		intCounter("khist_cache_evictions_total", "tabulation cache evictions per shard", func() int64 {
+			_, _, ev, _ := sh.cache.flowStats()
+			return ev
+		}, "shard", lbl)
+		intCounter("khist_cache_evicted_bytes_total", "bytes reclaimed by cache eviction per shard", func() int64 {
+			_, _, _, evb := sh.cache.flowStats()
+			return evb
+		}, "shard", lbl)
+	}
+	qs := s.quotas
+	for i, class := range quotaClassNames {
+		i := i
+		intCounter("khist_quota_admitted_total", "quota admissions per tenant class", qs.classAdmitted[i].Load, "class", class)
+		intCounter("khist_quota_shed_total", "quota sheds per tenant class and kind", qs.classShedRate[i].Load, "class", class, "kind", "rate")
+		intCounter("khist_quota_shed_total", "quota sheds per tenant class and kind", qs.classShedConc[i].Load, "class", class, "kind", "concurrency")
+	}
+	intCounter("khist_quota_untracked_total", "requests served on ephemeral quota states (tenant table hard-full)", qs.untracked.Load)
+}
+
+// mirrorCluster registers the forwarding-plane counters; called from
+// initCluster once the ring exists.
+func (m *serverMetrics) mirrorCluster(s *Server) {
+	intCounter := func(name, help string, fn func() int64) {
+		m.reg.CounterFunc(name, help, func() float64 { return float64(fn()) })
+	}
+	intCounter("khist_cluster_forwarded_total", "requests relayed to a peer", s.cluster.forwarded.Load)
+	intCounter("khist_cluster_forward_retries_total", "dead peers excluded during forwards", s.cluster.forwardRetries.Load)
+	intCounter("khist_cluster_fallback_local_total", "forwards that failed entirely, served locally", s.cluster.fallbackLocal.Load)
+	intCounter("khist_cluster_served_forwarded_total", "forwarded requests served by this node", s.cluster.servedForwarded.Load)
+	intCounter("khist_cluster_loops_rejected_total", "misrouted forwards rejected by the hop guard", s.cluster.loopsRejected.Load)
+	intCounter("khist_cluster_bundles_served_total", "bundle fetches answered for peers", s.cluster.bundlesServed.Load)
+	intCounter("khist_cluster_bundles_warmed_total", "bundles warmed into the local cache", s.cluster.bundlesWarmed.Load)
+}
+
+// statusWriter captures the status code and written byte count of one
+// response. Instances are pooled: the instrumented hot path allocates
+// nothing in steady state.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+// instrument wraps h with the endpoint's entry/exit instrumentation:
+// request count and body size on entry; status class, response bytes,
+// and e2e latency (fed to both the endpoint recorder and the learned
+// global recorder) on exit.
+func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := m.endpoints[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		em.requests.Inc()
+		if r.ContentLength > 0 {
+			em.reqBytes.Add(r.ContentLength)
+		}
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status, sw.bytes = w, 0, 0
+		h(sw, r)
+		d := time.Since(t0)
+		code, bytes := sw.status, sw.bytes
+		sw.ResponseWriter = nil
+		swPool.Put(sw)
+		if code == 0 {
+			code = http.StatusOK
+		}
+		em.status[statusClass(code)].Inc()
+		em.respBytes.Add(bytes)
+		em.latency.Observe(d)
+		m.latency.Observe(d)
+	}
+}
+
+// hooks builds the cluster client's observation callbacks over the
+// registered peer series.
+func (m *serverMetrics) forwardDone(peer string, d time.Duration, status int) {
+	pm, ok := m.peers[peer]
+	if !ok {
+		return
+	}
+	pm.forwards[statusClass(status)].Inc()
+	pm.sumUS.Add(d.Microseconds())
+	m.forward.Observe(d)
+}
+
+func (m *serverMetrics) peerExcluded(peer string) {
+	if pm, ok := m.peers[peer]; ok {
+		pm.excluded.Inc()
+	}
+}
+
+// snapshotAll tabulates every recorder's sketches — quantiles for the
+// auxiliary recorders, plus the learned k-histogram for the request
+// latency recorder — and returns the latency snapshot. It runs off the
+// request path (background snapshotter, tests, and the bench driver).
+func (m *serverMetrics) snapshotAll() *obs.LatencySnapshot {
+	for _, rec := range m.aux {
+		rec.Snapshot(0)
+	}
+	return m.latency.Snapshot(m.cfg.K)
+}
+
+// snapshotLoop is the background snapshotter: every Window it re-learns
+// the latency histogram from the live sketches until stop closes.
+func (m *serverMetrics) snapshotLoop(stop <-chan struct{}) {
+	t := time.NewTicker(m.cfg.Window)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			m.snapshotAll()
+		}
+	}
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (m *serverMetrics) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	m.reg.WritePrometheus(w)
+}
+
+// SnapshotMetrics forces one tabulate-and-learn pass over the metrics
+// plane and returns the resulting request-latency snapshot (nil when
+// metrics are disabled). The background snapshotter does this every
+// Window; tests and the bench driver call it to observe a fresh
+// snapshot deterministically.
+func (s *Server) SnapshotMetrics() *obs.LatencySnapshot {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.snapshotAll()
+}

@@ -122,6 +122,27 @@ type quotas struct {
 	// table was hard-full (every unconfigured state busy); surfaced so
 	// operators can see name-flood pressure. Atomic: bumped outside mu.
 	untracked atomic.Int64
+
+	// Per-class admission counters for the metrics plane, indexed by
+	// classIdx. Tenant names are client-supplied and unbounded, so
+	// /metrics aggregates by tenant *class* (configured override vs
+	// default tier) instead of exploding label cardinality; the exact
+	// per-tenant breakdown stays in /v1/stats.
+	classAdmitted [2]atomic.Int64
+	classShedRate [2]atomic.Int64
+	classShedConc [2]atomic.Int64
+}
+
+// quotaClassNames label the per-class counters: index 0 is the default
+// tier, index 1 tenants with a configured override.
+var quotaClassNames = [2]string{"default", "configured"}
+
+// classIdx maps a tenant to its metrics class.
+func (qs *quotas) classIdx(tenant string) int {
+	if _, ok := qs.cfg.Tenants[tenant]; ok {
+		return 1
+	}
+	return 0
 }
 
 func newQuotas(cfg QuotaConfig) *quotas {
@@ -223,6 +244,7 @@ func (g grant) cancel() {
 func (qs *quotas) admit(tenant string) (g grant, retryAfter int, reason string, ok bool) {
 	q := qs.cfg.forTenant(tenant)
 	st := qs.state(tenant)
+	class := qs.classIdx(tenant)
 
 	// Take the concurrency slot optimistically (add-then-check): a
 	// load-then-add would let concurrent requests all pass a stale
@@ -230,6 +252,7 @@ func (qs *quotas) admit(tenant string) (g grant, retryAfter int, reason string, 
 	if st.inflight.Add(1) > int64(q.MaxInFlight) && q.MaxInFlight > 0 {
 		st.inflight.Add(-1)
 		st.shedConc.Add(1)
+		qs.classShedConc[class].Add(1)
 		return grant{}, 1, fmt.Sprintf("tenant %q is at its concurrency cap (%d in flight)", tenant, q.MaxInFlight), false
 	}
 	if q.RPS > 0 {
@@ -242,6 +265,7 @@ func (qs *quotas) admit(tenant string) (g grant, retryAfter int, reason string, 
 			st.mu.Unlock()
 			st.inflight.Add(-1) // roll back the slot taken above
 			st.shedRate.Add(1)
+			qs.classShedRate[class].Add(1)
 			retry := int(math.Ceil(wait))
 			if retry < 1 {
 				retry = 1
@@ -253,6 +277,7 @@ func (qs *quotas) admit(tenant string) (g grant, retryAfter int, reason string, 
 	}
 
 	st.admitted.Add(1)
+	qs.classAdmitted[class].Add(1)
 	return grant{st: st, q: q}, 0, "", true
 }
 

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"sync"
 
 	"khist/internal/cluster"
 	"khist/internal/dist"
@@ -77,6 +78,10 @@ type Config struct {
 	// zero value — and a one-node ring — behaves byte-identically to a
 	// standalone server.
 	Cluster ClusterConfig
+	// Metrics configures the self-measurement plane (see metrics.go).
+	// The zero value means enabled with defaults; instrumentation never
+	// changes response bodies, only headers and counters.
+	Metrics MetricsConfig
 }
 
 // Default resource ceilings: generous for real workloads (a maximal
@@ -111,6 +116,13 @@ type Server struct {
 	ring    *cluster.Ring
 	peers   *cluster.Client
 	cluster clusterCounters
+
+	// Metrics plane (nil = disabled): the obs registry, its recorders,
+	// and the background snapshotter that re-learns the latency
+	// histogram every Metrics.Window.
+	metrics   *serverMetrics
+	stopSnap  chan struct{}
+	closeOnce sync.Once
 }
 
 // New builds a Server from the config. It errors only on an invalid
@@ -150,9 +162,21 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(cfg.WorkersPerShard, perShard, cfg.MaxQueuePerShard))
 	}
+	if !cfg.Metrics.Disabled {
+		s.metrics = newServerMetrics(cfg.Metrics)
+		s.metrics.mirrorServer(s)
+		for _, sh := range s.shards {
+			sh.pool.OnWait(s.metrics.poolWait.Observe)
+			sh.computeObs = s.metrics.compute.Observe
+		}
+	}
 	if err := s.initCluster(cfg.Cluster); err != nil {
 		s.Close()
 		return nil, err
+	}
+	if s.metrics != nil {
+		s.stopSnap = make(chan struct{})
+		go s.metrics.snapshotLoop(s.stopSnap)
 	}
 	return s, nil
 }
@@ -166,6 +190,11 @@ func New(cfg Config) (*Server, error) {
 // tail of requests (its own and forwarded ones) until the HTTP listener
 // shuts, instead of panicking mid-drain.
 func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.stopSnap != nil {
+			close(s.stopSnap)
+		}
+	})
 	for _, sh := range s.shards {
 		sh.close()
 	}
@@ -252,23 +281,39 @@ func (s *Server) admit(w http.ResponseWriter, tenant, sourceKey string) (sh *sha
 //	GET  /v1/stats          — per-shard traffic and cache counters
 //	GET  /v1/cluster        — ring membership and forwarding counters
 //	POST /v1/cluster/bundle — encoded sample-set bundles for peer warming
+//	GET  /metrics           — Prometheus text metrics (unless disabled)
 //	GET  /healthz           — liveness probe
 //
 // The algorithm endpoints route through the cluster ring when one is
 // configured; the bundle endpoint is only mounted on cluster nodes.
+// Every endpoint passes through the metrics plane's entry/exit
+// instrumentation when it is enabled.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/learn", s.handleLearn)
-	mux.HandleFunc("POST /v1/test/l2", s.handleTest("l2"))
-	mux.HandleFunc("POST /v1/test/l1", s.handleTest("l1"))
-	mux.HandleFunc("POST /v1/learn2d", s.handleLearn2D)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	mux.HandleFunc("POST /v1/learn", s.instrumented("learn", s.handleLearn))
+	mux.HandleFunc("POST /v1/test/l2", s.instrumented("test_l2", s.handleTest("l2")))
+	mux.HandleFunc("POST /v1/test/l1", s.instrumented("test_l1", s.handleTest("l1")))
+	mux.HandleFunc("POST /v1/learn2d", s.instrumented("learn2d", s.handleLearn2D))
+	mux.HandleFunc("GET /v1/stats", s.instrumented("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/cluster", s.instrumented("cluster", s.handleCluster))
 	if s.ring != nil {
-		mux.HandleFunc("POST "+cluster.BundlePath, s.handleBundle)
+		mux.HandleFunc("POST "+cluster.BundlePath, s.instrumented("cluster_bundle", s.handleBundle))
 	}
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	if s.metrics != nil {
+		mux.HandleFunc("GET /metrics", s.instrumented("metrics", s.metrics.handleMetrics))
+	}
+	mux.HandleFunc("GET /healthz", s.instrumented("healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
-	})
+	}))
 	return mux
+}
+
+// instrumented wraps h with the metrics plane's per-endpoint
+// instrumentation; with metrics disabled it is the identity.
+func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	if s.metrics == nil {
+		return h
+	}
+	return s.metrics.instrument(endpoint, h)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"khist/internal/par"
 )
@@ -42,6 +43,11 @@ type shard struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
+
+	// computeObs, when set, receives the wall time of every run() body
+	// (the pool-wait split lives in the pool's own OnWait observer). Set
+	// once at server construction, before any traffic.
+	computeObs func(time.Duration)
 }
 
 func newShard(workers int, cacheBytes int64, admitLimit int) *shard {
@@ -116,10 +122,18 @@ func (sh *shard) tabulated(ctx context.Context, key string, build func() (val an
 // per-request algorithm phase through it after the shared tabulation
 // phase resolves.
 func (sh *shard) run(fn func()) (err error) {
+	obs := sh.computeObs
 	sh.pool.Do(func() {
+		var t0 time.Time
+		if obs != nil {
+			t0 = time.Now()
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("serve: compute panic: %v", p)
+			}
+			if obs != nil {
+				obs(time.Since(t0))
 			}
 		}()
 		fn()

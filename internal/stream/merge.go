@@ -1,0 +1,132 @@
+package stream
+
+import "math/rand"
+
+// This file adds merge operations to the stream summaries. The serving
+// layer's latency recorders shard their sketches so the hot path never
+// contends on one lock; a snapshot therefore has to merge the per-shard
+// summaries back into one view before anything downstream (quantile
+// queries, the k-histogram learner) can consume them.
+
+// Clone returns an independent copy of the summary: mutating either side
+// afterwards does not affect the other.
+func (g *GK) Clone() *GK {
+	cp := *g
+	cp.entries = append([]gkEntry(nil), g.entries...)
+	return &cp
+}
+
+// Merge folds o into g, so that g summarizes the concatenation of both
+// input streams. Both summaries keep their tuples; a tuple absorbed from
+// the other side widens its rank uncertainty (delta) by the local
+// uncertainty of the summary it is interleaved into, so the merged rank
+// error is bounded by the sum of the inputs' absolute errors:
+// eps_g * n_g + eps_o * n_o <= max(eps) * (n_g + n_o). o is not modified.
+func (g *GK) Merge(o *GK) {
+	if o == nil || len(o.entries) == 0 {
+		return
+	}
+	if len(g.entries) == 0 {
+		g.entries = append(g.entries[:0], o.entries...)
+		g.n += o.n
+		return
+	}
+	merged := make([]gkEntry, 0, len(g.entries)+len(o.entries))
+	i, j := 0, 0
+	for i < len(g.entries) || j < len(o.entries) {
+		var e gkEntry
+		if j >= len(o.entries) || (i < len(g.entries) && g.entries[i].v <= o.entries[j].v) {
+			e = g.entries[i]
+			i++
+			// The next tuple of o that lands after e bounds how far e's
+			// true rank can shift once o's elements are interleaved.
+			if j < len(o.entries) {
+				e.delta += o.entries[j].g + o.entries[j].delta - 1
+			}
+		} else {
+			e = o.entries[j]
+			j++
+			if i < len(g.entries) {
+				e.delta += g.entries[i].g + g.entries[i].delta - 1
+			}
+		}
+		merged = append(merged, e)
+	}
+	g.entries = merged
+	g.n += o.n
+	g.compress()
+}
+
+// ReservoirView wraps an already-extracted sample of a stream as a
+// read-only reservoir, for feeding MergeReservoirs with per-shard
+// snapshots taken under their own locks: items is the held sample, seen
+// the length of the stream it was drawn from. The view holds a copy of
+// items; calling Observe on it is invalid (it has no rng).
+func ReservoirView(items []int, seen int64) *Reservoir {
+	capacity := len(items)
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{cap: capacity, items: append([]int(nil), items...), seen: seen}
+}
+
+// MergeReservoirs builds a reservoir of at most capacity items holding an
+// approximately uniform sample of the union of the sources' streams: each
+// source contributes slots in proportion to how many stream elements it
+// has seen (not how many it holds), so a shard that observed 10x the
+// traffic is 10x as represented. Sources are read, never modified. The
+// result reports Seen() as the total over all sources; it remains a live
+// reservoir, so further Observe calls keep it well-defined.
+func MergeReservoirs(capacity int, rng *rand.Rand, srcs ...*Reservoir) (*Reservoir, error) {
+	out, err := NewReservoir(capacity, rng)
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, s := range srcs {
+		if s != nil {
+			total += s.Seen()
+		}
+	}
+	if total == 0 {
+		return out, nil
+	}
+	// Largest-remainder apportionment of the capacity across sources by
+	// stream weight, capped by what each source actually holds.
+	quota := make([]int, len(srcs))
+	taken := 0
+	for i, s := range srcs {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		q := int(int64(capacity) * s.Seen() / total)
+		if q > s.Len() {
+			q = s.Len()
+		}
+		quota[i] = q
+		taken += q
+	}
+	for i, s := range srcs { // distribute the rounding remainder
+		if taken >= capacity || s == nil {
+			continue
+		}
+		if quota[i] < s.Len() {
+			quota[i]++
+			taken++
+		}
+	}
+	for i, s := range srcs {
+		if quota[i] == 0 {
+			continue
+		}
+		// Shuffle a copy with the caller's rng (not the source's, which
+		// would advance its state) so the quota picks uniformly among the
+		// source's held items.
+		items := s.Items()
+		rng.Shuffle(len(items), func(a, b int) { items[a], items[b] = items[b], items[a] })
+		out.items = append(out.items, items[:quota[i]]...)
+	}
+	rng.Shuffle(len(out.items), func(i, j int) { out.items[i], out.items[j] = out.items[j], out.items[i] })
+	out.seen = total
+	return out, nil
+}

@@ -1,0 +1,277 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Sharded-sketch scenarios mirror the latency path in internal/obs: a
+// stream is spread round-robin over several summaries and a snapshot
+// merges them back into one view. The tests pin the three properties the
+// recorder relies on: merged rank accuracy, proportional reservoir
+// merging, and bounded memory under adversarial input.
+
+func TestGKClone(t *testing.T) {
+	g, _ := NewGK(0.05)
+	for i := 0; i < 1000; i++ {
+		g.Insert(i % 97)
+	}
+	cp := g.Clone()
+	if cp.N() != g.N() || cp.Size() != g.Size() {
+		t.Fatalf("clone shape (%d, %d) != original (%d, %d)", cp.N(), cp.Size(), g.N(), g.Size())
+	}
+	// Mutating either side must not affect the other.
+	for i := 0; i < 5000; i++ {
+		cp.Insert(1_000_000)
+	}
+	if g.N() != 1000 {
+		t.Errorf("original N changed to %d after mutating the clone", g.N())
+	}
+	if got := g.Query(0.99); got >= 1_000_000 {
+		t.Errorf("original quantiles see the clone's inserts: Query(0.99) = %d", got)
+	}
+}
+
+func TestGKMergeEmpty(t *testing.T) {
+	g, _ := NewGK(0.05)
+	o, _ := NewGK(0.05)
+	for i := 0; i < 100; i++ {
+		o.Insert(i)
+	}
+	g.Merge(nil)
+	g.Merge(&GK{eps: 0.05}) // empty
+	if g.N() != 0 {
+		t.Fatalf("merging empties grew N to %d", g.N())
+	}
+	g.Merge(o)
+	if g.N() != 100 {
+		t.Fatalf("N = %d after merging into empty, want 100", g.N())
+	}
+	if got := g.Query(0.5); got < 40 || got > 60 {
+		t.Errorf("Query(0.5) = %d after merge into empty", got)
+	}
+}
+
+// TestGKMergeRankAccuracy shards a stream over several GK summaries
+// (round-robin, like the obs recorder), merges them, and checks the
+// merged summary's rank error against the exact combined data. The merge
+// bound is the sum of the inputs' absolute errors, so at equal eps the
+// merged rank error stays within eps * n_total (plus boundary slack).
+func TestGKMergeRankAccuracy(t *testing.T) {
+	const (
+		eps    = 0.02
+		shards = 4
+		n      = 40000
+	)
+	for _, tc := range []struct {
+		name string
+		gen  func(rng *rand.Rand, i int) int
+	}{
+		{"uniform", func(rng *rand.Rand, i int) int { return rng.Intn(10000) }},
+		{"sorted", func(rng *rand.Rand, i int) int { return i }},
+		{"bimodal", func(rng *rand.Rand, i int) int {
+			if rng.Intn(2) == 0 {
+				return rng.Intn(50)
+			}
+			return 5000 + rng.Intn(50)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			gks := make([]*GK, shards)
+			for i := range gks {
+				gks[i], _ = NewGK(eps)
+			}
+			data := make([]int, n)
+			for i := 0; i < n; i++ {
+				data[i] = tc.gen(rng, i)
+				gks[i%shards].Insert(data[i])
+			}
+			merged := gks[0].Clone()
+			for _, g := range gks[1:] {
+				merged.Merge(g)
+			}
+			if merged.N() != n {
+				t.Fatalf("merged N = %d, want %d", merged.N(), n)
+			}
+			sorted := append([]int(nil), data...)
+			sort.Ints(sorted)
+			for _, phi := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+				got := merged.Query(phi)
+				rank := rankOf(sorted, got)
+				target := phi * n
+				// Merged error budget: sum of per-shard absolute errors =
+				// eps*n, doubled for the same boundary slack the single-
+				// summary accuracy test allows.
+				if float64(rank) < target-2*eps*n-1 || float64(rank) > target+2*eps*n+1 {
+					t.Errorf("phi=%v: value %d has rank %d, want %v +- %v",
+						phi, got, rank, target, 2*eps*n)
+				}
+			}
+		})
+	}
+}
+
+// TestGKMergeBoundedMemory drives adversarial (sorted, then reversed)
+// input through repeated shard/merge cycles and checks the merged
+// summary's tuple count stays sublinear — compress() must keep working
+// through merges, or the recorder's snapshots would grow with traffic.
+func TestGKMergeBoundedMemory(t *testing.T) {
+	const eps = 0.01
+	merged, _ := NewGK(eps)
+	v := 0
+	for round := 0; round < 20; round++ {
+		g, _ := NewGK(eps)
+		for i := 0; i < 5000; i++ {
+			if round%2 == 0 {
+				g.Insert(v)
+			} else {
+				g.Insert(-v)
+			}
+			v++
+		}
+		merged.Merge(g)
+	}
+	if merged.N() != 100000 {
+		t.Fatalf("N = %d", merged.N())
+	}
+	// O((1/eps) log(eps n)) is ~1000 here; 10x headroom, far below n.
+	if merged.Size() > 10000 {
+		t.Errorf("merged summary holds %d tuples for %d inserts", merged.Size(), merged.N())
+	}
+}
+
+func TestReservoirView(t *testing.T) {
+	items := []int{5, 6, 7}
+	v := ReservoirView(items, 42)
+	if v.Len() != 3 || v.Seen() != 42 {
+		t.Fatalf("view shape: len=%d seen=%d", v.Len(), v.Seen())
+	}
+	items[0] = 99 // the view must hold a copy
+	if got := v.Items(); got[0] != 5 {
+		t.Errorf("view aliases the caller's slice: items[0] = %d", got[0])
+	}
+	if empty := ReservoirView(nil, 0); empty.Len() != 0 || empty.Cap() < 1 {
+		t.Errorf("empty view: len=%d cap=%d", empty.Len(), empty.Cap())
+	}
+}
+
+func TestMergeReservoirsValidation(t *testing.T) {
+	if _, err := MergeReservoirs(0, rand.New(rand.NewSource(1))); err != ErrBadCapacity {
+		t.Errorf("capacity 0: err = %v, want ErrBadCapacity", err)
+	}
+}
+
+// TestMergeReservoirsProportional checks the apportionment: sources
+// contribute in proportion to their stream lengths (Seen), not their
+// held sizes, and the sources themselves are never modified.
+func TestMergeReservoirsProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Shard A saw 9000 elements (all value 1), shard B saw 1000 (value 2);
+	// both hold 200-item samples.
+	mk := func(v int, seen int64) *Reservoir {
+		items := make([]int, 200)
+		for i := range items {
+			items[i] = v
+		}
+		return ReservoirView(items, seen)
+	}
+	a, b := mk(1, 9000), mk(2, 1000)
+	merged, err := MergeReservoirs(100, rng, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Seen() != 10000 {
+		t.Errorf("merged Seen = %d, want 10000", merged.Seen())
+	}
+	var ones, twos int
+	for _, v := range merged.Items() {
+		switch v {
+		case 1:
+			ones++
+		case 2:
+			twos++
+		}
+	}
+	if ones+twos != merged.Len() {
+		t.Fatalf("merged sample holds foreign values")
+	}
+	// Largest-remainder quotas are deterministic: 90/10.
+	if ones != 90 || twos != 10 {
+		t.Errorf("composition = %d/%d, want 90/10", ones, twos)
+	}
+	if a.Len() != 200 || b.Len() != 200 || a.Seen() != 9000 {
+		t.Errorf("sources modified by merge")
+	}
+}
+
+// TestMergeReservoirsQuotaCap checks a source never contributes more
+// items than it holds, even when its stream weight earns it more slots.
+func TestMergeReservoirsQuotaCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	big := ReservoirView([]int{1, 1, 1}, 1_000_000) // heavy stream, tiny sample
+	small := ReservoirView(make([]int, 100), 10)
+	merged, err := MergeReservoirs(50, rng, big, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ones int
+	for _, v := range merged.Items() {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones > big.Len() {
+		t.Errorf("source contributed %d items but holds only %d", ones, big.Len())
+	}
+	if merged.Len() > 50 {
+		t.Errorf("merged len %d exceeds capacity", merged.Len())
+	}
+}
+
+// TestMergeReservoirsUniform feeds one uniform stream round-robin
+// through four shard reservoirs (the recorder's exact write pattern),
+// merges, and checks the merged sample's per-value frequencies are
+// consistent with a uniform draw from the stream.
+func TestMergeReservoirsUniform(t *testing.T) {
+	const (
+		shards  = 4
+		perCap  = 512
+		values  = 8
+		n       = 100000
+		mergeTo = shards * perCap
+	)
+	rngs := make([]*rand.Rand, shards)
+	res := make([]*Reservoir, shards)
+	for i := range res {
+		rngs[i] = rand.New(rand.NewSource(int64(100 + i)))
+		res[i], _ = NewReservoir(perCap, rngs[i])
+	}
+	src := rand.New(rand.NewSource(13))
+	for i := 0; i < n; i++ {
+		res[i%shards].Observe(src.Intn(values))
+	}
+	merged, err := MergeReservoirs(mergeTo, rand.New(rand.NewSource(14)), res...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Seen() != n {
+		t.Errorf("Seen = %d, want %d", merged.Seen(), n)
+	}
+	if merged.Len() != mergeTo {
+		t.Errorf("Len = %d, want %d (all shards full)", merged.Len(), mergeTo)
+	}
+	counts := make([]int, values)
+	for _, v := range merged.Items() {
+		counts[v]++
+	}
+	// Each value should hold ~1/values of the sample; 4 sigma of a
+	// binomial(len, 1/values) is ~±45 here. Allow ±60.
+	want := merged.Len() / values
+	for v, c := range counts {
+		if c < want-60 || c > want+60 {
+			t.Errorf("value %d appears %d times, want ~%d", v, c, want)
+		}
+	}
+}
