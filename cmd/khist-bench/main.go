@@ -19,6 +19,12 @@
 // self-measurement can be compared against the external measurement in
 // one place. The snapshot is also embedded in the JSON report.
 //
+// Collect with -benchmem to also record bytes/op and allocs/op per row
+// (`... 1234 ns/op 56 B/op 7 allocs/op` lines), so allocation
+// regressions show up in the trajectory alongside latency. Batch rows
+// (BenchmarkServe/mode=batch/items=N) are amortized: one op is N
+// queries, so rps counts queries and ns_per_query is ns_per_op / N.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'Parallel' -benchtime 2x . | khist-bench -out BENCH_parallel.json
@@ -45,19 +51,31 @@ import (
 
 // Result is one benchmark measurement.
 type Result struct {
-	Name       string  `json:"name"`
-	Family     string  `json:"family"`
-	Workers    int     `json:"workers,omitempty"`
-	Mode       string  `json:"mode,omitempty"`
+	Name    string `json:"name"`
+	Family  string `json:"family"`
+	Workers int    `json:"workers,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	// Items is the sub-query count of a batch row
+	// (BenchmarkServe/mode=batch/items=N): one op = Items queries.
+	Items      int     `json:"items,omitempty"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem output, so
+	// allocation regressions are part of the perf trajectory. They stay
+	// zero when the input was collected without -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
 	// Speedup is ns/op at workers=1 divided by this row's ns/op, within
 	// the same family; 0 when the family has no workers=1 row.
 	Speedup float64 `json:"speedup,omitempty"`
 	// RPS is requests (operations) per second, reported for serve-mode
 	// rows (BenchmarkServe/mode=...) where throughput is the headline
-	// number rather than per-op latency.
+	// number rather than per-op latency. Batch rows count every item as
+	// a request: RPS = Items * 1e9 / ns_per_op.
 	RPS float64 `json:"rps,omitempty"`
+	// NsPerQuery is the amortized per-query cost of a batch row
+	// (ns_per_op / items); equal to NsPerOp elsewhere, omitted there.
+	NsPerQuery float64 `json:"ns_per_query,omitempty"`
 }
 
 // Report is the file schema of BENCH_parallel.json.
@@ -75,9 +93,10 @@ type Report struct {
 	ServerLatency *obs.LatencySnapshot `json:"server_latency,omitempty"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 var workersPart = regexp.MustCompile(`/workers=(\d+)`)
 var modePart = regexp.MustCompile(`/mode=(\w+)`)
+var itemsPart = regexp.MustCompile(`/items=(\d+)`)
 
 func main() {
 	var (
@@ -157,6 +176,12 @@ func parse(r io.Reader) (*Report, error) {
 			return nil, fmt.Errorf("parsing %q: %w", line, err)
 		}
 		res := Result{Name: m[1], Family: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
 		if wm := workersPart.FindStringSubmatch(m[1]); wm != nil {
 			res.Workers, _ = strconv.Atoi(wm[1])
 			res.Family = m[1][:strings.Index(m[1], "/workers=")]
@@ -164,8 +189,18 @@ func parse(r io.Reader) (*Report, error) {
 		if mm := modePart.FindStringSubmatch(m[1]); mm != nil {
 			res.Mode = mm[1]
 			res.Family = m[1][:strings.Index(m[1], "/mode=")]
+			if im := itemsPart.FindStringSubmatch(m[1]); im != nil {
+				res.Items, _ = strconv.Atoi(im[1])
+			}
 			if ns > 0 {
-				res.RPS = 1e9 / ns
+				if res.Items > 1 {
+					// One batch op serves Items queries: report both the
+					// amortized per-query cost and the query throughput.
+					res.NsPerQuery = ns / float64(res.Items)
+					res.RPS = float64(res.Items) * 1e9 / ns
+				} else {
+					res.RPS = 1e9 / ns
+				}
 			}
 		}
 		report.Results = append(report.Results, res)

@@ -47,6 +47,8 @@ func main() {
 		shards       = flag.Int("shards", 4, "independent shards (worker pool + cache each); response bodies are identical at any count")
 		workers      = flag.Int("workers-per-shard", runtime.GOMAXPROCS(0), "pool size per shard: bounds concurrent compute and sets algorithm parallelism (results are identical at any count)")
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "total tabulated sample-set cache budget, split across shards (0 disables caching)")
+		respCache    = flag.Int64("response-cache-bytes", serve.DefaultResponseCacheBytes, "response-byte cache budget: identical repeat queries are served from stored encoded bytes with zero recompute (0 disables)")
+		maxBatch     = flag.Int("max-batch-items", serve.DefaultMaxBatchItems, "largest number of sub-queries one /v1/batch envelope may carry")
 		maxSamples   = flag.Int("max-samples-per-set", serve.DefaultMaxSamplesPerSet, "server-side ceiling on every drawn sample set (requests can only tighten it)")
 		maxDomain    = flag.Int("max-domain", serve.DefaultMaxDomain, "largest resolvable source domain (n, or rows*cols); larger sources are rejected")
 		maxBodyBytes = flag.Int64("max-body-bytes", serve.DefaultMaxBodyBytes, "largest accepted request body; bigger bodies are 413s before they can allocate")
@@ -76,16 +78,18 @@ func main() {
 		}
 	}
 	srv, err := serve.New(serve.Config{
-		Shards:           *shards,
-		WorkersPerShard:  *workers,
-		CacheBytes:       *cacheBytes,
-		MaxSamplesPerSet: *maxSamples,
-		MaxDomain:        *maxDomain,
-		MaxBodyBytes:     *maxBodyBytes,
-		MaxQueuePerShard: *maxQueue,
-		Quotas:           quotas,
-		Cluster:          serve.ClusterConfig{Self: *self, Peers: peerList},
-		Metrics:          serve.MetricsConfig{Disabled: *noMetrics, Window: *metricsWin, K: *metricsK},
+		Shards:             *shards,
+		WorkersPerShard:    *workers,
+		CacheBytes:         *cacheBytes,
+		MaxSamplesPerSet:   *maxSamples,
+		MaxDomain:          *maxDomain,
+		MaxBodyBytes:       *maxBodyBytes,
+		MaxQueuePerShard:   *maxQueue,
+		ResponseCacheBytes: *respCache,
+		MaxBatchItems:      *maxBatch,
+		Quotas:             quotas,
+		Cluster:            serve.ClusterConfig{Self: *self, Peers: peerList},
+		Metrics:            serve.MetricsConfig{Disabled: *noMetrics, Window: *metricsWin, K: *metricsK},
 	})
 	if err != nil {
 		cli.Fatal("khist-server", err)

@@ -103,8 +103,10 @@ func (c *Client) Self() string { return c.self }
 // candidate remains — every peer failed, or ownership fell back to self
 // — Forward returns an error and the caller serves locally. The request
 // carries the hop-guard and exclusion headers so the receiver can
-// verify ownership and never re-forward.
-func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType string, body []byte) (*Response, error) {
+// verify ownership and never re-forward. contentType and accept are
+// relayed verbatim (empty means unset), so content negotiation — the
+// binary application/x-khist-bin encoding included — survives the hop.
+func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType, accept string, body []byte) (*Response, error) {
 	excluded := make(map[string]bool)
 	var lastErr error
 	for {
@@ -118,7 +120,7 @@ func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType
 			}
 			return nil, fmt.Errorf("cluster: no reachable peer owns the key (%d excluded): %w", len(excluded), lastErr)
 		}
-		resp, err := c.post(ctx, owner, path, contentType, body, excluded)
+		resp, err := c.post(ctx, owner, path, contentType, accept, body, excluded)
 		if err != nil {
 			excluded[owner] = true
 			lastErr = err
@@ -146,7 +148,7 @@ func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType
 }
 
 // post sends one forwarded request to node and buffers its answer.
-func (c *Client) post(ctx context.Context, node, path, contentType string, body []byte, excluded map[string]bool) (*Response, error) {
+func (c *Client) post(ctx context.Context, node, path, contentType, accept string, body []byte, excluded map[string]bool) (*Response, error) {
 	var t0 time.Time
 	if c.hooks.ForwardDone != nil {
 		t0 = time.Now()
@@ -157,6 +159,9 @@ func (c *Client) post(ctx context.Context, node, path, contentType string, body 
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	req.Header.Set(ForwardedHeader, c.self)
 	if len(excluded) > 0 {

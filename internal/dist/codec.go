@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Wire codec for tabulated Empirical bundles: the cluster tier ships
@@ -180,4 +181,139 @@ func readUvarint(data []byte) (uint64, []byte, error) {
 		return 0, nil, fmt.Errorf("truncated or overlong varint")
 	}
 	return v, data[k:], nil
+}
+
+// Exported wire primitives. The bundle codec above fixed the vocabulary
+// — varints, delta-varints for nondecreasing integer runs, explicit
+// bounds on every decoded length because wire bytes are untrusted — and
+// the serving layer's binary request/response content type
+// (application/x-khist-bin) reuses it verbatim rather than growing a
+// second encoding dialect. Floats travel as fixed 8-byte little-endian
+// IEEE bits: bit-exact round trips are what keeps binary and JSON
+// responses semantically identical.
+
+// ReadUvarint decodes one unsigned varint from data, returning the rest.
+func ReadUvarint(data []byte) (uint64, []byte, error) { return readUvarint(data) }
+
+// AppendVarint appends a zigzag-encoded signed varint.
+func AppendVarint(buf []byte, v int64) []byte { return binary.AppendVarint(buf, v) }
+
+// ReadVarint decodes one zigzag-encoded signed varint, returning the rest.
+func ReadVarint(data []byte) (int64, []byte, error) {
+	v, k := binary.Varint(data)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("truncated or overlong varint")
+	}
+	return v, data[k:], nil
+}
+
+// AppendFloat64 appends f as its fixed 8-byte little-endian IEEE-754
+// bits — bit-exact, so an encode/decode round trip is the identity.
+func AppendFloat64(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// ReadFloat64 decodes one AppendFloat64 value, returning the rest.
+func ReadFloat64(data []byte) (float64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("truncated float64")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(data)), data[8:], nil
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// ReadString decodes one length-prefixed string of at most maxLen bytes
+// (the bound keeps a corrupt length from forcing a huge allocation).
+func ReadString(data []byte, maxLen int) (string, []byte, error) {
+	n, data, err := readUvarint(data)
+	if err != nil {
+		return "", nil, fmt.Errorf("string length: %w", err)
+	}
+	if n > uint64(maxLen) {
+		return "", nil, fmt.Errorf("string length %d exceeds the decode limit %d", n, maxLen)
+	}
+	if uint64(len(data)) < n {
+		return "", nil, fmt.Errorf("truncated string (%d of %d bytes)", len(data), n)
+	}
+	return string(data[:n]), data[n:], nil
+}
+
+// AppendFloat64s appends a length-prefixed float64 slice.
+func AppendFloat64s(buf []byte, fs []float64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(fs)))
+	for _, f := range fs {
+		buf = AppendFloat64(buf, f)
+	}
+	return buf
+}
+
+// ReadFloat64s decodes one AppendFloat64s slice of at most maxLen
+// elements. A zero-length slice decodes to nil.
+func ReadFloat64s(data []byte, maxLen int) ([]float64, []byte, error) {
+	n, data, err := readUvarint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("float slice length: %w", err)
+	}
+	if n > uint64(maxLen) {
+		return nil, nil, fmt.Errorf("float slice length %d exceeds the decode limit %d", n, maxLen)
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i], data, err = ReadFloat64(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("float slice element %d: %w", i, err)
+		}
+	}
+	return out, data, nil
+}
+
+// AppendDeltaInts appends a length-prefixed nondecreasing int slice as
+// first-value-then-deltas varints — the same shape the bundle pairs use.
+// xs must be nondecreasing and nonnegative.
+func AppendDeltaInts(buf []byte, xs []int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(xs)))
+	prev := 0
+	for _, x := range xs {
+		buf = binary.AppendUvarint(buf, uint64(x-prev))
+		prev = x
+	}
+	return buf
+}
+
+// ReadDeltaInts decodes one AppendDeltaInts slice of at most maxLen
+// elements. A zero-length slice decodes to nil.
+func ReadDeltaInts(data []byte, maxLen int) ([]int, []byte, error) {
+	n, data, err := readUvarint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("delta slice length: %w", err)
+	}
+	if n > uint64(maxLen) {
+		return nil, nil, fmt.Errorf("delta slice length %d exceeds the decode limit %d", n, maxLen)
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	out := make([]int, n)
+	var v uint64
+	for i := range out {
+		var d uint64
+		d, data, err = readUvarint(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("delta slice element %d: %w", i, err)
+		}
+		v += d
+		if v > uint64(math.MaxInt64) {
+			return nil, nil, fmt.Errorf("delta slice element %d overflows", i)
+		}
+		out[i] = int(v)
+	}
+	return out, data, nil
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,34 @@ import (
 	"sync/atomic"
 	"testing"
 )
+
+// replayBody is a rewindable request body for hot-path benchmarks:
+// Reset the underlying reader between ops instead of allocating a new
+// body per request.
+type replayBody struct{ *bytes.Reader }
+
+func (replayBody) Close() error { return nil }
+
+// nullResponseWriter discards the response, recording only the status:
+// benchmarking the hit path must not charge it for httptest recorder
+// bookkeeping.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+func (w *nullResponseWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+}
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(p), nil
+}
 
 // BenchmarkServe measures serving-layer throughput at the handler level
 // (no TCP, so the numbers isolate routing + cache + compute):
@@ -32,9 +61,27 @@ import (
 //	                (routing + TCP round trip + relay), which is why it
 //	                is the one mode measured over the network rather
 //	                than at the handler
+//	mode=rcache     every request hits the response-byte cache: the
+//	                zero-recompute path (stored encoded bytes, no
+//	                decode, no tabulation, no algorithm, no encode);
+//	                its rps over mode=cached is what the response
+//	                cache buys, and its allocs/op is the hit path's
+//	                allocation bill
+//	mode=single     one rcache-hit request per op through the same
+//	                full httptest harness mode=batch uses: the
+//	                single-request side of the batch amortization
+//	                comparison (batch ns_per_query vs this ns/op)
+//	mode=batch      one /v1/batch envelope of 64 identical sub-queries
+//	                per op: per-request overhead (mux, headers, body
+//	                read) amortized across items — khist-bench reports
+//	                rps per query and ns_per_query = ns/op / 64
+//	mode=binary     the rcache path negotiated to
+//	                application/x-khist-bin both ways: binary request
+//	                decode, stored binary response bytes
 //
 // cmd/khist-bench renders the output into BENCH_serve.json with
-// requests/sec per mode; CI uploads it as the bench-serve artifact.
+// requests/sec per mode (collect with -benchmem to record allocs);
+// CI uploads it as the bench-serve artifact.
 func BenchmarkServe(b *testing.B) {
 	mkBody := func(seed int) string {
 		return fmt.Sprintf(
@@ -163,6 +210,121 @@ func BenchmarkServe(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if code := forward(); code != 200 {
 				b.Fatalf("code %d", code)
+			}
+		}
+	})
+
+	b.Run("mode=rcache", func(b *testing.B) {
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true}})
+		defer s.Close()
+		h := s.Handler()
+		body := mkBody(1)
+		if code := learnPost(h, body); code != 200 { // warm the response entry
+			b.Fatalf("warmup code %d", code)
+		}
+		payload := []byte(body)
+		rd := bytes.NewReader(payload)
+		req := httptest.NewRequest(http.MethodPost, "/v1/learn", rd)
+		req.Body = replayBody{rd}
+		w := &nullResponseWriter{h: make(http.Header)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(payload)
+			w.status = 0
+			h.ServeHTTP(w, req)
+			if w.status != 200 {
+				b.Fatalf("code %d", w.status)
+			}
+		}
+		b.StopTimer()
+		if st := s.respc.stats(); st.Hits < int64(b.N) {
+			b.Fatalf("response cache saw %d hits, want >= %d", st.Hits, b.N)
+		}
+	})
+
+	b.Run("mode=single", func(b *testing.B) {
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true}})
+		defer s.Close()
+		h := s.Handler()
+		body := mkBody(1)
+		if code := learnPost(h, body); code != 200 { // warm the response entry
+			b.Fatalf("warmup code %d", code)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := learnPost(h, body); code != 200 {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+
+	b.Run("mode=batch/items=64", func(b *testing.B) {
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true}})
+		defer s.Close()
+		h := s.Handler()
+		const items = 64
+		var sb strings.Builder
+		sb.WriteString(`{"items":[`)
+		for i := 0; i < items; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `{"op":"learn","req":%s}`, mkBody(1))
+		}
+		sb.WriteString(`]}`)
+		body := sb.String()
+		batchPost := func() int {
+			req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			return w.Code
+		}
+		if code := batchPost(); code != 200 { // warm the response entry
+			b.Fatalf("warmup code %d", code)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := batchPost(); code != 200 {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+
+	b.Run("mode=binary", func(b *testing.B) {
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true}})
+		defer s.Close()
+		h := s.Handler()
+		var lr LearnRequest
+		if err := json.Unmarshal([]byte(mkBody(1)), &lr); err != nil {
+			b.Fatal(err)
+		}
+		payload := lr.appendBinary(nil)
+		rd := bytes.NewReader(payload)
+		req := httptest.NewRequest(http.MethodPost, "/v1/learn", rd)
+		req.Body = replayBody{rd}
+		req.Header.Set("Content-Type", BinaryContentType)
+		req.Header.Set("Accept", BinaryContentType)
+		w := &nullResponseWriter{h: make(http.Header)}
+		w.status = 0
+		h.ServeHTTP(w, req) // warm the response entry
+		if w.status != 200 {
+			b.Fatalf("warmup code %d", w.status)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(payload)
+			w.status = 0
+			h.ServeHTTP(w, req)
+			if w.status != 200 {
+				b.Fatalf("code %d", w.status)
 			}
 		}
 	})

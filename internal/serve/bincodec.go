@@ -1,0 +1,492 @@
+package serve
+
+import (
+	"fmt"
+
+	"khist/internal/dist"
+)
+
+// Binary wire encoding of the algorithm endpoints: the
+// application/x-khist-bin content type. It reuses the delta-varint
+// vocabulary of the cluster bundle codec (internal/dist/codec.go) —
+// varints for integers, delta-varints for nondecreasing runs, fixed
+// 8-byte IEEE bits for floats so round trips are bit-exact, and an
+// explicit bound on every decoded length because wire bytes are
+// untrusted. A binary response is semantically identical to the JSON
+// response of the same request: the same struct renders both, floats
+// keep their exact bits, and cache status still travels in headers.
+// Error responses stay JSON regardless of Accept — errors are rare,
+// human-bound, and not worth a second encoding.
+//
+//	request  = "khQ1" | op byte | fields
+//	response = "khR1" | op byte | fields
+//
+// The op byte pins the endpoint into the bytes (a learn request cannot
+// be replayed against a tester), and the magic versions the format:
+// bump the digit on incompatible changes.
+const (
+	binReqMagic  = "khQ1"
+	binRespMagic = "khR1"
+)
+
+// Op discriminators, one per algorithm endpoint.
+const (
+	opLearn byte = 1 + iota
+	opTestL2
+	opTestL1
+	opLearn2D
+)
+
+// maxBinString bounds decoded string lengths (tenant and generator
+// names are short; anything near this is hostile).
+const maxBinString = 1 << 20
+
+// binHeader validates the magic and op of one frame and returns the
+// field bytes.
+func binHeader(data []byte, magic string, op byte) ([]byte, error) {
+	if len(data) < len(magic)+1 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("serve: binary frame missing %q magic", magic)
+	}
+	if got := data[len(magic)]; got != op {
+		return nil, fmt.Errorf("serve: binary frame op %d does not match endpoint op %d", got, op)
+	}
+	return data[len(magic)+1:], nil
+}
+
+// binTrailer rejects trailing garbage after a fully decoded frame.
+func binTrailer(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("serve: %d trailing bytes after binary frame", len(data))
+	}
+	return nil
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func readBool(data []byte) (bool, []byte, error) {
+	if len(data) < 1 {
+		return false, nil, fmt.Errorf("truncated bool")
+	}
+	if data[0] > 1 {
+		return false, nil, fmt.Errorf("bool byte %d is not 0 or 1", data[0])
+	}
+	return data[0] == 1, data[1:], nil
+}
+
+func readInt(data []byte) (int, []byte, error) {
+	v, rest, err := dist.ReadVarint(data)
+	return int(v), rest, err
+}
+
+func appendSourceSpec(buf []byte, s SourceSpec) []byte {
+	buf = dist.AppendString(buf, s.Gen)
+	buf = dist.AppendVarint(buf, int64(s.N))
+	buf = dist.AppendVarint(buf, int64(s.K))
+	buf = dist.AppendVarint(buf, s.Seed)
+	return dist.AppendFloat64s(buf, s.Weights)
+}
+
+func readSourceSpec(data []byte, maxDomain int) (SourceSpec, []byte, error) {
+	var s SourceSpec
+	var err error
+	if s.Gen, data, err = dist.ReadString(data, maxBinString); err != nil {
+		return s, nil, fmt.Errorf("source gen: %w", err)
+	}
+	if s.N, data, err = readInt(data); err != nil {
+		return s, nil, fmt.Errorf("source n: %w", err)
+	}
+	if s.K, data, err = readInt(data); err != nil {
+		return s, nil, fmt.Errorf("source k: %w", err)
+	}
+	if s.Seed, data, err = dist.ReadVarint(data); err != nil {
+		return s, nil, fmt.Errorf("source seed: %w", err)
+	}
+	if s.Weights, data, err = dist.ReadFloat64s(data, maxDomain); err != nil {
+		return s, nil, fmt.Errorf("source weights: %w", err)
+	}
+	return s, data, nil
+}
+
+func appendSource2DSpec(buf []byte, s Source2DSpec) []byte {
+	buf = dist.AppendString(buf, s.Gen)
+	buf = dist.AppendVarint(buf, int64(s.Rows))
+	buf = dist.AppendVarint(buf, int64(s.Cols))
+	buf = dist.AppendVarint(buf, int64(s.K))
+	buf = dist.AppendVarint(buf, s.Seed)
+	return dist.AppendFloat64s(buf, s.Weights)
+}
+
+func readSource2DSpec(data []byte, maxDomain int) (Source2DSpec, []byte, error) {
+	var s Source2DSpec
+	var err error
+	if s.Gen, data, err = dist.ReadString(data, maxBinString); err != nil {
+		return s, nil, fmt.Errorf("source gen: %w", err)
+	}
+	if s.Rows, data, err = readInt(data); err != nil {
+		return s, nil, fmt.Errorf("source rows: %w", err)
+	}
+	if s.Cols, data, err = readInt(data); err != nil {
+		return s, nil, fmt.Errorf("source cols: %w", err)
+	}
+	if s.K, data, err = readInt(data); err != nil {
+		return s, nil, fmt.Errorf("source k: %w", err)
+	}
+	if s.Seed, data, err = dist.ReadVarint(data); err != nil {
+		return s, nil, fmt.Errorf("source seed: %w", err)
+	}
+	if s.Weights, data, err = dist.ReadFloat64s(data, maxDomain); err != nil {
+		return s, nil, fmt.Errorf("source weights: %w", err)
+	}
+	return s, data, nil
+}
+
+// --- Requests ---
+
+// appendBinary renders the request as an application/x-khist-bin body.
+func (r *LearnRequest) appendBinary(buf []byte) []byte {
+	buf = append(buf, binReqMagic...)
+	buf = append(buf, opLearn)
+	buf = dist.AppendString(buf, r.Tenant)
+	buf = appendSourceSpec(buf, r.Source)
+	buf = dist.AppendVarint(buf, int64(r.K))
+	buf = dist.AppendFloat64(buf, r.Eps)
+	buf = dist.AppendFloat64(buf, r.Scale)
+	buf = dist.AppendVarint(buf, int64(r.Cap))
+	buf = dist.AppendVarint(buf, r.Seed)
+	return appendBool(buf, r.Full)
+}
+
+func (r *LearnRequest) decodeBinary(body []byte, maxDomain int) error {
+	data, err := binHeader(body, binReqMagic, opLearn)
+	if err != nil {
+		return err
+	}
+	if r.Tenant, data, err = dist.ReadString(data, maxBinString); err != nil {
+		return fmt.Errorf("learn tenant: %w", err)
+	}
+	if r.Source, data, err = readSourceSpec(data, maxDomain); err != nil {
+		return fmt.Errorf("learn: %w", err)
+	}
+	if r.K, data, err = readInt(data); err != nil {
+		return fmt.Errorf("learn k: %w", err)
+	}
+	if r.Eps, data, err = dist.ReadFloat64(data); err != nil {
+		return fmt.Errorf("learn eps: %w", err)
+	}
+	if r.Scale, data, err = dist.ReadFloat64(data); err != nil {
+		return fmt.Errorf("learn scale: %w", err)
+	}
+	if r.Cap, data, err = readInt(data); err != nil {
+		return fmt.Errorf("learn cap: %w", err)
+	}
+	if r.Seed, data, err = dist.ReadVarint(data); err != nil {
+		return fmt.Errorf("learn seed: %w", err)
+	}
+	if r.Full, data, err = readBool(data); err != nil {
+		return fmt.Errorf("learn full: %w", err)
+	}
+	return binTrailer(data)
+}
+
+// appendBinary renders the request as an application/x-khist-bin body;
+// op selects the tester endpoint (opTestL2 or opTestL1).
+func (r *TestRequest) appendBinary(buf []byte, op byte) []byte {
+	buf = append(buf, binReqMagic...)
+	buf = append(buf, op)
+	buf = dist.AppendString(buf, r.Tenant)
+	buf = appendSourceSpec(buf, r.Source)
+	buf = dist.AppendVarint(buf, int64(r.K))
+	buf = dist.AppendFloat64(buf, r.Eps)
+	buf = dist.AppendFloat64(buf, r.Scale)
+	buf = dist.AppendVarint(buf, int64(r.Cap))
+	return dist.AppendVarint(buf, r.Seed)
+}
+
+func (r *TestRequest) decodeBinaryOp(body []byte, op byte, maxDomain int) error {
+	data, err := binHeader(body, binReqMagic, op)
+	if err != nil {
+		return err
+	}
+	if r.Tenant, data, err = dist.ReadString(data, maxBinString); err != nil {
+		return fmt.Errorf("test tenant: %w", err)
+	}
+	if r.Source, data, err = readSourceSpec(data, maxDomain); err != nil {
+		return fmt.Errorf("test: %w", err)
+	}
+	if r.K, data, err = readInt(data); err != nil {
+		return fmt.Errorf("test k: %w", err)
+	}
+	if r.Eps, data, err = dist.ReadFloat64(data); err != nil {
+		return fmt.Errorf("test eps: %w", err)
+	}
+	if r.Scale, data, err = dist.ReadFloat64(data); err != nil {
+		return fmt.Errorf("test scale: %w", err)
+	}
+	if r.Cap, data, err = readInt(data); err != nil {
+		return fmt.Errorf("test cap: %w", err)
+	}
+	if r.Seed, data, err = dist.ReadVarint(data); err != nil {
+		return fmt.Errorf("test seed: %w", err)
+	}
+	return binTrailer(data)
+}
+
+// appendBinary renders the request as an application/x-khist-bin body.
+func (r *Learn2DRequest) appendBinary(buf []byte) []byte {
+	buf = append(buf, binReqMagic...)
+	buf = append(buf, opLearn2D)
+	buf = dist.AppendString(buf, r.Tenant)
+	buf = appendSource2DSpec(buf, r.Source)
+	buf = dist.AppendVarint(buf, int64(r.K))
+	buf = dist.AppendFloat64(buf, r.Eps)
+	buf = dist.AppendVarint(buf, int64(r.Samples))
+	buf = dist.AppendVarint(buf, int64(r.MaxCoords))
+	return dist.AppendVarint(buf, r.Seed)
+}
+
+func (r *Learn2DRequest) decodeBinary(body []byte, maxDomain int) error {
+	data, err := binHeader(body, binReqMagic, opLearn2D)
+	if err != nil {
+		return err
+	}
+	if r.Tenant, data, err = dist.ReadString(data, maxBinString); err != nil {
+		return fmt.Errorf("learn2d tenant: %w", err)
+	}
+	if r.Source, data, err = readSource2DSpec(data, maxDomain); err != nil {
+		return fmt.Errorf("learn2d: %w", err)
+	}
+	if r.K, data, err = readInt(data); err != nil {
+		return fmt.Errorf("learn2d k: %w", err)
+	}
+	if r.Eps, data, err = dist.ReadFloat64(data); err != nil {
+		return fmt.Errorf("learn2d eps: %w", err)
+	}
+	if r.Samples, data, err = readInt(data); err != nil {
+		return fmt.Errorf("learn2d samples: %w", err)
+	}
+	if r.MaxCoords, data, err = readInt(data); err != nil {
+		return fmt.Errorf("learn2d max_coords: %w", err)
+	}
+	if r.Seed, data, err = dist.ReadVarint(data); err != nil {
+		return fmt.Errorf("learn2d seed: %w", err)
+	}
+	return binTrailer(data)
+}
+
+// --- Responses ---
+
+// appendBinary renders the response as an application/x-khist-bin body.
+// Bounds are nondecreasing domain positions, so they delta-pack the same
+// way the bundle codec packs value runs.
+func (r *LearnResponse) appendBinary(buf []byte) []byte {
+	buf = append(buf, binRespMagic...)
+	buf = append(buf, opLearn)
+	buf = dist.AppendVarint(buf, int64(r.N))
+	buf = dist.AppendVarint(buf, int64(r.K))
+	buf = dist.AppendDeltaInts(buf, r.Bounds)
+	buf = dist.AppendFloat64s(buf, r.Values)
+	buf = dist.AppendVarint(buf, int64(r.Pieces))
+	buf = dist.AppendVarint(buf, r.SamplesUsed)
+	buf = dist.AppendVarint(buf, int64(r.Iterations))
+	buf = dist.AppendVarint(buf, r.CandidatesScanned)
+	buf = dist.AppendVarint(buf, int64(r.Ell))
+	buf = dist.AppendVarint(buf, int64(r.R))
+	return dist.AppendVarint(buf, int64(r.M))
+}
+
+// decodeLearnResponseBinary decodes an appendBinary learn response; the
+// equivalence tests use it to compare binary and JSON semantics.
+func decodeLearnResponseBinary(body []byte, maxDomain int) (*LearnResponse, error) {
+	data, err := binHeader(body, binRespMagic, opLearn)
+	if err != nil {
+		return nil, err
+	}
+	r := &LearnResponse{}
+	if r.N, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn n: %w", err)
+	}
+	if r.K, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn k: %w", err)
+	}
+	if r.Bounds, data, err = dist.ReadDeltaInts(data, maxDomain+1); err != nil {
+		return nil, fmt.Errorf("learn bounds: %w", err)
+	}
+	if r.Values, data, err = dist.ReadFloat64s(data, maxDomain); err != nil {
+		return nil, fmt.Errorf("learn values: %w", err)
+	}
+	if r.Pieces, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn pieces: %w", err)
+	}
+	if r.SamplesUsed, data, err = dist.ReadVarint(data); err != nil {
+		return nil, fmt.Errorf("learn samples_used: %w", err)
+	}
+	if r.Iterations, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn iterations: %w", err)
+	}
+	if r.CandidatesScanned, data, err = dist.ReadVarint(data); err != nil {
+		return nil, fmt.Errorf("learn candidates_scanned: %w", err)
+	}
+	if r.Ell, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn ell: %w", err)
+	}
+	if r.R, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn r: %w", err)
+	}
+	if r.M, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn m: %w", err)
+	}
+	return r, binTrailer(data)
+}
+
+// appendBinary renders the response as an application/x-khist-bin body.
+// The partition's interval bounds are raw uvarints (lo of interval i+1
+// equals hi of interval i, so delta packing would save nothing).
+func (r *TestResponse) appendBinary(buf []byte) []byte {
+	buf = append(buf, binRespMagic...)
+	if r.Norm == "l2" {
+		buf = append(buf, opTestL2)
+	} else {
+		buf = append(buf, opTestL1)
+	}
+	buf = appendBool(buf, r.Accept)
+	buf = dist.AppendVarint(buf, int64(len(r.Partition)))
+	for _, iv := range r.Partition {
+		buf = dist.AppendVarint(buf, int64(iv.Lo))
+		buf = dist.AppendVarint(buf, int64(iv.Hi))
+	}
+	buf = dist.AppendVarint(buf, r.SamplesUsed)
+	buf = dist.AppendVarint(buf, int64(r.FlatnessCalls))
+	buf = dist.AppendVarint(buf, int64(r.R))
+	return dist.AppendVarint(buf, int64(r.M))
+}
+
+// decodeTestResponseBinary decodes an appendBinary tester response for
+// either norm's op.
+func decodeTestResponseBinary(body []byte, maxDomain int) (*TestResponse, error) {
+	r := &TestResponse{}
+	data, err := binHeader(body, binRespMagic, opTestL2)
+	if err == nil {
+		r.Norm = "l2"
+	} else {
+		if data, err = binHeader(body, binRespMagic, opTestL1); err != nil {
+			return nil, err
+		}
+		r.Norm = "l1"
+	}
+	if r.Accept, data, err = readBool(data); err != nil {
+		return nil, fmt.Errorf("test accept: %w", err)
+	}
+	var count int
+	if count, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("test partition count: %w", err)
+	}
+	if count < 0 || count > maxDomain {
+		return nil, fmt.Errorf("test partition count %d exceeds the decode limit %d", count, maxDomain)
+	}
+	if count > 0 {
+		r.Partition = make([]IntervalJSON, count)
+		for i := range r.Partition {
+			if r.Partition[i].Lo, data, err = readInt(data); err != nil {
+				return nil, fmt.Errorf("test partition %d lo: %w", i, err)
+			}
+			if r.Partition[i].Hi, data, err = readInt(data); err != nil {
+				return nil, fmt.Errorf("test partition %d hi: %w", i, err)
+			}
+		}
+	}
+	if r.SamplesUsed, data, err = dist.ReadVarint(data); err != nil {
+		return nil, fmt.Errorf("test samples_used: %w", err)
+	}
+	if r.FlatnessCalls, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("test flatness_calls: %w", err)
+	}
+	if r.R, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("test r: %w", err)
+	}
+	if r.M, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("test m: %w", err)
+	}
+	return r, binTrailer(data)
+}
+
+// appendBinary renders the response as an application/x-khist-bin body.
+// Rects are in paint order (not sorted), so coordinates travel as plain
+// varints.
+func (r *Learn2DResponse) appendBinary(buf []byte) []byte {
+	buf = append(buf, binRespMagic...)
+	buf = append(buf, opLearn2D)
+	buf = dist.AppendVarint(buf, int64(r.Rows))
+	buf = dist.AppendVarint(buf, int64(r.Cols))
+	buf = dist.AppendVarint(buf, int64(r.K))
+	buf = dist.AppendVarint(buf, int64(len(r.Rects)))
+	for _, rc := range r.Rects {
+		buf = dist.AppendVarint(buf, int64(rc.X0))
+		buf = dist.AppendVarint(buf, int64(rc.Y0))
+		buf = dist.AppendVarint(buf, int64(rc.X1))
+		buf = dist.AppendVarint(buf, int64(rc.Y1))
+		buf = dist.AppendFloat64(buf, rc.Value)
+	}
+	buf = dist.AppendVarint(buf, r.SamplesUsed)
+	buf = dist.AppendVarint(buf, int64(r.Iterations))
+	return dist.AppendVarint(buf, r.CandidatesScanned)
+}
+
+// decodeLearn2DResponseBinary decodes an appendBinary 2D response.
+func decodeLearn2DResponseBinary(body []byte, maxDomain int) (*Learn2DResponse, error) {
+	data, err := binHeader(body, binRespMagic, opLearn2D)
+	if err != nil {
+		return nil, err
+	}
+	r := &Learn2DResponse{}
+	if r.Rows, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn2d rows: %w", err)
+	}
+	if r.Cols, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn2d cols: %w", err)
+	}
+	if r.K, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn2d k: %w", err)
+	}
+	var count int
+	if count, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn2d rect count: %w", err)
+	}
+	if count < 0 || count > maxDomain {
+		return nil, fmt.Errorf("learn2d rect count %d exceeds the decode limit %d", count, maxDomain)
+	}
+	if count > 0 {
+		r.Rects = make([]RectJSON, count)
+		for i := range r.Rects {
+			if r.Rects[i].X0, data, err = readInt(data); err != nil {
+				return nil, fmt.Errorf("learn2d rect %d x0: %w", i, err)
+			}
+			if r.Rects[i].Y0, data, err = readInt(data); err != nil {
+				return nil, fmt.Errorf("learn2d rect %d y0: %w", i, err)
+			}
+			if r.Rects[i].X1, data, err = readInt(data); err != nil {
+				return nil, fmt.Errorf("learn2d rect %d x1: %w", i, err)
+			}
+			if r.Rects[i].Y1, data, err = readInt(data); err != nil {
+				return nil, fmt.Errorf("learn2d rect %d y1: %w", i, err)
+			}
+			if r.Rects[i].Value, data, err = dist.ReadFloat64(data); err != nil {
+				return nil, fmt.Errorf("learn2d rect %d value: %w", i, err)
+			}
+		}
+	}
+	if r.SamplesUsed, data, err = dist.ReadVarint(data); err != nil {
+		return nil, fmt.Errorf("learn2d samples_used: %w", err)
+	}
+	if r.Iterations, data, err = readInt(data); err != nil {
+		return nil, fmt.Errorf("learn2d iterations: %w", err)
+	}
+	if r.CandidatesScanned, data, err = dist.ReadVarint(data); err != nil {
+		return nil, fmt.Errorf("learn2d candidates_scanned: %w", err)
+	}
+	return r, binTrailer(data)
+}

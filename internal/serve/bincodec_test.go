@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// binPost sends raw bytes to path with explicit content negotiation.
+func binPost(h http.Handler, path string, body []byte, contentType, accept string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestBinaryRoundTripEquivalence is the wire-codec contract on every
+// endpoint: the binary-encoded request produces a binary response that
+// decodes to exactly the JSON path's response — same semantics, smaller
+// bytes — and a JSON request with a binary Accept yields those same
+// binary bytes (the negotiated encoding depends only on the response
+// side).
+func TestBinaryRoundTripEquivalence(t *testing.T) {
+	_, h := newTestServer(t, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 64 << 20,
+		ResponseCacheBytes: 16 << 20})
+
+	t.Run("learn", func(t *testing.T) {
+		jw := post(h, "/v1/learn", learnBody)
+		if jw.Code != 200 {
+			t.Fatalf("json: code %d: %s", jw.Code, jw.Body.String())
+		}
+		var want LearnResponse
+		if err := json.Unmarshal(jw.Body.Bytes(), &want); err != nil {
+			t.Fatal(err)
+		}
+		var req LearnRequest
+		if err := json.Unmarshal([]byte(learnBody), &req); err != nil {
+			t.Fatal(err)
+		}
+		bw := binPost(h, "/v1/learn", req.appendBinary(nil), BinaryContentType, "")
+		if bw.Code != 200 {
+			t.Fatalf("binary: code %d: %s", bw.Code, bw.Body.String())
+		}
+		if ct := bw.Header().Get("Content-Type"); ct != BinaryContentType {
+			t.Fatalf("binary response content type %q", ct)
+		}
+		got, err := decodeLearnResponseBinary(bw.Body.Bytes(), DefaultMaxDomain)
+		if err != nil {
+			t.Fatalf("decoding binary response: %v", err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("binary response diverged\n got: %+v\nwant: %+v", *got, want)
+		}
+		// JSON request + binary Accept: identical binary bytes.
+		aw := binPost(h, "/v1/learn", []byte(learnBody), "", BinaryContentType)
+		if aw.Code != 200 || !bytes.Equal(aw.Body.Bytes(), bw.Body.Bytes()) {
+			t.Fatalf("json-request/binary-accept bytes diverged from binary-request bytes (code %d)", aw.Code)
+		}
+	})
+
+	for _, tc := range []struct {
+		name, path, body string
+		op               byte
+	}{
+		{"test_l2", "/v1/test/l2", testL2Body, opTestL2},
+		{"test_l1", "/v1/test/l1",
+			`{"tenant":"acme","source":{"gen":"staircase","n":128},"k":3,"eps":0.3,"scale":0.01,"cap":2000,"seed":11}`,
+			opTestL1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			jw := post(h, tc.path, tc.body)
+			if jw.Code != 200 {
+				t.Fatalf("json: code %d: %s", jw.Code, jw.Body.String())
+			}
+			var want TestResponse
+			if err := json.Unmarshal(jw.Body.Bytes(), &want); err != nil {
+				t.Fatal(err)
+			}
+			var req TestRequest
+			if err := json.Unmarshal([]byte(tc.body), &req); err != nil {
+				t.Fatal(err)
+			}
+			bw := binPost(h, tc.path, req.appendBinary(nil, tc.op), BinaryContentType, "")
+			if bw.Code != 200 {
+				t.Fatalf("binary: code %d: %s", bw.Code, bw.Body.String())
+			}
+			got, err := decodeTestResponseBinary(bw.Body.Bytes(), DefaultMaxDomain)
+			if err != nil {
+				t.Fatalf("decoding binary response: %v", err)
+			}
+			if !reflect.DeepEqual(*got, want) {
+				t.Fatalf("binary response diverged\n got: %+v\nwant: %+v", *got, want)
+			}
+		})
+	}
+
+	t.Run("learn2d", func(t *testing.T) {
+		body := `{"tenant":"acme","source":{"gen":"rect","rows":12,"cols":12,"k":3,"seed":2},"k":3,"eps":0.2,"samples":2000,"seed":5}`
+		jw := post(h, "/v1/learn2d", body)
+		if jw.Code != 200 {
+			t.Fatalf("json: code %d: %s", jw.Code, jw.Body.String())
+		}
+		var want Learn2DResponse
+		if err := json.Unmarshal(jw.Body.Bytes(), &want); err != nil {
+			t.Fatal(err)
+		}
+		var req Learn2DRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		bw := binPost(h, "/v1/learn2d", req.appendBinary(nil), BinaryContentType, "")
+		if bw.Code != 200 {
+			t.Fatalf("binary: code %d: %s", bw.Code, bw.Body.String())
+		}
+		got, err := decodeLearn2DResponseBinary(bw.Body.Bytes(), DefaultMaxDomain)
+		if err != nil {
+			t.Fatalf("decoding binary response: %v", err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("binary response diverged\n got: %+v\nwant: %+v", *got, want)
+		}
+	})
+}
+
+// TestBinaryNegotiation pins the Accept rules: explicit Accept wins, no
+// Accept (or a wildcard) follows the request encoding, and errors are
+// always JSON whatever was negotiated.
+func TestBinaryNegotiation(t *testing.T) {
+	_, h := newTestServer(t, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 64 << 20,
+		ResponseCacheBytes: 16 << 20})
+	var req LearnRequest
+	if err := json.Unmarshal([]byte(learnBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	bin := req.appendBinary(nil)
+
+	jsonWant := post(h, "/v1/learn", learnBody)
+	if jsonWant.Code != 200 {
+		t.Fatalf("json baseline: code %d", jsonWant.Code)
+	}
+
+	// Binary request, no Accept: binary response.
+	if w := binPost(h, "/v1/learn", bin, BinaryContentType, ""); w.Header().Get("Content-Type") != BinaryContentType {
+		t.Fatalf("binary/no-accept: content type %q", w.Header().Get("Content-Type"))
+	}
+	// Binary request, wildcard Accept: still binary.
+	if w := binPost(h, "/v1/learn", bin, BinaryContentType, "*/*"); w.Header().Get("Content-Type") != BinaryContentType {
+		t.Fatalf("binary/wildcard: content type %q", w.Header().Get("Content-Type"))
+	}
+	// Binary request, JSON Accept: the JSON body, byte-identical to the
+	// JSON path's.
+	w := binPost(h, "/v1/learn", bin, BinaryContentType, jsonContentType)
+	if ct := w.Header().Get("Content-Type"); ct != jsonContentType {
+		t.Fatalf("binary/json-accept: content type %q", ct)
+	}
+	if w.Body.String() != jsonWant.Body.String() {
+		t.Fatalf("binary-request/json-accept body diverged from json-request body\n got: %s\nwant: %s",
+			w.Body.String(), jsonWant.Body.String())
+	}
+	// JSON request, no Accept: JSON.
+	if w := post(h, "/v1/learn", learnBody); w.Header().Get("Content-Type") != jsonContentType {
+		t.Fatalf("json/no-accept: content type %q", w.Header().Get("Content-Type"))
+	}
+
+	// Garbage binary body: a 400 whose body is the uniform JSON error,
+	// even though the client asked for binary both ways.
+	g := binPost(h, "/v1/learn", []byte("khQ1 not really"), BinaryContentType, BinaryContentType)
+	if g.Code != http.StatusBadRequest {
+		t.Fatalf("garbage binary: code %d, want 400", g.Code)
+	}
+	if ct := g.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("garbage binary error content type %q, want JSON", ct)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(g.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("garbage binary error body %q", g.Body.String())
+	}
+
+	// Truncated-but-valid-prefix body: bounds checks must reject, not
+	// panic or over-read.
+	if w := binPost(h, "/v1/learn", bin[:len(bin)/2], BinaryContentType, ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("truncated binary: code %d, want 400", w.Code)
+	}
+
+	// The response magic is the first four bytes of every binary body.
+	if w := binPost(h, "/v1/learn", bin, BinaryContentType, ""); !bytes.HasPrefix(w.Body.Bytes(), []byte("khR1")) {
+		t.Fatalf("binary response does not start with the khR1 magic: %x", w.Body.Bytes()[:8])
+	}
+}

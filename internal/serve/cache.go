@@ -18,6 +18,14 @@ type cache struct {
 	order    *list.List // front = most recently used
 	entries  map[string]*list.Element
 
+	// onEvict, when set, fires (under mu) with each evicted entry's key.
+	// The serving layer wires the bundle caches to the response-byte
+	// cache through it: evicting a tabulated bundle drops the response
+	// entries derived from it, so the two caches' lifecycles nest. The
+	// callback must not call back into this cache. Set once at
+	// construction, before any traffic.
+	onEvict func(key string)
+
 	// Byte-flow counters for the metrics plane, maintained under mu (the
 	// operations they count already hold it): bytes handed out on hits,
 	// bytes accepted by put, and entries/bytes reclaimed by eviction.
@@ -91,6 +99,9 @@ func (c *cache) put(key string, val any, bytes int64) {
 		c.used -= e.bytes
 		c.evictions++
 		c.evictedBytes += e.bytes
+		if c.onEvict != nil {
+			c.onEvict(e.key)
+		}
 	}
 }
 

@@ -165,7 +165,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request, tenant, sourceKey
 		return true
 	}
 	defer sh.release()
-	resp, err := s.peers.Forward(r.Context(), s.ring, key, r.URL.Path, r.Header.Get("Content-Type"), body)
+	resp, err := s.peers.Forward(r.Context(), s.ring, key, r.URL.Path, r.Header.Get("Content-Type"), r.Header.Get("Accept"), body)
 	if err != nil {
 		// Every remote candidate failed (or exclusion walked ownership
 		// back to this node): serve locally rather than failing the
@@ -252,10 +252,11 @@ type bundleRequest struct {
 // the peer treats it as a plain miss. Only sets| keys are served: 2D
 // tabulations have no codec yet.
 func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
-	body, ok := s.readBody(w, r)
+	body, done, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
+	defer done()
 	var req bundleRequest
 	if !s.decodeBytes(w, body, &req) {
 		return

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"khist/internal/collision"
 	"khist/internal/dist"
@@ -19,9 +21,30 @@ import (
 )
 
 // CacheHeader is the response header carrying the cache status of the
-// request's tabulation: "hit", "miss", or "coalesced". It is a header
-// rather than a body field so bodies stay byte-identical across paths.
+// request's tabulation: "rhit" (served whole from the response-byte
+// cache), "hit", "miss", or "coalesced". It is a header rather than a
+// body field so bodies stay byte-identical across paths.
 const CacheHeader = "X-Khist-Cache"
+
+// Content types of the algorithm endpoints. JSON is the default both
+// ways; a request whose Content-Type is BinaryContentType is decoded
+// with the delta-varint wire codec (see bincodec.go), and a request
+// whose Accept is BinaryContentType gets its response encoded the same
+// way — the forwarder relays both headers, so cluster-internal and
+// high-volume clients can skip JSON entirely.
+const (
+	jsonContentType   = "application/json"
+	BinaryContentType = "application/x-khist-bin"
+)
+
+// Endpoint names: metrics labels, response-cache key prefixes, and the
+// op names of /v1/batch items.
+const (
+	epLearn   = "learn"
+	epTestL2  = "test_l2"
+	epTestL1  = "test_l1"
+	epLearn2D = "learn2d"
+)
 
 // LearnRequest is the body of POST /v1/learn.
 type LearnRequest struct {
@@ -59,81 +82,6 @@ type LearnResponse struct {
 	M                 int       `json:"m"`
 }
 
-func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
-	body, ok := s.readBody(w, r)
-	if !ok {
-		return
-	}
-	var req LearnRequest
-	if !s.decodeBytes(w, body, &req) {
-		return
-	}
-	if s.route(w, r, req.Tenant, req.Source.key(), body) {
-		return
-	}
-	sh, release, ok := s.admit(w, req.Tenant, req.Source.key())
-	if !ok {
-		return
-	}
-	defer release()
-	d, err := s.resolveSource(req.Source)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if req.K > d.N() {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N()))
-		return
-	}
-	opts := learn.Options{
-		K: req.K, Eps: req.Eps,
-		SampleScale:      req.Scale,
-		MaxSamplesPerSet: s.sampleCap(req.Cap),
-		Parallelism:      s.cfg.WorkersPerShard,
-	}
-	ell, rr, m, err := opts.SetSizes(d.N())
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-
-	key := setsKey(d.Fingerprint(), req.Seed, ell, rr, m)
-	s.markBundleKey(w, key)
-	bundle, status, err := sh.tabulated(r.Context(), key, func() (any, int64) {
-		return drawSets(d, req.Seed, ell, rr, m, s.cfg.WorkersPerShard)
-	})
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	sets := bundle.([]*dist.Empirical)
-
-	var res *learn.Result
-	if rerr := sh.run(func() {
-		res, err = learn.FromTabulated(d.N(), sets[0], sets[1:], opts, !req.Full)
-	}); rerr != nil {
-		writeErr(w, http.StatusInternalServerError, rerr)
-		return
-	}
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	writeJSON(w, status, LearnResponse{
-		N:                 d.N(),
-		K:                 req.K,
-		Bounds:            res.Tiling.Bounds(),
-		Values:            res.Tiling.Values(),
-		Pieces:            res.Tiling.Pieces(),
-		SamplesUsed:       res.SamplesUsed,
-		Iterations:        res.Iterations,
-		CandidatesScanned: res.CandidatesScanned,
-		Ell:               res.Ell,
-		R:                 res.R,
-		M:                 res.M,
-	})
-}
-
 // TestRequest is the body of POST /v1/test/l2 and /v1/test/l1.
 type TestRequest struct {
 	Tenant string     `json:"tenant,omitempty"`
@@ -160,95 +108,6 @@ type TestResponse struct {
 	FlatnessCalls int            `json:"flatness_calls"`
 	R             int            `json:"r"`
 	M             int            `json:"m"`
-}
-
-func (s *Server) handleTest(norm string) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		body, ok := s.readBody(w, r)
-		if !ok {
-			return
-		}
-		var req TestRequest
-		if !s.decodeBytes(w, body, &req) {
-			return
-		}
-		if s.route(w, r, req.Tenant, req.Source.key(), body) {
-			return
-		}
-		sh, release, ok := s.admit(w, req.Tenant, req.Source.key())
-		if !ok {
-			return
-		}
-		defer release()
-		d, err := s.resolveSource(req.Source)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if req.K > d.N() {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N()))
-			return
-		}
-		opts := histtest.Options{
-			K: req.K, Eps: req.Eps,
-			SampleScale:      req.Scale,
-			MaxSamplesPerSet: s.sampleCap(req.Cap),
-			Parallelism:      s.cfg.WorkersPerShard,
-		}
-		var rr, m int
-		if norm == "l2" {
-			rr, m, err = opts.PlanL2(d.N())
-		} else {
-			rr, m, err = opts.PlanL1(d.N())
-		}
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-
-		// ell = 0: the testers draw only collision sets. The key still
-		// shares a namespace with /v1/learn, so a learner and tester
-		// with identical budgets share one draw.
-		key := setsKey(d.Fingerprint(), req.Seed, 0, rr, m)
-		s.markBundleKey(w, key)
-		bundle, status, err := sh.tabulated(r.Context(), key, func() (any, int64) {
-			return drawSets(d, req.Seed, 0, rr, m, s.cfg.WorkersPerShard)
-		})
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
-			return
-		}
-		sets := bundle.([]*dist.Empirical)
-
-		var res *histtest.Result
-		if rerr := sh.run(func() {
-			if norm == "l2" {
-				res, err = histtest.TestTilingL2FromSets(sets, d.N(), opts)
-			} else {
-				res, err = histtest.TestTilingL1FromSets(sets, d.N(), opts)
-			}
-		}); rerr != nil {
-			writeErr(w, http.StatusInternalServerError, rerr)
-			return
-		}
-		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		partition := make([]IntervalJSON, len(res.Partition))
-		for i, iv := range res.Partition {
-			partition[i] = IntervalJSON{Lo: iv.Lo, Hi: iv.Hi}
-		}
-		writeJSON(w, status, TestResponse{
-			Accept:        res.Accept,
-			Norm:          norm,
-			Partition:     partition,
-			SamplesUsed:   res.SamplesUsed,
-			FlatnessCalls: res.FlatnessCalls,
-			R:             res.R,
-			M:             res.M,
-		})
-	}
 }
 
 // Learn2DRequest is the body of POST /v1/learn2d.
@@ -284,94 +143,386 @@ type Learn2DResponse struct {
 	CandidatesScanned int64      `json:"candidates_scanned"`
 }
 
-func (s *Server) handleLearn2D(w http.ResponseWriter, r *http.Request) {
-	body, ok := s.readBody(w, r)
-	if !ok {
-		return
-	}
-	var req Learn2DRequest
-	if !s.decodeBytes(w, body, &req) {
-		return
-	}
-	if s.route(w, r, req.Tenant, req.Source.key(), body) {
-		return
-	}
-	sh, release, ok := s.admit(w, req.Tenant, req.Source.key())
-	if !ok {
-		return
-	}
-	defer release()
-	g, err := s.resolveSource2D(req.Source)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if req.K < 1 || !(req.Eps > 0 && req.Eps < 1) {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: need k >= 1 and eps in (0, 1)"))
-		return
-	}
-	if req.K > g.Rows()*g.Cols() {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds grid size %d", req.K, g.Rows()*g.Cols()))
-		return
-	}
-	opts := grid.Options2D{
-		Rows: g.Rows(), Cols: g.Cols(),
-		K: req.K, Eps: req.Eps,
-		Samples:     req.Samples,
-		MaxCoords:   req.MaxCoords,
-		Parallelism: s.cfg.WorkersPerShard,
-	}
-	// Clamp the draw count to the server ceiling (covers both an explicit
-	// request override and a huge K/Eps-derived default).
-	m := opts.SampleSize()
-	if m > s.cfg.MaxSamplesPerSet {
-		m = s.cfg.MaxSamplesPerSet
-	}
-	opts.Samples = m
+// respEncoder is a successful algorithm response: JSON-marshalable, and
+// able to render itself in the binary wire encoding.
+type respEncoder interface {
+	appendBinary(buf []byte) []byte
+}
 
-	flat := g.Flatten()
-	key := fmt.Sprintf("sets2d|%dx%d|fp=%016x|seed=%d|m=%d", g.Rows(), g.Cols(), flat.Fingerprint(), req.Seed, m)
-	bundle, status, err := sh.tabulated(r.Context(), key, func() (any, int64) {
-		sampler := dist.NewSampler(flat, par.NewRand(uint64(req.Seed)))
-		emp, err := grid.NewEmpirical2D(g.Rows(), g.Cols(), dist.DrawBatch(sampler, m))
-		if err != nil {
-			// Draws come from a sampler over the same grid, so this is
-			// unreachable; surface it as an empty tabulation.
-			emp, _ = grid.NewEmpirical2D(g.Rows(), g.Cols(), nil)
+// prepared is one decoded algorithm request: the routing keys the
+// cluster ring and admission front door need, plus an exec closure that
+// runs resolution, tabulation, and the algorithm on an admitted shard.
+// Decoding is split from execution so the single-request handlers, the
+// batch endpoint, and both request encodings share one compute path.
+type prepared struct {
+	tenant    string
+	sourceKey string
+	// exec returns the response, the parent tabulated-bundle cache key,
+	// and the tabulation cache status; on error, code is the HTTP status
+	// to report.
+	exec func(ctx context.Context, sh *shard) (resp respEncoder, bundleKey, cacheStatus string, code int, err error)
+}
+
+// decodeFunc parses a request body (JSON, or the binary wire encoding
+// when bin is set) into a prepared request. Decode errors are 400s.
+type decodeFunc func(s *Server, body []byte, bin bool) (*prepared, error)
+
+// algoEndpoints maps endpoint/batch-op names to their decoders; the
+// batch handler resolves item ops through it.
+var algoEndpoints = map[string]decodeFunc{
+	epLearn:   decodeLearn,
+	epTestL2:  decodeTestNorm("l2"),
+	epTestL1:  decodeTestNorm("l1"),
+	epLearn2D: decodeLearn2D,
+}
+
+func decodeLearn(s *Server, body []byte, bin bool) (*prepared, error) {
+	var req LearnRequest
+	if bin {
+		if err := req.decodeBinary(body, s.cfg.MaxDomain); err != nil {
+			return nil, err
 		}
-		return emp, emp.SizeBytes()
-	})
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
+	} else if err := decodeStrict(body, &req); err != nil {
+		return nil, err
 	}
-	emp := bundle.(*grid.Empirical2D)
+	return &prepared{
+		tenant:    req.Tenant,
+		sourceKey: req.Source.key(),
+		exec: func(ctx context.Context, sh *shard) (respEncoder, string, string, int, error) {
+			d, err := s.resolveSource(req.Source)
+			if err != nil {
+				return nil, "", "", http.StatusBadRequest, err
+			}
+			if req.K > d.N() {
+				return nil, "", "", http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N())
+			}
+			opts := learn.Options{
+				K: req.K, Eps: req.Eps,
+				SampleScale:      req.Scale,
+				MaxSamplesPerSet: s.sampleCap(req.Cap),
+				Parallelism:      s.cfg.WorkersPerShard,
+			}
+			ell, rr, m, err := opts.SetSizes(d.N())
+			if err != nil {
+				return nil, "", "", http.StatusBadRequest, err
+			}
 
-	var res *grid.Result2D
-	if rerr := sh.run(func() {
-		res, err = grid.Greedy2DFromTabulated(emp, opts)
-	}); rerr != nil {
-		writeErr(w, http.StatusInternalServerError, rerr)
-		return
+			key := setsKey(d.Fingerprint(), req.Seed, ell, rr, m)
+			bundle, status, err := sh.tabulated(ctx, key, func() (any, int64) {
+				return drawSets(d, req.Seed, ell, rr, m, s.cfg.WorkersPerShard)
+			})
+			if err != nil {
+				return nil, key, status, http.StatusInternalServerError, err
+			}
+			sets := bundle.([]*dist.Empirical)
+
+			var res *learn.Result
+			if rerr := sh.run(func() {
+				res, err = learn.FromTabulated(d.N(), sets[0], sets[1:], opts, !req.Full)
+			}); rerr != nil {
+				return nil, key, status, http.StatusInternalServerError, rerr
+			}
+			if err != nil {
+				return nil, key, status, http.StatusUnprocessableEntity, err
+			}
+			return &LearnResponse{
+				N:                 d.N(),
+				K:                 req.K,
+				Bounds:            res.Tiling.Bounds(),
+				Values:            res.Tiling.Values(),
+				Pieces:            res.Tiling.Pieces(),
+				SamplesUsed:       res.SamplesUsed,
+				Iterations:        res.Iterations,
+				CandidatesScanned: res.CandidatesScanned,
+				Ell:               res.Ell,
+				R:                 res.R,
+				M:                 res.M,
+			}, key, status, 0, nil
+		},
+	}, nil
+}
+
+func decodeTestNorm(norm string) decodeFunc {
+	op := opTestL2
+	if norm == "l1" {
+		op = opTestL1
 	}
+	return func(s *Server, body []byte, bin bool) (*prepared, error) {
+		var req TestRequest
+		if bin {
+			if err := req.decodeBinaryOp(body, op, s.cfg.MaxDomain); err != nil {
+				return nil, err
+			}
+		} else if err := decodeStrict(body, &req); err != nil {
+			return nil, err
+		}
+		return &prepared{
+			tenant:    req.Tenant,
+			sourceKey: req.Source.key(),
+			exec: func(ctx context.Context, sh *shard) (respEncoder, string, string, int, error) {
+				d, err := s.resolveSource(req.Source)
+				if err != nil {
+					return nil, "", "", http.StatusBadRequest, err
+				}
+				if req.K > d.N() {
+					return nil, "", "", http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N())
+				}
+				opts := histtest.Options{
+					K: req.K, Eps: req.Eps,
+					SampleScale:      req.Scale,
+					MaxSamplesPerSet: s.sampleCap(req.Cap),
+					Parallelism:      s.cfg.WorkersPerShard,
+				}
+				var rr, m int
+				if norm == "l2" {
+					rr, m, err = opts.PlanL2(d.N())
+				} else {
+					rr, m, err = opts.PlanL1(d.N())
+				}
+				if err != nil {
+					return nil, "", "", http.StatusBadRequest, err
+				}
+
+				// ell = 0: the testers draw only collision sets. The key still
+				// shares a namespace with /v1/learn, so a learner and tester
+				// with identical budgets share one draw.
+				key := setsKey(d.Fingerprint(), req.Seed, 0, rr, m)
+				bundle, status, err := sh.tabulated(ctx, key, func() (any, int64) {
+					return drawSets(d, req.Seed, 0, rr, m, s.cfg.WorkersPerShard)
+				})
+				if err != nil {
+					return nil, key, status, http.StatusInternalServerError, err
+				}
+				sets := bundle.([]*dist.Empirical)
+
+				var res *histtest.Result
+				if rerr := sh.run(func() {
+					if norm == "l2" {
+						res, err = histtest.TestTilingL2FromSets(sets, d.N(), opts)
+					} else {
+						res, err = histtest.TestTilingL1FromSets(sets, d.N(), opts)
+					}
+				}); rerr != nil {
+					return nil, key, status, http.StatusInternalServerError, rerr
+				}
+				if err != nil {
+					return nil, key, status, http.StatusUnprocessableEntity, err
+				}
+				partition := make([]IntervalJSON, len(res.Partition))
+				for i, iv := range res.Partition {
+					partition[i] = IntervalJSON{Lo: iv.Lo, Hi: iv.Hi}
+				}
+				return &TestResponse{
+					Accept:        res.Accept,
+					Norm:          norm,
+					Partition:     partition,
+					SamplesUsed:   res.SamplesUsed,
+					FlatnessCalls: res.FlatnessCalls,
+					R:             res.R,
+					M:             res.M,
+				}, key, status, 0, nil
+			},
+		}, nil
+	}
+}
+
+func decodeLearn2D(s *Server, body []byte, bin bool) (*prepared, error) {
+	var req Learn2DRequest
+	if bin {
+		if err := req.decodeBinary(body, s.cfg.MaxDomain); err != nil {
+			return nil, err
+		}
+	} else if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	return &prepared{
+		tenant:    req.Tenant,
+		sourceKey: req.Source.key(),
+		exec: func(ctx context.Context, sh *shard) (respEncoder, string, string, int, error) {
+			g, err := s.resolveSource2D(req.Source)
+			if err != nil {
+				return nil, "", "", http.StatusBadRequest, err
+			}
+			if req.K < 1 || !(req.Eps > 0 && req.Eps < 1) {
+				return nil, "", "", http.StatusBadRequest, fmt.Errorf("serve: need k >= 1 and eps in (0, 1)")
+			}
+			if req.K > g.Rows()*g.Cols() {
+				return nil, "", "", http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds grid size %d", req.K, g.Rows()*g.Cols())
+			}
+			opts := grid.Options2D{
+				Rows: g.Rows(), Cols: g.Cols(),
+				K: req.K, Eps: req.Eps,
+				Samples:     req.Samples,
+				MaxCoords:   req.MaxCoords,
+				Parallelism: s.cfg.WorkersPerShard,
+			}
+			// Clamp the draw count to the server ceiling (covers both an explicit
+			// request override and a huge K/Eps-derived default).
+			m := opts.SampleSize()
+			if m > s.cfg.MaxSamplesPerSet {
+				m = s.cfg.MaxSamplesPerSet
+			}
+			opts.Samples = m
+
+			flat := g.Flatten()
+			key := fmt.Sprintf("sets2d|%dx%d|fp=%016x|seed=%d|m=%d", g.Rows(), g.Cols(), flat.Fingerprint(), req.Seed, m)
+			bundle, status, err := sh.tabulated(ctx, key, func() (any, int64) {
+				sampler := dist.NewSampler(flat, par.NewRand(uint64(req.Seed)))
+				emp, err := grid.NewEmpirical2D(g.Rows(), g.Cols(), dist.DrawBatch(sampler, m))
+				if err != nil {
+					// Draws come from a sampler over the same grid, so this is
+					// unreachable; surface it as an empty tabulation.
+					emp, _ = grid.NewEmpirical2D(g.Rows(), g.Cols(), nil)
+				}
+				return emp, emp.SizeBytes()
+			})
+			if err != nil {
+				return nil, key, status, http.StatusInternalServerError, err
+			}
+			emp := bundle.(*grid.Empirical2D)
+
+			var res *grid.Result2D
+			if rerr := sh.run(func() {
+				res, err = grid.Greedy2DFromTabulated(emp, opts)
+			}); rerr != nil {
+				return nil, key, status, http.StatusInternalServerError, rerr
+			}
+			if err != nil {
+				return nil, key, status, http.StatusUnprocessableEntity, err
+			}
+			entries := res.Hist.Entries()
+			rects := make([]RectJSON, len(entries))
+			for i, e := range entries {
+				rects[i] = RectJSON{X0: e.R.X0, Y0: e.R.Y0, X1: e.R.X1, Y1: e.R.Y1, Value: e.V}
+			}
+			return &Learn2DResponse{
+				Rows:              g.Rows(),
+				Cols:              g.Cols(),
+				K:                 req.K,
+				Rects:             rects,
+				SamplesUsed:       res.SamplesUsed,
+				Iterations:        res.Iterations,
+				CandidatesScanned: res.CandidatesScanned,
+			}, key, status, 0, nil
+		},
+	}, nil
+}
+
+// handleAlgo is the shared single-request handler of the four algorithm
+// endpoints. The fast path is the response-byte cache: a content-
+// addressed hit skips request decoding, source resolution, tabulation,
+// compute, and encode — it routes and admits on the entry's stored
+// keys, then writes the stored bytes. The slow path decodes, routes,
+// admits, executes, encodes once, and publishes the encoded bytes for
+// the next identical query.
+func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, done, ok := s.readBody(w, r)
+		if !ok {
+			return
+		}
+		defer done()
+		binReq := r.Header.Get("Content-Type") == BinaryContentType
+		binResp := wantsBinary(r, binReq)
+		rkey := respKey(ep, binResp, body)
+		if e := s.respc.get(rkey); e != nil {
+			// The entry's routing keys were decoded from these exact body
+			// bytes when it was built, so the full admission front door
+			// (ring ownership, tenant quota, shard gate) runs without a
+			// JSON parse.
+			if s.route(w, r, e.tenant, e.sourceKey, body) {
+				return
+			}
+			_, release, ok := s.admit(w, e.tenant, e.sourceKey)
+			if !ok {
+				return
+			}
+			defer release()
+			s.markBundleKey(w, e.bundleKey)
+			writeEntry(w, e)
+			return
+		}
+		p, err := dec(s, body, binReq)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if s.route(w, r, p.tenant, p.sourceKey, body) {
+			return
+		}
+		sh, release, ok := s.admit(w, p.tenant, p.sourceKey)
+		if !ok {
+			return
+		}
+		defer release()
+		resp, bundleKey, status, code, err := p.exec(r.Context(), sh)
+		if err != nil {
+			writeErr(w, code, err)
+			return
+		}
+		s.markBundleKey(w, bundleKey)
+		enc, ct, err := encodeResp(resp, binResp)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.respc.put(rkey, &respEntry{
+			tenant:      p.tenant,
+			sourceKey:   p.sourceKey,
+			bundleKey:   bundleKey,
+			contentType: ct,
+			body:        enc,
+		})
+		w.Header().Set("Content-Type", ct)
+		if status != "" {
+			w.Header().Set(CacheHeader, status)
+		}
+		w.Write(enc)
+		if ct == jsonContentType {
+			w.Write(nlByte)
+		}
+	}
+}
+
+var nlByte = []byte{'\n'}
+
+// wantsBinary decides the response encoding: an explicit Accept wins;
+// with no Accept (or a wildcard), a binary request gets a binary
+// response and everything else gets JSON.
+func wantsBinary(r *http.Request, binReq bool) bool {
+	switch r.Header.Get("Accept") {
+	case BinaryContentType:
+		return true
+	case "", "*/*":
+		return binReq
+	default:
+		return false
+	}
+}
+
+// writeEntry writes a response-cache hit: the stored bytes, the stored
+// content type, and the rhit cache status. JSON responses get the wire
+// newline the stored (batch-embeddable) payload omits.
+func writeEntry(w http.ResponseWriter, e *respEntry) {
+	w.Header().Set("Content-Type", e.contentType)
+	w.Header().Set(CacheHeader, StatusRespHit)
+	w.Write(e.body)
+	if e.contentType == jsonContentType {
+		w.Write(nlByte)
+	}
+}
+
+// encodeResp renders a successful response in the negotiated encoding,
+// without the trailing wire newline (JSON only; callers append it).
+func encodeResp(resp respEncoder, binary bool) ([]byte, string, error) {
+	if binary {
+		return resp.appendBinary(nil), BinaryContentType, nil
+	}
+	enc, err := jsonMarshal(resp)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
+		return nil, "", err
 	}
-	entries := res.Hist.Entries()
-	rects := make([]RectJSON, len(entries))
-	for i, e := range entries {
-		rects[i] = RectJSON{X0: e.R.X0, Y0: e.R.Y0, X1: e.R.X1, Y1: e.R.Y1, Value: e.V}
-	}
-	writeJSON(w, status, Learn2DResponse{
-		Rows:              g.Rows(),
-		Cols:              g.Cols(),
-		K:                 req.K,
-		Rects:             rects,
-		SamplesUsed:       res.SamplesUsed,
-		Iterations:        res.Iterations,
-		CandidatesScanned: res.CandidatesScanned,
-	})
+	return enc, jsonContentType, nil
 }
 
 // ShardStats is one shard's counters in a /v1/stats response. InFlight
@@ -417,6 +568,9 @@ type StatsResponse struct {
 	UntrackedTenantRequests int64         `json:"untracked_tenant_requests,omitempty"`
 	PerShard                []ShardStats  `json:"per_shard"`
 	Tenants                 []TenantStats `json:"tenants,omitempty"`
+	// ResponseCache is the response-byte cache's aggregate counters
+	// (present when the cache has a byte budget).
+	ResponseCache *RespCacheStats `json:"response_cache,omitempty"`
 	// Latency is the latest dogfooded latency snapshot: request latency
 	// sketched by internal/stream and summarized into a k-histogram by
 	// the repo's own v-optimal learner (metrics plane enabled and at
@@ -436,6 +590,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.metrics != nil {
 		resp.Latency = s.metrics.latency.Latest()
+	}
+	if s.cfg.ResponseCacheBytes > 0 {
+		st := s.respc.stats()
+		st.BytesCap = s.cfg.ResponseCacheBytes
+		st.BytesPerPart = s.perPartRespCache
+		resp.ResponseCache = &st
 	}
 	for i, sh := range s.shards {
 		entries, bytes := sh.cache.stats()
@@ -494,34 +654,56 @@ func drawSets(d *dist.Distribution, seed int64, ell, r, m, workers int) (any, in
 	return sets, bytes
 }
 
-// readBody buffers the request body through the MaxBodyBytes cap, so a
-// request cannot allocate unboundedly before admission is decided:
-// overflow is a 413, reported before any source resolution or sampling
-// happens. The raw bytes are kept because a cluster forward relays them
-// verbatim — re-encoding a decoded request could reorder fields and
-// break the byte-identity contract between direct and forwarded calls.
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
+// bodyBufPool recycles the request-body buffers: the hot path reads
+// every body through it, so steady-state serving allocates no per-
+// request read buffer.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBody buffers the request body through the MaxBodyBytes cap into a
+// pooled buffer, so a request cannot allocate unboundedly before
+// admission is decided: overflow is a 413, reported before any source
+// resolution or sampling happens. The raw bytes are kept because a
+// cluster forward relays them verbatim (re-encoding a decoded request
+// could reorder fields and break the byte-identity contract between
+// direct and forwarded calls) and because they are the response cache's
+// content address. done returns the buffer to the pool; the body slice
+// must not be retained past it — everything that outlives the handler
+// (cache keys, decoded requests, forwarded copies) copies what it keeps.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, done func(), ok bool) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)); err != nil {
+		bodyBufPool.Put(buf)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeErr(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("serve: request body exceeds the server's -max-body-bytes %d", s.cfg.MaxBodyBytes))
-			return nil, false
+			return nil, nil, false
 		}
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
-		return nil, false
+		return nil, nil, false
 	}
-	return body, true
+	return buf.Bytes(), func() { bodyBufPool.Put(buf) }, true
 }
 
-// decodeBytes parses a JSON request body strictly (unknown fields are
-// 400s, catching misspelled parameters before they silently default).
-func (s *Server) decodeBytes(w http.ResponseWriter, body []byte, dst any) bool {
+// decodeStrict parses a JSON body strictly (unknown fields are errors,
+// catching misspelled parameters before they silently default). Nothing
+// in dst aliases body after it returns: encoding/json copies strings
+// and slices, so pooled body buffers stay safe to recycle.
+func decodeStrict(body []byte, dst any) error {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// decodeBytes parses a JSON request body strictly, writing the 400
+// itself on failure.
+func (s *Server) decodeBytes(w http.ResponseWriter, body []byte, dst any) bool {
+	if err := decodeStrict(body, dst); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return false
 	}
 	return true
@@ -541,10 +723,25 @@ func writeShed(w http.ResponseWriter, retryAfter int, err error) {
 	writeErr(w, http.StatusTooManyRequests, err)
 }
 
+// jsonMarshal is the response-marshalling seam: production is
+// json.Marshal; tests swap it to exercise the writeErr fallback, since
+// marshalling a plain string field cannot otherwise fail.
+var jsonMarshal = json.Marshal
+
+// writeErr writes the uniform JSON error body. If marshalling the error
+// itself fails, it falls back to a plain-text body rather than emitting
+// an empty 4xx/5xx payload — an error response always carries the
+// message, whatever the encoder thought of it.
 func writeErr(w http.ResponseWriter, code int, err error) {
+	body, merr := jsonMarshal(errorResponse{Error: err.Error()})
+	if merr != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(code)
+		io.WriteString(w, err.Error()+"\n")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	body, _ := json.Marshal(errorResponse{Error: err.Error()})
 	w.Write(append(body, '\n'))
 }
 
@@ -555,7 +752,7 @@ func writeJSON(w http.ResponseWriter, cacheStatus string, body any) {
 	if cacheStatus != "" {
 		w.Header().Set(CacheHeader, cacheStatus)
 	}
-	enc, err := json.Marshal(body)
+	enc, err := jsonMarshal(body)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return

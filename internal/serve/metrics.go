@@ -145,7 +145,7 @@ func newServerMetrics(cfg MetricsConfig) *serverMetrics {
 	m.forward = m.auxRecorder("khist_forward_latency",
 		"cluster forward round-trip in us, all peers merged", 3)
 	for _, ep := range []string{
-		"learn", "test_l2", "test_l1", "learn2d",
+		"learn", "test_l2", "test_l1", "learn2d", "batch",
 		"stats", "cluster", "cluster_bundle", "healthz", "metrics",
 	} {
 		m.endpoints[ep] = m.newEndpoint(ep)
@@ -244,6 +244,31 @@ func (m *serverMetrics) mirrorServer(s *Server) {
 			return evb
 		}, "shard", lbl)
 	}
+	rc := s.respc
+	intCounter("khist_rcache_hits_total", "response-byte cache hits (zero-recompute serves)", func() int64 {
+		return rc.stats().Hits
+	})
+	intCounter("khist_rcache_misses_total", "response-byte cache misses", func() int64 {
+		return rc.stats().Misses
+	})
+	intGauge("khist_rcache_entries", "live response-byte cache entries", func() int64 {
+		return int64(rc.stats().Entries)
+	})
+	intGauge("khist_rcache_bytes", "accounted response-byte cache bytes", func() int64 {
+		return rc.stats().Bytes
+	})
+	intCounter("khist_rcache_hit_bytes_total", "bytes served from the response-byte cache", func() int64 {
+		return rc.stats().HitBytes
+	})
+	intCounter("khist_rcache_inserted_bytes_total", "bytes accepted into the response-byte cache", func() int64 {
+		return rc.stats().InsertedByte
+	})
+	intCounter("khist_rcache_evictions_total", "response-byte cache LRU evictions", func() int64 {
+		return rc.stats().Evictions
+	})
+	intCounter("khist_rcache_invalidations_total", "response entries dropped with their parent bundle", func() int64 {
+		return rc.stats().Invalidations
+	})
 	qs := s.quotas
 	for i, class := range quotaClassNames {
 		i := i

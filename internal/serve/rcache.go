@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// The response-byte cache: the zero-recompute layer of the serving hot
+// path. A bundle-cache hit still pays full statistic recompute plus a
+// JSON re-encode on every request; a response-cache hit returns the
+// previously encoded body bytes with no source resolution, no sample
+// tabulation, no algorithm run, and no encode — a repeated query costs
+// a map lookup and a memcpy onto the socket.
+//
+// Keys are content-addressed: (endpoint, response encoding, raw request
+// body bytes). An identical repeat query is an identical byte string,
+// and because every response is a pure function of its request (the
+// serving plane's byte-identity invariant), a content-addressed entry
+// can never be stale — invalidation exists only for memory accounting,
+// never for correctness. Each entry carries the tenant and source
+// routing keys that were decoded when it was built, so the hit path
+// skips request decoding entirely yet still pays the full admission
+// front door (tenant quota + shard gate) before a byte is written.
+//
+// Entries are partitioned by key hash into independently locked,
+// independently budgeted LRU parts (one per shard, so the lock and the
+// budget both scale with -shards). Every entry records its parent
+// tabulated bundle's cache key; when a shard's bundle cache evicts a
+// bundle, the onEvict hook drops the bundle's dependent response
+// entries from every part, keeping the response cache's contents nested
+// inside the bundle cache's lifecycle.
+
+// StatusRespHit is the X-Khist-Cache value of a response served
+// entirely from the response-byte cache: zero recompute, zero encode.
+const StatusRespHit = "rhit"
+
+// respEntry is one cached encoded response. All fields are immutable
+// after insertion; body in particular is shared read-only with writers
+// that may still be streaming it after the entry was invalidated.
+type respEntry struct {
+	key string
+	// tenant and sourceKey are the routing keys decoded from the request
+	// that built the entry — identical body bytes decode to identical
+	// keys, so the hit path admits and routes without parsing JSON.
+	tenant    string
+	sourceKey string
+	// bundleKey is the parent tabulated bundle's cache key; evicting
+	// that bundle invalidates this entry.
+	bundleKey string
+	// contentType is the negotiated response encoding.
+	contentType string
+	// body is the encoded response payload, without the trailing newline
+	// single JSON responses append on the wire (batch items embed the
+	// same bytes raw).
+	body  []byte
+	bytes int64
+}
+
+// respKey builds the content-addressed cache key. The encoding marker
+// keeps JSON and binary renderings of one query apart; the raw body
+// bytes carry the endpoint's entire parameter surface (and the request
+// encoding, since binary and JSON bodies differ bytewise).
+func respKey(endpoint string, binary bool, body []byte) string {
+	enc := "|j|"
+	if binary {
+		enc = "|b|"
+	}
+	return "resp|" + endpoint + enc + string(body)
+}
+
+// respEntryOverhead approximates the bookkeeping bytes per entry (list
+// element, map slot, header fields) on top of the key and body payloads.
+const respEntryOverhead = 160
+
+// respPart is one lock's worth of the response cache: a byte-budgeted
+// LRU plus the bundle-dependency index for its own entries.
+type respPart struct {
+	mu       sync.Mutex
+	capBytes int64
+	used     int64
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+	// deps indexes this part's entries by parent bundle key, so a bundle
+	// eviction invalidates its dependents without a scan.
+	deps map[string]map[*list.Element]struct{}
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	// Byte-flow counters, maintained under mu.
+	hitBytes         int64
+	insertedBytes    int64
+	evictions        int64
+	evictedBytes     int64
+	invalidations    int64
+	invalidatedBytes int64
+}
+
+// respCache is the partitioned response-byte cache. A nil-budget cache
+// (capBytes <= 0 per part) stays fully wired but never stores or hits,
+// which the on/off equivalence suite uses to force the recompute path.
+type respCache struct {
+	parts []*respPart
+}
+
+func newRespCache(parts int, perPartBytes int64) *respCache {
+	if parts < 1 {
+		parts = 1
+	}
+	rc := &respCache{parts: make([]*respPart, parts)}
+	for i := range rc.parts {
+		rc.parts[i] = &respPart{
+			capBytes: perPartBytes,
+			order:    list.New(),
+			entries:  make(map[string]*list.Element),
+			deps:     make(map[string]map[*list.Element]struct{}),
+		}
+	}
+	return rc
+}
+
+func (rc *respCache) part(key string) *respPart {
+	// Inlined FNV-1a (see serve.go): hash/fnv would allocate on every
+	// lookup, and this is the zero-recompute hit path.
+	return rc.parts[fnv32a(fnvOffset32, key)%uint32(len(rc.parts))]
+}
+
+// get returns the entry cached under key, bumping its recency, or nil.
+// The returned entry is immutable and remains valid (readable) even if
+// it is concurrently evicted or invalidated.
+func (rc *respCache) get(key string) *respEntry {
+	p := rc.part(key)
+	if p.capBytes <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	el, ok := p.entries[key]
+	if !ok {
+		p.mu.Unlock()
+		p.misses.Add(1)
+		return nil
+	}
+	p.order.MoveToFront(el)
+	e := el.Value.(*respEntry)
+	p.hitBytes += e.bytes
+	p.mu.Unlock()
+	p.hits.Add(1)
+	return e
+}
+
+// put inserts e under key, evicting least-recently-used entries until
+// the part's byte budget holds. Entries larger than the whole part
+// budget are not cached; re-putting an existing key refreshes it.
+func (rc *respCache) put(key string, e *respEntry) {
+	e.key = key
+	e.bytes = int64(len(key)+len(e.body)+len(e.tenant)+len(e.sourceKey)+len(e.bundleKey)+len(e.contentType)) + respEntryOverhead
+	p := rc.part(key)
+	if p.capBytes <= 0 || e.bytes > p.capBytes {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.insertedBytes += e.bytes
+	if el, ok := p.entries[key]; ok {
+		old := el.Value.(*respEntry)
+		p.used += e.bytes - old.bytes
+		p.unlinkDepLocked(old.bundleKey, el)
+		el.Value = e
+		p.linkDepLocked(e.bundleKey, el)
+		p.order.MoveToFront(el)
+	} else {
+		el := p.order.PushFront(e)
+		p.entries[key] = el
+		p.linkDepLocked(e.bundleKey, el)
+		p.used += e.bytes
+	}
+	for p.used > p.capBytes {
+		oldest := p.order.Back()
+		if oldest == nil {
+			break
+		}
+		old := oldest.Value.(*respEntry)
+		p.removeLocked(oldest, old)
+		p.evictions++
+		p.evictedBytes += old.bytes
+	}
+}
+
+// invalidateBundle drops every response entry derived from bundleKey,
+// across all parts. Called from the bundle caches' eviction hook (and
+// thus possibly under a bundle cache's lock — this path never calls
+// back into one).
+func (rc *respCache) invalidateBundle(bundleKey string) {
+	for _, p := range rc.parts {
+		if p.capBytes <= 0 {
+			continue
+		}
+		p.mu.Lock()
+		for el := range p.deps[bundleKey] {
+			e := el.Value.(*respEntry)
+			p.removeLocked(el, e)
+			p.invalidations++
+			p.invalidatedBytes += e.bytes
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *respPart) linkDepLocked(bundleKey string, el *list.Element) {
+	set, ok := p.deps[bundleKey]
+	if !ok {
+		set = make(map[*list.Element]struct{})
+		p.deps[bundleKey] = set
+	}
+	set[el] = struct{}{}
+}
+
+func (p *respPart) unlinkDepLocked(bundleKey string, el *list.Element) {
+	if set, ok := p.deps[bundleKey]; ok {
+		delete(set, el)
+		if len(set) == 0 {
+			delete(p.deps, bundleKey)
+		}
+	}
+}
+
+// removeLocked drops one entry from the LRU, the key map, and the
+// dependency index. Callers account the eviction/invalidation counters.
+func (p *respPart) removeLocked(el *list.Element, e *respEntry) {
+	p.order.Remove(el)
+	delete(p.entries, e.key)
+	p.unlinkDepLocked(e.bundleKey, el)
+	p.used -= e.bytes
+}
+
+// RespCacheStats is the response-byte cache section of /v1/stats,
+// aggregated across parts.
+type RespCacheStats struct {
+	BytesCap     int64 `json:"bytes_cap"`
+	BytesPerPart int64 `json:"bytes_per_part"`
+	Entries      int   `json:"entries"`
+	Bytes        int64 `json:"bytes"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	HitBytes     int64 `json:"hit_bytes"`
+	InsertedByte int64 `json:"inserted_bytes"`
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+	// Invalidations count entries dropped because their parent tabulated
+	// bundle was evicted from a shard's bundle cache.
+	Invalidations    int64 `json:"invalidations"`
+	InvalidatedBytes int64 `json:"invalidated_bytes"`
+}
+
+// stats aggregates the live counters across parts.
+func (rc *respCache) stats() RespCacheStats {
+	var st RespCacheStats
+	for _, p := range rc.parts {
+		st.Hits += p.hits.Load()
+		st.Misses += p.misses.Load()
+		p.mu.Lock()
+		st.Entries += len(p.entries)
+		st.Bytes += p.used
+		st.HitBytes += p.hitBytes
+		st.InsertedByte += p.insertedBytes
+		st.Evictions += p.evictions
+		st.EvictedBytes += p.evictedBytes
+		st.Invalidations += p.invalidations
+		st.InvalidatedBytes += p.invalidatedBytes
+		p.mu.Unlock()
+	}
+	return st
+}

@@ -22,7 +22,6 @@ package serve
 
 import (
 	"fmt"
-	"hash/fnv"
 	"net/http"
 	"sync"
 
@@ -69,6 +68,16 @@ type Config struct {
 	// shard's Pool.Do. Values below 1 mean
 	// DefaultQueueFactor * WorkersPerShard.
 	MaxQueuePerShard int
+	// ResponseCacheBytes is the response-byte cache budget (see
+	// rcache.go), split evenly across Shards parts (rounded up).
+	// Non-positive disables the cache: every request recomputes, which
+	// is also how the on/off equivalence suite forces the slow path.
+	// Responses are byte-identical either way; only the X-Khist-Cache
+	// header ("rhit") and the latency reveal the setting.
+	ResponseCacheBytes int64
+	// MaxBatchItems bounds the sub-queries one /v1/batch envelope may
+	// carry. Values below 1 mean DefaultMaxBatchItems.
+	MaxBatchItems int
 	// Quotas is the per-tenant admission policy (rate + concurrency).
 	// The zero value admits everything. Quotas decide whether a request
 	// is admitted, never what an admitted request returns: response
@@ -98,6 +107,10 @@ const (
 	// DefaultQueueFactor * WorkersPerShard requests may be in flight on
 	// a shard before load shedding starts.
 	DefaultQueueFactor = 8
+	// DefaultResponseCacheBytes is khist-server's default response-byte
+	// cache budget. Encoded bodies are small (KBs), so 64 MiB holds tens
+	// of thousands of distinct hot queries.
+	DefaultResponseCacheBytes = 64 << 20
 )
 
 // Server is the serving layer: construct with New, mount Handler, Close
@@ -110,6 +123,15 @@ type Server struct {
 	// perShardCache is the effective per-shard cache cap after the
 	// rounded-up split, surfaced in /v1/stats.
 	perShardCache int64
+	// respc is the response-byte cache (never nil; zero-budget parts
+	// never store or hit). perPartRespCache is its per-part cap.
+	respc            *respCache
+	perPartRespCache int64
+	// plans caches decoded /v1/batch envelopes (see batch.go): a repeated
+	// identical envelope skips JSON decoding entirely. Budgeted at a
+	// quarter of ResponseCacheBytes on top of it, and disabled with it —
+	// plans only pay off when the response cache makes repeats cheap.
+	plans *cache
 
 	// Cluster tier (nil ring = standalone): the consistent-hash ring
 	// over peer processes, the forwarding client, and its counters.
@@ -146,6 +168,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxQueuePerShard < 1 {
 		cfg.MaxQueuePerShard = DefaultQueueFactor * cfg.WorkersPerShard
 	}
+	if cfg.MaxBatchItems < 1 {
+		cfg.MaxBatchItems = DefaultMaxBatchItems
+	}
 	// Split the budget rounding up: a floor division would turn any
 	// positive budget below the shard count into a per-shard cap of 0 —
 	// caching silently disabled on every shard.
@@ -153,14 +178,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheBytes > 0 {
 		perShard = (cfg.CacheBytes + int64(cfg.Shards) - 1) / int64(cfg.Shards)
 	}
+	var perPartResp int64
+	if cfg.ResponseCacheBytes > 0 {
+		perPartResp = (cfg.ResponseCacheBytes + int64(cfg.Shards) - 1) / int64(cfg.Shards)
+	}
 	s := &Server{
-		cfg:           cfg,
-		sources:       newRegistry(),
-		quotas:        newQuotas(cfg.Quotas),
-		perShardCache: perShard,
+		cfg:              cfg,
+		sources:          newRegistry(),
+		quotas:           newQuotas(cfg.Quotas),
+		perShardCache:    perShard,
+		respc:            newRespCache(cfg.Shards, perPartResp),
+		perPartRespCache: perPartResp,
+		plans:            newCache(cfg.ResponseCacheBytes / 4),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, newShard(cfg.WorkersPerShard, perShard, cfg.MaxQueuePerShard))
+		sh := newShard(cfg.WorkersPerShard, perShard, cfg.MaxQueuePerShard)
+		// Nest the response cache inside the bundle cache's lifecycle:
+		// evicting a tabulated bundle drops the response bodies derived
+		// from it (see cache.onEvict; set before any traffic exists).
+		sh.cache.onEvict = s.respc.invalidateBundle
+		s.shards = append(s.shards, sh)
 	}
 	if !cfg.Metrics.Disabled {
 		s.metrics = newServerMetrics(cfg.Metrics)
@@ -236,12 +273,29 @@ func (s *Server) resolveSource2D(spec Source2DSpec) (*grid.Grid, error) {
 // requests from one tenant against one source land on one shard, so
 // they share its cache and are bounded by its pool; the shard count
 // never influences response bodies, only which pool computes them.
+// The hash is inlined rather than built on hash/fnv because New32a
+// escapes to the heap — an allocation per request the zero-recompute
+// hit path cannot afford — and must keep producing the same values
+// (tenant, 0x00, sourceKey under FNV-1a): shard placement is part of
+// the cache-locality contract.
 func (s *Server) shardFor(tenant, sourceKey string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(tenant))
-	h.Write([]byte{0})
-	h.Write([]byte(sourceKey))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	h := fnv32a(fnvOffset32, tenant)
+	h *= fnvPrime32 // the 0x00 separator: XOR with zero is the identity
+	h = fnv32a(h, sourceKey)
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// FNV-1a (32-bit) constants and core loop, allocation-free.
+const (
+	fnvOffset32 uint32 = 2166136261
+	fnvPrime32  uint32 = 16777619
+)
+
+func fnv32a(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime32
+	}
+	return h
 }
 
 // admit is the front door every algorithm request passes before any
@@ -257,19 +311,30 @@ func (s *Server) shardFor(tenant, sourceKey string) *shard {
 // the rate token it briefly held is refunded — shard saturation never
 // drains tenants' rate budgets.
 func (s *Server) admit(w http.ResponseWriter, tenant, sourceKey string) (sh *shard, release func(), ok bool) {
+	sh, release, retry, err := s.admitKeys(tenant, sourceKey)
+	if err != nil {
+		writeShed(w, retry, err)
+		return nil, nil, false
+	}
+	return sh, release, true
+}
+
+// admitKeys is admit without the HTTP surface: the batch endpoint (and
+// anything else that reports shedding per item rather than per request)
+// calls it directly. On shedding it returns the Retry-After hint and
+// the reason; on success the caller must call release exactly once.
+func (s *Server) admitKeys(tenant, sourceKey string) (sh *shard, release func(), retryAfter int, err error) {
 	sh = s.shardFor(tenant, sourceKey)
 	g, retry, reason, ok := s.quotas.admit(tenant)
 	if !ok {
-		writeShed(w, retry, fmt.Errorf("serve: %s", reason))
-		return nil, nil, false
+		return nil, nil, retry, fmt.Errorf("serve: %s", reason)
 	}
 	if !sh.acquire() {
 		g.cancel()
-		writeShed(w, 1, fmt.Errorf("serve: shard queue full (limit %d requests in flight)", sh.admitLimit))
-		return nil, nil, false
+		return nil, nil, 1, fmt.Errorf("serve: shard queue full (limit %d requests in flight)", sh.admitLimit)
 	}
 	sh.requests.Add(1)
-	return sh, func() { sh.release(); g.release() }, true
+	return sh, func() { sh.release(); g.release() }, 0, nil
 }
 
 // Handler returns the HTTP API:
@@ -278,6 +343,7 @@ func (s *Server) admit(w http.ResponseWriter, tenant, sourceKey string) (sh *sha
 //	POST /v1/test/l2        — tiling k-histogram tester, l2 (Theorem 3)
 //	POST /v1/test/l1        — tiling k-histogram tester, l1 (Theorem 4)
 //	POST /v1/learn2d        — rectangle-histogram learner over grids
+//	POST /v1/batch          — many sub-queries per round trip (batch.go)
 //	GET  /v1/stats          — per-shard traffic and cache counters
 //	GET  /v1/cluster        — ring membership and forwarding counters
 //	POST /v1/cluster/bundle — encoded sample-set bundles for peer warming
@@ -290,10 +356,11 @@ func (s *Server) admit(w http.ResponseWriter, tenant, sourceKey string) (sh *sha
 // instrumentation when it is enabled.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/learn", s.instrumented("learn", s.handleLearn))
-	mux.HandleFunc("POST /v1/test/l2", s.instrumented("test_l2", s.handleTest("l2")))
-	mux.HandleFunc("POST /v1/test/l1", s.instrumented("test_l1", s.handleTest("l1")))
-	mux.HandleFunc("POST /v1/learn2d", s.instrumented("learn2d", s.handleLearn2D))
+	mux.HandleFunc("POST /v1/learn", s.instrumented(epLearn, s.handleAlgo(epLearn, decodeLearn)))
+	mux.HandleFunc("POST /v1/test/l2", s.instrumented(epTestL2, s.handleAlgo(epTestL2, algoEndpoints[epTestL2])))
+	mux.HandleFunc("POST /v1/test/l1", s.instrumented(epTestL1, s.handleAlgo(epTestL1, algoEndpoints[epTestL1])))
+	mux.HandleFunc("POST /v1/learn2d", s.instrumented(epLearn2D, s.handleAlgo(epLearn2D, decodeLearn2D)))
+	mux.HandleFunc("POST /v1/batch", s.instrumented("batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/stats", s.instrumented("stats", s.handleStats))
 	mux.HandleFunc("GET /v1/cluster", s.instrumented("cluster", s.handleCluster))
 	if s.ring != nil {
