@@ -17,7 +17,10 @@
 // summary the serving layer's metrics plane produced with the repo's
 // v-optimal learner — next to the measured rps, so the server's
 // self-measurement can be compared against the external measurement in
-// one place. The snapshot is also embedded in the JSON report.
+// one place. The snapshot is also embedded in the JSON report. Adding
+// -traces N prints the N slowest server-side traces the tracing plane
+// retained (/v1/trace), spans inline, so tail latency can be read
+// layer by layer right where the rps numbers are.
 //
 // Collect with -benchmem to also record bytes/op and allocs/op per row
 // (`... 1234 ns/op 56 B/op 7 allocs/op` lines), so allocation
@@ -42,11 +45,13 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"khist/internal/obs"
+	"khist/internal/obs/trace"
 )
 
 // Result is one benchmark measurement.
@@ -103,6 +108,7 @@ func main() {
 		in     = flag.String("in", "", "benchmark output file (default: stdin)")
 		out    = flag.String("out", "", "JSON report file (default: stdout)")
 		server = flag.String("server", "", "base URL of a live khist-server; its self-reported learned latency histogram (/v1/stats) is printed next to the measured rps and embedded in the report")
+		traces = flag.Int("traces", 0, "with -server: also fetch the server's retained traces (/v1/trace) and print the N slowest, spans inline")
 	)
 	flag.Parse()
 
@@ -129,6 +135,13 @@ func main() {
 		}
 		report.ServerLatency = snap
 		printServerLatency(os.Stderr, snap, report.Results)
+		if *traces > 0 {
+			if err := printSlowTraces(os.Stderr, *server, *traces); err != nil {
+				fatal(err)
+			}
+		}
+	} else if *traces > 0 {
+		fatal(fmt.Errorf("-traces needs -server"))
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -270,6 +283,52 @@ func printServerLatency(w io.Writer, snap *obs.LatencySnapshot, results []Result
 		bar := strings.Repeat("#", int(p.Mass*40+0.5))
 		fmt.Fprintf(w, "  [%10dus, %10dus) %6.1f%% %s\n", p.LoUS, p.HiUS, p.Mass*100, bar)
 	}
+}
+
+// printSlowTraces fetches the server's retained traces and prints the n
+// slowest, each with its spans inline — the server-side view of where
+// the benchmark's tail latency actually went.
+func printSlowTraces(w io.Writer, base string, n int) error {
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(strings.TrimRight(base, "/") + "/v1/trace?limit=1000")
+	if err != nil {
+		return fmt.Errorf("fetching %s/v1/trace: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/v1/trace: status %d", base, resp.StatusCode)
+	}
+	var list struct {
+		Enabled bool           `json:"enabled"`
+		Traces  []*trace.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return fmt.Errorf("decoding %s/v1/trace: %w", base, err)
+	}
+	if !list.Enabled {
+		fmt.Fprintln(w, "traces    tracing disabled on the server (-no-trace)")
+		return nil
+	}
+	sort.Slice(list.Traces, func(i, j int) bool { return list.Traces[i].DurUS > list.Traces[j].DurUS })
+	if len(list.Traces) > n {
+		list.Traces = list.Traces[:n]
+	}
+	fmt.Fprintf(w, "traces    %d slowest retained server-side traces:\n", len(list.Traces))
+	for _, tr := range list.Traces {
+		fmt.Fprintf(w, "  %s %-8s status=%d kept=%s %8dus\n", tr.ID, tr.Endpoint, tr.Status, tr.Retained, tr.DurUS)
+		for _, sp := range tr.Spans {
+			loc := ""
+			if sp.Node != "" {
+				loc = " @" + sp.Node
+			}
+			note := ""
+			if sp.Note != "" {
+				note = " (" + sp.Note + ")"
+			}
+			fmt.Fprintf(w, "    %+8dus %8dus %s%s%s\n", sp.StartUS, sp.DurUS, sp.Name, note, loc)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

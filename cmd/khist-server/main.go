@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,6 +61,10 @@ func main() {
 		noMetrics    = flag.Bool("no-metrics", false, "disable the metrics plane entirely (no /metrics endpoint, no latency learning)")
 		metricsWin   = flag.Duration("metrics-window", serve.DefaultMetricsWindow, "snapshot period of the metrics plane: how often request latency is re-learned into a k-histogram")
 		metricsK     = flag.Int("metrics-k", serve.DefaultMetricsK, "piece budget of the learned latency histogram on /metrics and /v1/stats")
+		noTrace      = flag.Bool("no-trace", false, "disable the tracing plane entirely (no /v1/trace, no per-request spans)")
+		traceSample  = flag.Int("trace-sample", serve.DefaultTraceSampleN, "head-sample 1 in N traces (errors and slower-than-p99 requests are always kept); 1 keeps every trace")
+		traceBuffer  = flag.Int("trace-buffer", serve.DefaultTraceBuffer, "retained traces across the /v1/trace ring buffers")
+		debugAddr    = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables); also mirrors /v1/trace")
 	)
 	flag.Parse()
 
@@ -90,6 +95,7 @@ func main() {
 		Quotas:             quotas,
 		Cluster:            serve.ClusterConfig{Self: *self, Peers: peerList},
 		Metrics:            serve.MetricsConfig{Disabled: *noMetrics, Window: *metricsWin, K: *metricsK},
+		Trace:              serve.TraceConfig{Disabled: *noTrace, SampleN: *traceSample, Buffer: *traceBuffer},
 	})
 	if err != nil {
 		cli.Fatal("khist-server", err)
@@ -106,6 +112,29 @@ func main() {
 		fmt.Printf("khist-server: cluster of %d nodes, self=%s\n", len(peerList), *self)
 	}
 
+	// The debug listener is deliberately separate from the serving
+	// listener: pprof profiling (and a mirror of /v1/trace) binds to its
+	// own — typically loopback-only — address, so profiling power is never
+	// exposed on the public API port.
+	var dhs *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/v1/trace", srv.Handler())
+		dmux.Handle("/v1/trace/", srv.Handler())
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			cli.Fatal("khist-server", err)
+		}
+		fmt.Printf("khist-server: debug (pprof) listening on %s\n", dln.Addr())
+		dhs = &http.Server{Handler: dmux}
+		go dhs.Serve(dln)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -118,6 +147,9 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "khist-server: drain incomplete:", err)
+		}
+		if dhs != nil {
+			dhs.Close()
 		}
 		srv.Close()
 	case err := <-errc:

@@ -26,6 +26,15 @@ const (
 	// (comma-separated), so the receiver can verify it owns the key on
 	// the same reduced ring the sender routed against.
 	ExcludedHeader = "X-Khist-Excluded"
+	// TraceHeader carries the forwarder's trace id (16 hex digits) on a
+	// forwarded request, so the owner's spans join the same trace. On the
+	// owner's response it echoes the id back.
+	TraceHeader = "X-Khist-Trace"
+	// SpanHeader is the owner's compact span summary on a forwarded
+	// response (trace.EncodeWire format); the forwarder parses and
+	// stitches it into its own trace with node attribution. It is an
+	// intra-cluster wire detail: relays never expose it to clients.
+	SpanHeader = "X-Khist-Span"
 )
 
 // BundlePath is the intra-cluster endpoint serving encoded sample-set
@@ -106,7 +115,9 @@ func (c *Client) Self() string { return c.self }
 // verify ownership and never re-forward. contentType and accept are
 // relayed verbatim (empty means unset), so content negotiation — the
 // binary application/x-khist-bin encoding included — survives the hop.
-func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType, accept string, body []byte) (*Response, error) {
+// traceID, when non-empty, rides TraceHeader so the owner's spans stitch
+// into the forwarder's trace; empty sends no trace context.
+func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType, accept, traceID string, body []byte) (*Response, error) {
 	excluded := make(map[string]bool)
 	var lastErr error
 	for {
@@ -120,7 +131,7 @@ func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType
 			}
 			return nil, fmt.Errorf("cluster: no reachable peer owns the key (%d excluded): %w", len(excluded), lastErr)
 		}
-		resp, err := c.post(ctx, owner, path, contentType, accept, body, excluded)
+		resp, err := c.post(ctx, owner, path, contentType, accept, traceID, body, excluded)
 		if err != nil {
 			excluded[owner] = true
 			lastErr = err
@@ -148,7 +159,7 @@ func (c *Client) Forward(ctx context.Context, ring *Ring, key, path, contentType
 }
 
 // post sends one forwarded request to node and buffers its answer.
-func (c *Client) post(ctx context.Context, node, path, contentType, accept string, body []byte, excluded map[string]bool) (*Response, error) {
+func (c *Client) post(ctx context.Context, node, path, contentType, accept, traceID string, body []byte, excluded map[string]bool) (*Response, error) {
 	var t0 time.Time
 	if c.hooks.ForwardDone != nil {
 		t0 = time.Now()
@@ -164,6 +175,9 @@ func (c *Client) post(ctx context.Context, node, path, contentType, accept strin
 		req.Header.Set("Accept", accept)
 	}
 	req.Header.Set(ForwardedHeader, c.self)
+	if traceID != "" {
+		req.Header.Set(TraceHeader, traceID)
+	}
 	if len(excluded) > 0 {
 		req.Header.Set(ExcludedHeader, FormatExcluded(excluded))
 	}

@@ -45,7 +45,7 @@ func TestForwardCarriesHopGuard(t *testing.T) {
 	if key == "" {
 		t.Fatal("no key owned by the peer in 1000 tries")
 	}
-	resp, err := c.Forward(context.Background(), ring, key, "/v1/learn", "application/json", "", []byte(`{}`))
+	resp, err := c.Forward(context.Background(), ring, key, "/v1/learn", "application/json", "", "0123456789abcdef", []byte(`{}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,6 +57,9 @@ func TestForwardCarriesHopGuard(t *testing.T) {
 	}
 	if got := seen.Get(ExcludedHeader); got != "" {
 		t.Fatalf("clean forward carried exclusions: %q", got)
+	}
+	if got := seen.Get(TraceHeader); got != "0123456789abcdef" {
+		t.Fatalf("peer saw %s = %q, want the forwarder's trace id", TraceHeader, got)
 	}
 	if got := seen.Get("Content-Type"); got != "application/json" {
 		t.Fatalf("content type not relayed: %q", got)
@@ -92,7 +95,7 @@ func TestForwardExcludesDeadPeerAndRetries(t *testing.T) {
 	if key == "" {
 		t.Fatal("no key owned by the dead peer")
 	}
-	resp, err := c.Forward(context.Background(), ring, key, "/p", "", "", nil)
+	resp, err := c.Forward(context.Background(), ring, key, "/p", "", "", "", nil)
 	// The substitute may be the live peer or self; only the live-peer
 	// case yields a response.
 	sub, _ := ring.OwnerExcluding(key, map[string]bool{deadURL: true})
@@ -122,7 +125,7 @@ func TestForwardSelfOwnedKeyErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewClient("http://self", nil)
-	if _, err := c.Forward(context.Background(), ring, "any", "/p", "", "", nil); err == nil {
+	if _, err := c.Forward(context.Background(), ring, "any", "/p", "", "", "", nil); err == nil {
 		t.Fatal("forward of a self-owned key did not error")
 	}
 }
@@ -149,7 +152,7 @@ func TestForwardAllPeersDown(t *testing.T) {
 	if key == "" {
 		t.Fatal("no key owned by the dead peer")
 	}
-	if _, err := c.Forward(context.Background(), ring, key, "/p", "", "", nil); err == nil {
+	if _, err := c.Forward(context.Background(), ring, key, "/p", "", "", "", nil); err == nil {
 		t.Fatal("forward with every peer down did not error")
 	}
 }
@@ -186,7 +189,7 @@ func TestForwardRespectsContext(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewClient("http://self", nil)
-	if _, err := c.Forward(ctx, ring, "k", "/p", "", "", nil); err == nil {
+	if _, err := c.Forward(ctx, ring, "k", "/p", "", "", "", nil); err == nil {
 		t.Fatal("cancelled forward did not error")
 	}
 }
@@ -216,7 +219,7 @@ func TestForwardFailsOverOnMisrouted421(t *testing.T) {
 	if key == "" {
 		t.Fatal("no key owned by the confused peer")
 	}
-	_, err = c.Forward(context.Background(), ring, key, "/p", "", "", nil)
+	_, err = c.Forward(context.Background(), ring, key, "/p", "", "", "", nil)
 	if err == nil || !strings.Contains(err.Error(), "misrouted") {
 		t.Fatalf("Forward = %v, want a misrouted failover error (caller then serves locally)", err)
 	}

@@ -127,7 +127,31 @@ type Recorder struct {
 	snapRng   *rand.Rand
 	snap      atomic.Pointer[LatencySnapshot]
 	snapshots atomic.Int64
+
+	// exemplar is the most recent retained trace attributed to this
+	// population (SetExemplar), linking the aggregate series to one
+	// concrete request on /metrics.
+	exemplar atomic.Pointer[Exemplar]
 }
+
+// Exemplar ties a latency series to one retained trace id.
+type Exemplar struct {
+	TraceID string
+	US      int64
+}
+
+// SetExemplar records the most recent retained trace observed in this
+// recorder's population; it renders as a `<name>_exemplar` companion
+// series on /metrics. Safe for concurrent use; last writer wins.
+func (r *Recorder) SetExemplar(traceID string, us int64) {
+	if traceID == "" {
+		return
+	}
+	r.exemplar.Store(&Exemplar{TraceID: traceID, US: us})
+}
+
+// LastExemplar returns the current exemplar, or nil.
+func (r *Recorder) LastExemplar() *Exemplar { return r.exemplar.Load() }
 
 // NewRecorder builds an unregistered recorder; most callers use
 // Registry.Recorder instead.
@@ -370,6 +394,10 @@ func (r *Recorder) writePrometheus(b *strings.Builder) {
 	fmt.Fprintf(b, "# HELP %s_count %s (observations)\n# TYPE %s_count counter\n%s_count %d\n", n, r.help, n, n, r.Count())
 	fmt.Fprintf(b, "# TYPE %s_sum_us counter\n%s_sum_us %d\n", n, n, r.SumUS())
 	fmt.Fprintf(b, "# TYPE %s_max_us gauge\n%s_max_us %d\n", n, n, r.MaxUS())
+	if ex := r.exemplar.Load(); ex != nil {
+		fmt.Fprintf(b, "# HELP %s_exemplar latency of the most recent retained trace in this population (id links to /v1/trace/{id})\n", n)
+		fmt.Fprintf(b, "# TYPE %s_exemplar gauge\n%s_exemplar{trace_id=%q} %d\n", n, n, ex.TraceID, ex.US)
+	}
 	snap := r.Latest()
 	if snap == nil {
 		return

@@ -138,6 +138,39 @@ func (p *Pool) Do(fn func()) {
 	}
 }
 
+// DoTimed is Do with the queue wait returned to the caller: the time fn
+// spent waiting for a worker before it started executing. Unlike Do it
+// always takes timestamps, so callers that don't need the wait should
+// keep using Do. The OnWait observer (if any) still fires, so pool-wide
+// queue-wait metrics see DoTimed submissions too.
+func (p *Pool) DoTimed(fn func()) time.Duration {
+	obs := p.waitObs.Load()
+	t0 := time.Now()
+	var wait time.Duration
+	p.pending.Add(1)
+	done := make(chan struct{})
+	select {
+	case p.tasks <- func() {
+		p.pending.Add(-1)
+		wait = time.Since(t0)
+		if obs != nil {
+			(*obs)(wait)
+		}
+		defer close(done)
+		fn()
+	}:
+		<-done
+	case <-p.quit:
+		p.pending.Add(-1)
+		wait = time.Since(t0)
+		if obs != nil {
+			(*obs)(wait)
+		}
+		fn()
+	}
+	return wait
+}
+
 // ForWorker is the pool-backed form of the package-level ForWorker:
 // fn(worker, i) runs for every i in [0, n), striped across at most
 // workers concurrent stripes executed via Go. Results are identical to

@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"khist/internal/cluster"
+	"khist/internal/obs/trace"
 )
 
 // POST /v1/batch: many algorithm sub-queries per HTTP round trip. The
@@ -156,12 +158,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer done()
+	act := activeOf(w)
+	ctx := r.Context()
+	if act != nil {
+		ctx = trace.NewContext(ctx, act)
+	}
+	var t0 time.Time
+	if act != nil {
+		t0 = time.Now()
+	}
 	var plan []*batchPlanItem
 	var planKey string
+	planStatus := StatusMiss
 	if s.plans.capBytes > 0 {
 		planKey = "plan|" + string(body)
 		if v, ok := s.plans.get(planKey); ok {
 			plan = v.([]*batchPlanItem)
+			planStatus = StatusHit
 		}
 	}
 	if plan == nil {
@@ -182,6 +195,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if planKey != "" {
 			s.plans.put(planKey, plan, planBytes(plan, len(planKey)))
 		}
+	}
+	if act != nil {
+		act.Add(trace.SpanPlan, t0, time.Since(t0), planStatus)
 	}
 
 	results := make([]BatchItemResult, len(plan))
@@ -237,7 +253,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(idxs []int) {
 				defer wg.Done()
-				if retry := s.forwardBatch(r.Context(), idxs, plan, results); len(retry) > 0 {
+				if retry := s.forwardBatch(ctx, idxs, plan, results); len(retry) > 0 {
 					mu.Lock()
 					local = append(local, retry...)
 					mu.Unlock()
@@ -256,7 +272,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// The common hot case (one tenant, one source) needs no fan-out.
 		for _, idxs := range shardGroups {
 			for _, i := range idxs {
-				results[i] = s.execBatchItem(r.Context(), plan[i])
+				results[i] = s.execBatchItem(ctx, plan[i])
 			}
 		}
 	} else {
@@ -266,11 +282,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			go func(idxs []int) {
 				defer lwg.Done()
 				for _, i := range idxs {
-					results[i] = s.execBatchItem(r.Context(), plan[i])
+					results[i] = s.execBatchItem(ctx, plan[i])
 				}
 			}(idxs)
 		}
 		lwg.Wait()
+	}
+	if s.metrics != nil {
+		// Per-item outcome counters: the envelope's own 200 hides item-level
+		// sheds and errors from the endpoint status counters, so the items
+		// get their own family (khist_batch_item_results_total).
+		for i := range results {
+			s.metrics.batchItemDone(plan[i].op, results[i].Status)
+		}
 	}
 	writeBatchResponse(w, results)
 }
@@ -336,10 +360,26 @@ func (s *Server) forwardBatch(ctx context.Context, idxs []int, plan []*batchPlan
 		return nil
 	}
 	defer sh.release()
-	resp, err := s.peers.Forward(ctx, s.ring, routingKey(rep.tenant, rep.sourceKey), "/v1/batch", jsonContentType, "", body)
+	act := trace.FromContext(ctx)
+	var traceID string
+	var t0 time.Time
+	if act != nil {
+		traceID = trace.FormatID(act.TraceID())
+		t0 = time.Now()
+	}
+	resp, err := s.peers.Forward(ctx, s.ring, routingKey(rep.tenant, rep.sourceKey), "/v1/batch", jsonContentType, "", traceID, body)
 	if err != nil {
+		if act != nil {
+			act.Add(trace.SpanForward, t0, time.Since(t0), "fallback_local")
+		}
 		s.cluster.fallbackLocal.Add(int64(len(idxs)))
 		return idxs
+	}
+	if act != nil {
+		act.Add(trace.SpanForward, t0, time.Since(t0), resp.Node)
+		if spans := resp.Header.Get(cluster.SpanHeader); spans != "" {
+			act.AddRemote(resp.Node, t0, trace.ParseWire(spans))
+		}
 	}
 	var sresp BatchResponse
 	if resp.Status != http.StatusOK || json.Unmarshal(resp.Body, &sresp) != nil || len(sresp.Items) != len(idxs) {

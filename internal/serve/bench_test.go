@@ -52,6 +52,11 @@ func (w *nullResponseWriter) Write(p []byte) (int, error) {
 //	                (instrumented handlers, recorders, background
 //	                learner): its rps over mode=cached is the whole
 //	                observability tax
+//	mode=trace      the cached path with the tracing plane enabled
+//	                (metrics off, so the delta over mode=cached is the
+//	                tracing tax alone: span collection on every request,
+//	                tail-based retention at request end); CI gates it at
+//	                within 5% of mode=cached
 //	mode=coalesced  16 concurrent clients per op share one fresh key
 //	mode=quota      cached path with per-tenant quotas enabled: the
 //	                admission layer's overhead on the hot path
@@ -95,7 +100,7 @@ func BenchmarkServe(b *testing.B) {
 	}
 
 	b.Run("mode=cold", func(b *testing.B) {
-		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0})
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0, Trace: TraceConfig{Disabled: true}})
 		defer s.Close()
 		h := s.Handler()
 		b.ResetTimer()
@@ -108,7 +113,7 @@ func BenchmarkServe(b *testing.B) {
 
 	b.Run("mode=cached", func(b *testing.B) {
 		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
-			Metrics: MetricsConfig{Disabled: true}})
+			Metrics: MetricsConfig{Disabled: true}, Trace: TraceConfig{Disabled: true}})
 		defer s.Close()
 		h := s.Handler()
 		body := mkBody(1)
@@ -124,7 +129,7 @@ func BenchmarkServe(b *testing.B) {
 	})
 
 	b.Run("mode=metrics", func(b *testing.B) {
-		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20})
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20, Trace: TraceConfig{Disabled: true}})
 		defer s.Close()
 		h := s.Handler()
 		body := mkBody(1)
@@ -144,12 +149,37 @@ func BenchmarkServe(b *testing.B) {
 		}
 	})
 
+	b.Run("mode=trace", func(b *testing.B) {
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+			Metrics: MetricsConfig{Disabled: true}})
+		defer s.Close()
+		h := s.Handler()
+		body := mkBody(1)
+		if code := learnPost(h, body); code != 200 { // warm the key
+			b.Fatalf("warmup code %d", code)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := learnPost(h, body); code != 200 {
+				b.Fatalf("code %d", code)
+			}
+		}
+		b.StopTimer()
+		// The plane must actually have been tracing: every op started a
+		// collector (retention is tail-based, so only a sampled/slow/error
+		// subset is kept, but Started counts them all).
+		if got := s.tracer.StatsSnapshot().Started; got < int64(b.N) {
+			b.Fatalf("tracer started %d traces, want >= %d", got, b.N)
+		}
+	})
+
 	b.Run("mode=quota", func(b *testing.B) {
 		s := mustNew(b, Config{
 			Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
 			Quotas: QuotaConfig{
 				Default: TenantQuota{RPS: 1e12, Burst: 1e12, MaxInFlight: 1 << 20},
 			},
+			Trace: TraceConfig{Disabled: true},
 		})
 		defer s.Close()
 		h := s.Handler()
@@ -179,7 +209,7 @@ func BenchmarkServe(b *testing.B) {
 		var servers []*Server
 		for i := 0; i < 2; i++ {
 			s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
-				Cluster: ClusterConfig{Self: urls[i], Peers: urls}})
+				Cluster: ClusterConfig{Self: urls[i], Peers: urls}, Trace: TraceConfig{Disabled: true}})
 			defer s.Close()
 			handlers[i].Store(s.Handler())
 			servers = append(servers, s)
@@ -216,7 +246,8 @@ func BenchmarkServe(b *testing.B) {
 
 	b.Run("mode=rcache", func(b *testing.B) {
 		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
-			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true}})
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true},
+			Trace: TraceConfig{Disabled: true}})
 		defer s.Close()
 		h := s.Handler()
 		body := mkBody(1)
@@ -246,7 +277,8 @@ func BenchmarkServe(b *testing.B) {
 
 	b.Run("mode=single", func(b *testing.B) {
 		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
-			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true}})
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true},
+			Trace: TraceConfig{Disabled: true}})
 		defer s.Close()
 		h := s.Handler()
 		body := mkBody(1)
@@ -264,7 +296,8 @@ func BenchmarkServe(b *testing.B) {
 
 	b.Run("mode=batch/items=64", func(b *testing.B) {
 		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
-			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true}})
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true},
+			Trace: TraceConfig{Disabled: true}})
 		defer s.Close()
 		h := s.Handler()
 		const items = 64
@@ -298,7 +331,8 @@ func BenchmarkServe(b *testing.B) {
 
 	b.Run("mode=binary", func(b *testing.B) {
 		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
-			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true}})
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true},
+			Trace: TraceConfig{Disabled: true}})
 		defer s.Close()
 		h := s.Handler()
 		var lr LearnRequest
@@ -332,7 +366,7 @@ func BenchmarkServe(b *testing.B) {
 	b.Run("mode=coalesced", func(b *testing.B) {
 		// MaxQueuePerShard stays above the client count so the admission
 		// gate never sheds: the mode measures coalescing, not shedding.
-		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0, MaxQueuePerShard: 64})
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 0, MaxQueuePerShard: 64, Trace: TraceConfig{Disabled: true}})
 		defer s.Close()
 		h := s.Handler()
 		const clients = 16

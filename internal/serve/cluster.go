@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"khist/internal/cluster"
 	"khist/internal/dist"
+	"khist/internal/obs/trace"
 )
 
 // The cluster tier scales the serving layer across processes. Shard
@@ -165,14 +167,34 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request, tenant, sourceKey
 		return true
 	}
 	defer sh.release()
-	resp, err := s.peers.Forward(r.Context(), s.ring, key, r.URL.Path, r.Header.Get("Content-Type"), r.Header.Get("Accept"), body)
+	act := activeOf(w)
+	var traceID string
+	var t0 time.Time
+	if act != nil {
+		// Propagate this request's trace id so the owner's spans join the
+		// same trace; the forward round trip itself becomes a span, with
+		// the owner's span summary (echoed in the response headers)
+		// stitched in on success.
+		traceID = trace.FormatID(act.TraceID())
+		t0 = time.Now()
+	}
+	resp, err := s.peers.Forward(r.Context(), s.ring, key, r.URL.Path, r.Header.Get("Content-Type"), r.Header.Get("Accept"), traceID, body)
 	if err != nil {
 		// Every remote candidate failed (or exclusion walked ownership
 		// back to this node): serve locally rather than failing the
 		// request. Ownership guarantees degrade for this key until the
 		// peers return; the counter makes the degradation visible.
+		if act != nil {
+			act.Add(trace.SpanForward, t0, time.Since(t0), "fallback_local")
+		}
 		s.cluster.fallbackLocal.Add(1)
 		return false
+	}
+	if act != nil {
+		act.Add(trace.SpanForward, t0, time.Since(t0), resp.Node)
+		if spans := resp.Header.Get(cluster.SpanHeader); spans != "" {
+			act.AddRemote(resp.Node, t0, trace.ParseWire(spans))
+		}
 	}
 	s.cluster.forwarded.Add(1)
 	s.cluster.forwardRetries.Add(int64(resp.Retries))

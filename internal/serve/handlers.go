@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"khist/internal/collision"
 	"khist/internal/dist"
@@ -17,6 +18,7 @@ import (
 	"khist/internal/histtest"
 	"khist/internal/learn"
 	"khist/internal/obs"
+	"khist/internal/obs/trace"
 	"khist/internal/par"
 )
 
@@ -217,7 +219,7 @@ func decodeLearn(s *Server, body []byte, bin bool) (*prepared, error) {
 			sets := bundle.([]*dist.Empirical)
 
 			var res *learn.Result
-			if rerr := sh.run(func() {
+			if rerr := sh.runTraced(ctx, func() {
 				res, err = learn.FromTabulated(d.N(), sets[0], sets[1:], opts, !req.Full)
 			}); rerr != nil {
 				return nil, key, status, http.StatusInternalServerError, rerr
@@ -296,7 +298,7 @@ func decodeTestNorm(norm string) decodeFunc {
 				sets := bundle.([]*dist.Empirical)
 
 				var res *histtest.Result
-				if rerr := sh.run(func() {
+				if rerr := sh.runTraced(ctx, func() {
 					if norm == "l2" {
 						res, err = histtest.TestTilingL2FromSets(sets, d.N(), opts)
 					} else {
@@ -382,7 +384,7 @@ func decodeLearn2D(s *Server, body []byte, bin bool) (*prepared, error) {
 			emp := bundle.(*grid.Empirical2D)
 
 			var res *grid.Result2D
-			if rerr := sh.run(func() {
+			if rerr := sh.runTraced(ctx, func() {
 				res, err = grid.Greedy2DFromTabulated(emp, opts)
 			}); rerr != nil {
 				return nil, key, status, http.StatusInternalServerError, rerr
@@ -422,10 +424,23 @@ func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
 			return
 		}
 		defer done()
+		act := activeOf(w)
 		binReq := r.Header.Get("Content-Type") == BinaryContentType
 		binResp := wantsBinary(r, binReq)
 		rkey := respKey(ep, binResp, body)
-		if e := s.respc.get(rkey); e != nil {
+		var t0 time.Time
+		if act != nil {
+			t0 = time.Now()
+		}
+		e := s.respc.get(rkey)
+		if act != nil {
+			note := StatusMiss
+			if e != nil {
+				note = StatusRespHit
+			}
+			act.Add(trace.SpanRCache, t0, time.Since(t0), note)
+		}
+		if e != nil {
 			// The entry's routing keys were decoded from these exact body
 			// bytes when it was built, so the full admission front door
 			// (ring ownership, tenant quota, shard gate) runs without a
@@ -433,7 +448,13 @@ func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
 			if s.route(w, r, e.tenant, e.sourceKey, body) {
 				return
 			}
+			if act != nil {
+				t0 = time.Now()
+			}
 			_, release, ok := s.admit(w, e.tenant, e.sourceKey)
+			if act != nil {
+				act.Add(trace.SpanAdmit, t0, time.Since(t0), "")
+			}
 			if !ok {
 				return
 			}
@@ -442,7 +463,13 @@ func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
 			writeEntry(w, e)
 			return
 		}
+		if act != nil {
+			t0 = time.Now()
+		}
 		p, err := dec(s, body, binReq)
+		if act != nil {
+			act.Add(trace.SpanDecode, t0, time.Since(t0), "")
+		}
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -450,18 +477,34 @@ func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
 		if s.route(w, r, p.tenant, p.sourceKey, body) {
 			return
 		}
+		if act != nil {
+			t0 = time.Now()
+		}
 		sh, release, ok := s.admit(w, p.tenant, p.sourceKey)
+		if act != nil {
+			act.Add(trace.SpanAdmit, t0, time.Since(t0), "")
+		}
 		if !ok {
 			return
 		}
 		defer release()
-		resp, bundleKey, status, code, err := p.exec(r.Context(), sh)
+		ctx := r.Context()
+		if act != nil {
+			ctx = trace.NewContext(ctx, act)
+		}
+		resp, bundleKey, status, code, err := p.exec(ctx, sh)
 		if err != nil {
 			writeErr(w, code, err)
 			return
 		}
 		s.markBundleKey(w, bundleKey)
+		if act != nil {
+			t0 = time.Now()
+		}
 		enc, ct, err := encodeResp(resp, binResp)
+		if act != nil {
+			act.Add(trace.SpanEncode, t0, time.Since(t0), "")
+		}
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
@@ -557,11 +600,13 @@ type StatsResponse struct {
 	CacheBytesCap      int64 `json:"cache_bytes_cap"`
 	CacheBytesPerShard int64 `json:"cache_bytes_per_shard"`
 	MaxQueuePerShard   int   `json:"max_queue_per_shard"`
-	Requests           int64 `json:"requests"`
-	Shed               int64 `json:"shed"`
-	CacheHits          int64 `json:"cache_hits"`
-	CacheMisses        int64 `json:"cache_misses"`
-	Coalesced          int64 `json:"coalesced"`
+	// UptimeSeconds is the time since the Server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Shed          int64   `json:"shed"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	Coalesced     int64   `json:"coalesced"`
 	// UntrackedTenantRequests counts requests served on ephemeral quota
 	// states because the tenant table was hard-full (every unconfigured
 	// state busy): sustained growth means a tenant-name flood.
@@ -585,6 +630,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CacheBytesCap:           s.cfg.CacheBytes,
 		CacheBytesPerShard:      s.perShardCache,
 		MaxQueuePerShard:        s.cfg.MaxQueuePerShard,
+		UptimeSeconds:           time.Since(s.start).Seconds(),
 		UntrackedTenantRequests: s.quotas.untracked.Load(),
 		Tenants:                 s.quotas.stats(),
 	}

@@ -2,11 +2,14 @@ package serve
 
 import (
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
+	"khist/internal/cluster"
 	"khist/internal/obs"
+	"khist/internal/obs/trace"
 )
 
 // The metrics plane. Every layer of the server feeds a lock-cheap obs
@@ -121,6 +124,12 @@ type serverMetrics struct {
 
 	endpoints map[string]*endpointMetrics
 	peers     map[string]*peerMetrics
+	// batchItems counts per-item outcomes inside /v1/batch envelopes by
+	// (op, status class). The envelope itself is one request on the
+	// batch endpoint — typically a 200 — so without these series a
+	// batch full of per-item 429s/421s would be invisible to the
+	// status-class counters.
+	batchItems map[string]*[4]*obs.Counter
 
 	// aux are the non-learned recorders the snapshotter tabulates for
 	// quantiles alongside the learned latency recorder.
@@ -130,10 +139,11 @@ type serverMetrics struct {
 func newServerMetrics(cfg MetricsConfig) *serverMetrics {
 	cfg = cfg.withDefaults()
 	m := &serverMetrics{
-		cfg:       cfg,
-		reg:       obs.NewRegistry(),
-		endpoints: make(map[string]*endpointMetrics),
-		peers:     make(map[string]*peerMetrics),
+		cfg:        cfg,
+		reg:        obs.NewRegistry(),
+		endpoints:  make(map[string]*endpointMetrics),
+		peers:      make(map[string]*peerMetrics),
+		batchItems: make(map[string]*[4]*obs.Counter),
 	}
 	m.latency = m.reg.Recorder("khist_request_latency",
 		"e2e request latency in us, learned into a k-histogram by the v-optimal learner",
@@ -146,11 +156,30 @@ func newServerMetrics(cfg MetricsConfig) *serverMetrics {
 		"cluster forward round-trip in us, all peers merged", 3)
 	for _, ep := range []string{
 		"learn", "test_l2", "test_l1", "learn2d", "batch",
-		"stats", "cluster", "cluster_bundle", "healthz", "metrics",
+		"stats", "cluster", "cluster_bundle", "healthz", "metrics", "trace",
 	} {
 		m.endpoints[ep] = m.newEndpoint(ep)
 	}
+	for _, op := range []string{epLearn, epTestL2, epTestL1, epLearn2D, "other"} {
+		var cs [4]*obs.Counter
+		for i, class := range statusClassNames {
+			cs[i] = m.reg.Counter("khist_batch_item_results_total",
+				"per-item outcomes inside /v1/batch envelopes, by op and status class",
+				"op", op, "class", class)
+		}
+		m.batchItems[op] = &cs
+	}
 	return m
+}
+
+// batchItemDone counts one batch item's outcome; unknown ops (which the
+// plan rejected with per-item 400s) land on the "other" series.
+func (m *serverMetrics) batchItemDone(op string, status int) {
+	cs, ok := m.batchItems[op]
+	if !ok {
+		cs = m.batchItems["other"]
+	}
+	cs[statusClass(status)].Inc()
 }
 
 // auxRecorder registers a small non-learned recorder (quantiles and
@@ -209,6 +238,13 @@ func (m *serverMetrics) mirrorServer(s *Server) {
 	intCounter := func(name, help string, fn func() int64, kv ...string) {
 		m.reg.CounterFunc(name, help, func() float64 { return float64(fn()) }, kv...)
 	}
+	m.reg.Gauge("khist_build_info",
+		"build metadata as labels; the value is always 1",
+		func() float64 { return 1 },
+		"version", Version, "go_version", runtime.Version())
+	m.reg.Gauge("khist_uptime_seconds",
+		"seconds since this server was constructed",
+		func() float64 { return time.Since(s.start).Seconds() })
 	for i, sh := range s.shards {
 		sh := sh
 		lbl := strconv.Itoa(i)
@@ -294,18 +330,59 @@ func (m *serverMetrics) mirrorCluster(s *Server) {
 	intCounter("khist_cluster_bundles_warmed_total", "bundles warmed into the local cache", s.cluster.bundlesWarmed.Load)
 }
 
+// mirrorTracer registers render-time views of the tracing plane's
+// counters; called from New once the tracer exists.
+func (m *serverMetrics) mirrorTracer(tr *trace.Tracer) {
+	gauge := func(name, help string, fn func(trace.Stats) int64, kv ...string) {
+		m.reg.Gauge(name, help, func() float64 { return float64(fn(tr.StatsSnapshot())) }, kv...)
+	}
+	counter := func(name, help string, fn func(trace.Stats) int64, kv ...string) {
+		m.reg.CounterFunc(name, help, func() float64 { return float64(fn(tr.StatsSnapshot())) }, kv...)
+	}
+	counter("khist_trace_started_total", "traces started (one per request on a traced endpoint)",
+		func(st trace.Stats) int64 { return st.Started })
+	counter("khist_trace_retained_total", "traces retained into the /v1/trace ring, by reason",
+		func(st trace.Stats) int64 { return st.RetainedError }, "reason", trace.KeptError)
+	counter("khist_trace_retained_total", "traces retained into the /v1/trace ring, by reason",
+		func(st trace.Stats) int64 { return st.RetainedSlow }, "reason", trace.KeptSlow)
+	counter("khist_trace_retained_total", "traces retained into the /v1/trace ring, by reason",
+		func(st trace.Stats) int64 { return st.RetainedHead }, "reason", trace.KeptHead)
+	counter("khist_trace_span_drops_total", "spans dropped because a trace overflowed its span array",
+		func(st trace.Stats) int64 { return st.SpanDrops })
+	gauge("khist_trace_buffered", "traces currently held in the /v1/trace ring",
+		func(st trace.Stats) int64 { return st.Buffered })
+}
+
+// Version is the build's version string, overridable at link time:
+//
+//	go build -ldflags "-X khist/internal/serve.Version=v1.2.3"
+//
+// It renders as the version label of khist_build_info.
+var Version = "dev"
+
 // statusWriter captures the status code and written byte count of one
-// response. Instances are pooled: the instrumented hot path allocates
-// nothing in steady state.
+// response, and carries the request's span collector (nil when tracing
+// is off or the endpoint untraced). Instances are pooled: the
+// instrumented hot path allocates nothing in steady state.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	// act is the request's trace collector; handlers reach it through
+	// activeOf (trace.go).
+	act *trace.Active
+	// echoSpans marks a forwarded request: the first header flush writes
+	// the trace id and the compact span summary into the response
+	// headers, so the forwarder can stitch this node's spans into its
+	// trace. Never set on direct client requests — their headers stay
+	// identical tracing on or off.
+	echoSpans bool
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
 	if sw.status == 0 {
 		sw.status = code
+		sw.emitTraceHeaders()
 	}
 	sw.ResponseWriter.WriteHeader(code)
 }
@@ -313,42 +390,27 @@ func (sw *statusWriter) WriteHeader(code int) {
 func (sw *statusWriter) Write(p []byte) (int, error) {
 	if sw.status == 0 {
 		sw.status = http.StatusOK
+		sw.emitTraceHeaders()
 	}
 	n, err := sw.ResponseWriter.Write(p)
 	sw.bytes += int64(n)
 	return n, err
 }
 
-var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
-
-// instrument wraps h with the endpoint's entry/exit instrumentation:
-// request count and body size on entry; status class, response bytes,
-// and e2e latency (fed to both the endpoint recorder and the learned
-// global recorder) on exit.
-func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	em := m.endpoints[endpoint]
-	return func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
-		em.requests.Inc()
-		if r.ContentLength > 0 {
-			em.reqBytes.Add(r.ContentLength)
-		}
-		sw := swPool.Get().(*statusWriter)
-		sw.ResponseWriter, sw.status, sw.bytes = w, 0, 0
-		h(sw, r)
-		d := time.Since(t0)
-		code, bytes := sw.status, sw.bytes
-		sw.ResponseWriter = nil
-		swPool.Put(sw)
-		if code == 0 {
-			code = http.StatusOK
-		}
-		em.status[statusClass(code)].Inc()
-		em.respBytes.Add(bytes)
-		em.latency.Observe(d)
-		m.latency.Observe(d)
+// emitTraceHeaders flushes the owner-side trace summary before the
+// status line goes out (headers are immutable after WriteHeader). The
+// spans collected so far are the complete set: handlers add spans
+// strictly before writing the response.
+func (sw *statusWriter) emitTraceHeaders() {
+	if !sw.echoSpans || sw.act == nil {
+		return
 	}
+	h := sw.Header()
+	h.Set(cluster.TraceHeader, trace.FormatID(sw.act.TraceID()))
+	h.Set(cluster.SpanHeader, sw.act.EncodeWire())
 }
+
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 // hooks builds the cluster client's observation callbacks over the
 // registered peer series.

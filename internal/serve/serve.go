@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"khist/internal/cluster"
 	"khist/internal/dist"
 	"khist/internal/grid"
+	"khist/internal/obs/trace"
 	"khist/internal/par"
 )
 
@@ -91,6 +93,10 @@ type Config struct {
 	// The zero value means enabled with defaults; instrumentation never
 	// changes response bodies, only headers and counters.
 	Metrics MetricsConfig
+	// Trace configures the per-request tracing plane (see trace.go). The
+	// zero value means enabled with defaults; tracing never changes
+	// response bodies, only intra-cluster headers and the /v1/trace ring.
+	Trace TraceConfig
 }
 
 // Default resource ceilings: generous for real workloads (a maximal
@@ -145,6 +151,13 @@ type Server struct {
 	metrics   *serverMetrics
 	stopSnap  chan struct{}
 	closeOnce sync.Once
+
+	// Tracing plane (nil = disabled): per-request span collection with
+	// tail-based retention into the /v1/trace ring (see trace.go).
+	tracer *trace.Tracer
+
+	// start anchors khist_uptime_seconds and the /v1/stats uptime field.
+	start time.Time
 }
 
 // New builds a Server from the config. It errors only on an invalid
@@ -182,8 +195,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ResponseCacheBytes > 0 {
 		perPartResp = (cfg.ResponseCacheBytes + int64(cfg.Shards) - 1) / int64(cfg.Shards)
 	}
+	cfg.Trace = cfg.Trace.withDefaults()
 	s := &Server{
 		cfg:              cfg,
+		start:            time.Now(),
 		sources:          newRegistry(),
 		quotas:           newQuotas(cfg.Quotas),
 		perShardCache:    perShard,
@@ -205,6 +220,27 @@ func New(cfg Config) (*Server, error) {
 		for _, sh := range s.shards {
 			sh.pool.OnWait(s.metrics.poolWait.Observe)
 			sh.computeObs = s.metrics.compute.Observe
+		}
+	}
+	if !cfg.Trace.Disabled {
+		tc := trace.Config{SampleN: cfg.Trace.SampleN, Buffer: cfg.Trace.Buffer, Seed: cfg.Trace.Seed}
+		if s.metrics != nil {
+			// Tail retention dogfoods the metrics plane: keep any trace
+			// slower than the learned p99 of the live latency recorder.
+			// Before the first snapshot (or with metrics off) the
+			// threshold is 0, which disables slow retention — errors and
+			// head samples still retain.
+			lat := s.metrics.latency
+			tc.SlowUS = func() int64 {
+				if snap := lat.Latest(); snap != nil {
+					return snap.P99US
+				}
+				return 0
+			}
+		}
+		s.tracer = trace.New(tc)
+		if s.metrics != nil {
+			s.metrics.mirrorTracer(s.tracer)
 		}
 	}
 	if err := s.initCluster(cfg.Cluster); err != nil {
@@ -345,6 +381,8 @@ func (s *Server) admitKeys(tenant, sourceKey string) (sh *shard, release func(),
 //	POST /v1/learn2d        — rectangle-histogram learner over grids
 //	POST /v1/batch          — many sub-queries per round trip (batch.go)
 //	GET  /v1/stats          — per-shard traffic and cache counters
+//	GET  /v1/trace          — recent retained traces (trace.go)
+//	GET  /v1/trace/{id}     — one retained trace by id
 //	GET  /v1/cluster        — ring membership and forwarding counters
 //	POST /v1/cluster/bundle — encoded sample-set bundles for peer warming
 //	GET  /metrics           — Prometheus text metrics (unless disabled)
@@ -362,6 +400,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/learn2d", s.instrumented(epLearn2D, s.handleAlgo(epLearn2D, decodeLearn2D)))
 	mux.HandleFunc("POST /v1/batch", s.instrumented("batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/stats", s.instrumented("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/trace", s.instrumented("trace", s.handleTraceList))
+	mux.HandleFunc("GET /v1/trace/{id}", s.instrumented("trace", s.handleTraceGet))
 	mux.HandleFunc("GET /v1/cluster", s.instrumented("cluster", s.handleCluster))
 	if s.ring != nil {
 		mux.HandleFunc("POST "+cluster.BundlePath, s.instrumented("cluster_bundle", s.handleBundle))
@@ -376,11 +416,66 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// instrumented wraps h with the metrics plane's per-endpoint
-// instrumentation; with metrics disabled it is the identity.
+// instrumented wraps h with the combined metrics and tracing wrapper:
+// per-endpoint entry/exit counters and latency recorders (metrics plane
+// enabled), plus per-request span collection with tail-based retention
+// (tracing enabled and the endpoint traced). With both planes off it is
+// the identity. The wrapper allocates nothing in steady state when the
+// trace is not retained: the statusWriter and the span collector are
+// both pooled, and the retention decision (Tracer.Finish) happens after
+// the response is written.
 func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	if s.metrics == nil {
+	var em *endpointMetrics
+	m := s.metrics
+	if m != nil {
+		em = m.endpoints[endpoint]
+	}
+	tr := s.tracer
+	if !tracedEndpoints[endpoint] {
+		tr = nil
+	}
+	if em == nil && tr == nil {
 		return h
 	}
-	return s.metrics.instrument(endpoint, h)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		if em != nil {
+			em.requests.Inc()
+			if r.ContentLength > 0 {
+				em.reqBytes.Add(r.ContentLength)
+			}
+		}
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status, sw.bytes = w, 0, 0
+		if tr != nil {
+			// A forwarded request carries the forwarder's trace id: join
+			// its trace (and echo the span summary back, see statusWriter)
+			// instead of starting a new root.
+			parent := trace.ParseID(r.Header.Get(cluster.TraceHeader))
+			sw.act = tr.Start(parent)
+			sw.echoSpans = parent != 0
+		}
+		h(sw, r)
+		d := time.Since(t0)
+		code, bytes, act := sw.status, sw.bytes, sw.act
+		sw.ResponseWriter, sw.act, sw.echoSpans = nil, nil, false
+		swPool.Put(sw)
+		if code == 0 {
+			code = http.StatusOK
+		}
+		if em != nil {
+			em.status[statusClass(code)].Inc()
+			em.respBytes.Add(bytes)
+			em.latency.Observe(d)
+			m.latency.Observe(d)
+		}
+		if act != nil {
+			if id, kept := tr.Finish(act, endpoint, code, d); kept && em != nil {
+				// Exemplars: the latency families point at the most recent
+				// retained trace in their population.
+				em.latency.SetExemplar(id, d.Microseconds())
+				m.latency.SetExemplar(id, d.Microseconds())
+			}
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"khist/internal/obs/trace"
 	"khist/internal/par"
 )
 
@@ -96,6 +97,11 @@ func (sh *shard) release() { sh.inflight.Add(-1) }
 // build is contained to this request (and its coalesced followers) as an
 // error; nothing is cached and the server stays up.
 func (sh *shard) tabulated(ctx context.Context, key string, build func() (val any, bytes int64)) (any, string, error) {
+	act := trace.FromContext(ctx)
+	var t0 time.Time
+	if act != nil {
+		t0 = time.Now()
+	}
 	v, status, err := sh.group.do(ctx, key, func() (any, int64, error) {
 		var (
 			val   any
@@ -104,6 +110,12 @@ func (sh *shard) tabulated(ctx context.Context, key string, build func() (val an
 		rerr := sh.run(func() { val, bytes = build() })
 		return val, bytes, rerr
 	})
+	if act != nil {
+		// One span for the whole tabulation phase — a hit is ~instant, a
+		// miss covers the leader's draw, a coalesced wait covers the
+		// follower's wait — with the path taken in the note.
+		act.Add(trace.SpanTabulate, t0, time.Since(t0), status)
+	}
 	switch status {
 	case StatusHit:
 		sh.hits.Add(1)
@@ -122,21 +134,46 @@ func (sh *shard) tabulated(ctx context.Context, key string, build func() (val an
 // per-request algorithm phase through it after the shared tabulation
 // phase resolves.
 func (sh *shard) run(fn func()) (err error) {
+	sh.pool.Do(sh.task(fn, &err))
+	return err
+}
+
+// runTraced is run with the request's queue-wait/compute split recorded
+// as spans when ctx carries a trace collector; without one it is exactly
+// run. The wait comes from the pool itself (par.Pool.DoTimed), so the
+// span and the khist_pool_wait series measure the same quantity.
+func (sh *shard) runTraced(ctx context.Context, fn func()) (err error) {
+	act := trace.FromContext(ctx)
+	if act == nil {
+		return sh.run(fn)
+	}
+	t0 := time.Now()
+	wait := sh.pool.DoTimed(sh.task(fn, &err))
+	total := time.Since(t0)
+	act.Add(trace.SpanQueueWait, t0, wait, "")
+	act.Add(trace.SpanCompute, t0.Add(wait), total-wait, "")
+	return err
+}
+
+// task wraps fn as a pool task with panic containment and the compute
+// observer: a panicking fn becomes an error for this request instead of
+// a process crash (the pool worker goroutine has no net/http recover
+// above it).
+func (sh *shard) task(fn func(), err *error) func() {
 	obs := sh.computeObs
-	sh.pool.Do(func() {
+	return func() {
 		var t0 time.Time
 		if obs != nil {
 			t0 = time.Now()
 		}
 		defer func() {
 			if p := recover(); p != nil {
-				err = fmt.Errorf("serve: compute panic: %v", p)
+				*err = fmt.Errorf("serve: compute panic: %v", p)
 			}
 			if obs != nil {
 				obs(time.Since(t0))
 			}
 		}()
 		fn()
-	})
-	return err
+	}
 }

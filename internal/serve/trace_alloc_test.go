@@ -1,0 +1,57 @@
+//go:build !race
+
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestTraceHotPathAllocs pins the tracing plane's zero-alloc contract:
+// on the warm response-cache path, an UNSAMPLED traced request (head
+// sampling effectively off, no slow threshold, status 200 — tail
+// retention drops it) allocates exactly as much as the same request on
+// a tracing-disabled server. The collector is pooled, spans live in a
+// fixed array, and a dropped trace recycles without touching the heap —
+// so the measured allocs/op must be equal, not merely close. (The race
+// detector instruments allocations, hence the !race gate.)
+func TestTraceHotPathAllocs(t *testing.T) {
+	measure := func(cfg Config) float64 {
+		s := mustNew(t, cfg)
+		defer s.Close()
+		h := s.Handler()
+		payload := []byte(learnBody)
+		rd := bytes.NewReader(payload)
+		req := httptest.NewRequest(http.MethodPost, "/v1/learn", rd)
+		req.Body = replayBody{rd}
+		w := &nullResponseWriter{h: make(http.Header)}
+		w.status = 0
+		h.ServeHTTP(w, req) // warm the response entry
+		if w.status != 200 {
+			t.Fatalf("warmup code %d", w.status)
+		}
+		return testing.AllocsPerRun(2000, func() {
+			rd.Reset(payload)
+			w.status = 0
+			h.ServeHTTP(w, req)
+			if w.status != 200 {
+				t.Fatalf("code %d", w.status)
+			}
+		})
+	}
+	base := Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 64 << 20,
+		ResponseCacheBytes: 8 << 20, Metrics: MetricsConfig{Disabled: true}}
+	off := base
+	off.Trace = TraceConfig{Disabled: true}
+	on := base
+	on.Trace = TraceConfig{SampleN: 1 << 30} // head sampling never fires
+
+	offAllocs := measure(off)
+	onAllocs := measure(on)
+	if onAllocs != offAllocs {
+		t.Fatalf("unsampled traced hot path allocates %v/op vs %v/op untraced — tracing must add 0",
+			onAllocs, offAllocs)
+	}
+}
