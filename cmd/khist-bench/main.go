@@ -238,6 +238,38 @@ func parse(r io.Reader) (*Report, error) {
 	return report, nil
 }
 
+// maxReplyBytes caps how much of a server reply this tool will buffer.
+// A /v1/trace?limit=1000 body with every span populated stays well
+// under 4 MiB; a reply past 16 MiB is a misbehaving (or hostile)
+// endpoint, not data, and must not balloon the bench process instead
+// of erroring.
+const maxReplyBytes = 16 << 20
+
+// countReader counts the bytes its inner reader delivered, so hitting
+// the cap is distinguishable from a genuinely truncated reply.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// decodeReply decodes one JSON reply from a network body behind an
+// explicit length bound (the repo-wide boundedread rule), failing
+// loudly when the cap is exceeded rather than truncating silently.
+func decodeReply(r io.Reader, v any) error {
+	cr := &countReader{r: io.LimitReader(r, maxReplyBytes+1)}
+	err := json.NewDecoder(cr).Decode(v)
+	if cr.n > maxReplyBytes {
+		return fmt.Errorf("reply exceeds the %d-byte cap", maxReplyBytes)
+	}
+	return err
+}
+
 // fetchServerLatency pulls the latency snapshot out of a live server's
 // /v1/stats body.
 func fetchServerLatency(base string) (*obs.LatencySnapshot, error) {
@@ -253,7 +285,7 @@ func fetchServerLatency(base string) (*obs.LatencySnapshot, error) {
 	var stats struct {
 		Latency *obs.LatencySnapshot `json:"latency"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+	if err := decodeReply(resp.Body, &stats); err != nil {
 		return nil, fmt.Errorf("decoding %s/v1/stats: %w", base, err)
 	}
 	if stats.Latency == nil {
@@ -302,7 +334,7 @@ func printSlowTraces(w io.Writer, base string, n int) error {
 		Enabled bool           `json:"enabled"`
 		Traces  []*trace.Trace `json:"traces"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+	if err := decodeReply(resp.Body, &list); err != nil {
 		return fmt.Errorf("decoding %s/v1/trace: %w", base, err)
 	}
 	if !list.Enabled {

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestFetchServerLatencyBounded pins the boundedread fix: before
+// decodeReply, fetchServerLatency buffered /v1/stats through an
+// unbounded json.Decoder, so a misbehaving server could balloon the
+// bench process heap with a single reply. Now a reply past the
+// 16 MiB cap is an error, not an allocation.
+func TestFetchServerLatencyBounded(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/stats" {
+			http.NotFound(w, r)
+			return
+		}
+		// A syntactically valid JSON object larger than maxReplyBytes:
+		// decode alone would succeed, which is exactly the case the
+		// byte cap must catch.
+		w.Write([]byte(`{"latency":{"count":1},"pad":"`))
+		pad := strings.Repeat("x", 1<<20)
+		for written := 0; written <= maxReplyBytes; written += len(pad) {
+			w.Write([]byte(pad))
+		}
+		w.Write([]byte(`"}`))
+	}))
+	defer srv.Close()
+
+	_, err := fetchServerLatency(srv.URL)
+	if err == nil {
+		t.Fatal("fetchServerLatency accepted a reply larger than maxReplyBytes")
+	}
+	if !strings.Contains(err.Error(), "byte cap") {
+		t.Fatalf("want byte-cap error, got: %v", err)
+	}
+}
+
+// TestFetchServerLatencyOK proves the bound does not disturb normal
+// replies.
+func TestFetchServerLatencyOK(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"latency":{"count":42,"p50_us":7}}`)
+	}))
+	defer srv.Close()
+
+	snap, err := fetchServerLatency(srv.URL)
+	if err != nil {
+		t.Fatalf("fetchServerLatency: %v", err)
+	}
+	if snap.Count != 42 || snap.P50US != 7 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+}
+
+// TestPrintSlowTracesBounded pins the same cap on the /v1/trace fetch.
+func TestPrintSlowTracesBounded(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"enabled":true,"traces":[],"pad":"`))
+		pad := strings.Repeat("y", 1<<20)
+		for written := 0; written <= maxReplyBytes; written += len(pad) {
+			w.Write([]byte(pad))
+		}
+		w.Write([]byte(`"}`))
+	}))
+	defer srv.Close()
+
+	var sb strings.Builder
+	err := printSlowTraces(&sb, srv.URL, 3)
+	if err == nil {
+		t.Fatal("printSlowTraces accepted a reply larger than maxReplyBytes")
+	}
+	if !strings.Contains(err.Error(), "byte cap") {
+		t.Fatalf("want byte-cap error, got: %v", err)
+	}
+}
+
+// TestDecodeReplyExactCap: a reply of exactly maxReplyBytes decodes;
+// one byte over errors. The boundary matters — the cap must not
+// reject the largest legitimate reply.
+func TestDecodeReplyExactCap(t *testing.T) {
+	pad := strings.Repeat("z", maxReplyBytes-len(`{"pad":""}`))
+	exact := `{"pad":"` + pad + `"}`
+	if len(exact) != maxReplyBytes {
+		t.Fatalf("test setup: body is %d bytes, want %d", len(exact), maxReplyBytes)
+	}
+	var v struct {
+		Pad string `json:"pad"`
+	}
+	if err := decodeReply(strings.NewReader(exact), &v); err != nil {
+		t.Fatalf("exact-cap reply should decode: %v", err)
+	}
+	over := `{"pad":"` + pad + `x"}`
+	if err := decodeReply(strings.NewReader(over), &v); err == nil {
+		t.Fatal("over-cap reply should error")
+	}
+}

@@ -1,0 +1,47 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"khist/internal/analysis"
+	"khist/internal/analysis/analysistest"
+)
+
+// TestAllowForms proves all three waiver forms suppress: the fixture is
+// full of rawrand violations, each covered by a same-line, line-above,
+// or function-scoped directive, and carries zero want comments.
+func TestAllowForms(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.RawRand, "allowforms")
+}
+
+// TestMalformedAllowRejected proves a waiver without a reason (or with
+// an unknown rule name) is itself a diagnostic and suppresses nothing.
+func TestMalformedAllowRejected(t *testing.T) {
+	diags := analysistest.Diagnostics(t, analysistest.TestData(), analysis.RawRand, "badallow")
+
+	var allowMsgs []string
+	var ruleCount int
+	for _, d := range diags {
+		switch d.Rule {
+		case "allow":
+			allowMsgs = append(allowMsgs, d.Message)
+		case "rawrand":
+			ruleCount++
+		default:
+			t.Errorf("unexpected rule %q: %s", d.Rule, d)
+		}
+	}
+	if len(allowMsgs) != 2 {
+		t.Fatalf("got %d allow diagnostics, want 2: %v", len(allowMsgs), allowMsgs)
+	}
+	if !strings.Contains(allowMsgs[0], "needs a reason") {
+		t.Errorf("reason-less directive: got %q, want a needs-a-reason rejection", allowMsgs[0])
+	}
+	if !strings.Contains(allowMsgs[1], `unknown rule "nosuchrule"`) {
+		t.Errorf("unknown-rule directive: got %q, want an unknown-rule rejection", allowMsgs[1])
+	}
+	if ruleCount != 2 {
+		t.Errorf("got %d rawrand diagnostics, want 2 — malformed waivers must not suppress", ruleCount)
+	}
+}

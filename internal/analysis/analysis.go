@@ -1,0 +1,340 @@
+// Package analysis is khist's static-analysis framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// Analyzer/Pass shape, plus the repo-specific rule set that
+// machine-enforces invariants the test suite can only probe after the
+// fact — determinism (rawrand, walltime), boundedness (boundedread,
+// metriclabel), and hot-path allocation/lock discipline (noalloc,
+// lockio).
+//
+// The x/tools module is deliberately not a dependency (the repo builds
+// offline, stdlib only), so the framework here typechecks packages from
+// source using export data produced by `go list -export` — see load.go.
+// Analyzer semantics are syntactic-plus-types approximations, each
+// documented on its Analyzer value; anything a rule gets wrong can be
+// waived in place with a checked annotation:
+//
+//	//khist:allow <rule> <reason...>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory — a bare waiver is itself reported (rule "allow"), so every
+// suppression in the tree carries its justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named rule. Run inspects a single package and
+// reports findings through the Pass; it must not assume any other
+// package's source is available (cross-package info comes from export
+// data only).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass carries one typechecked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed to its rule.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Unit is one package loaded for analysis: parsed files plus full type
+// information. Built by Load (driver) or assembled directly by the
+// fixture runner.
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Analyzers is the khist-vet suite in reporting order.
+var Analyzers = []*Analyzer{
+	RawRand,
+	WallTime,
+	BoundedRead,
+	MetricLabel,
+	NoAlloc,
+	LockIO,
+}
+
+// knownRules indexes the suite by name, for allow-directive validation.
+func knownRules() map[string]bool {
+	m := make(map[string]bool, len(Analyzers))
+	for _, a := range Analyzers {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// allowDirective is one parsed //khist:allow comment.
+type allowDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	bad    string // non-empty: malformed, reported under rule "allow"
+}
+
+const allowPrefix = "//khist:allow"
+
+// parseAllowComment parses one comment as an allow directive, or
+// returns false if it is not one.
+func parseAllowComment(fset *token.FileSet, c *ast.Comment, known map[string]bool) (allowDirective, bool) {
+	if !strings.HasPrefix(c.Text, allowPrefix) {
+		return allowDirective{}, false
+	}
+	rest := c.Text[len(allowPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return allowDirective{}, false // e.g. //khist:allowed — not this directive
+	}
+	d := allowDirective{pos: fset.Position(c.Pos())}
+	fields := strings.Fields(rest)
+	switch {
+	case len(fields) == 0:
+		d.bad = "//khist:allow needs a rule name and a reason"
+	case len(fields) == 1:
+		d.bad = fmt.Sprintf("//khist:allow %s needs a reason — waivers are only accepted with a justification", fields[0])
+	case !known[fields[0]]:
+		d.bad = fmt.Sprintf("//khist:allow names unknown rule %q", fields[0])
+	default:
+		d.rule = fields[0]
+		d.reason = strings.Join(fields[1:], " ")
+	}
+	return d, true
+}
+
+// parseAllows scans a file's comments for //khist:allow directives.
+func parseAllows(fset *token.FileSet, f *ast.File, known map[string]bool) []allowDirective {
+	var out []allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseAllowComment(fset, c, known); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// allowRegion is a function-scoped waiver: a well-formed directive in
+// a function's doc comment suppresses its rule across the whole body.
+type allowRegion struct {
+	file     string
+	from, to int
+	rule     string
+}
+
+// allowRegions collects function-scoped waivers from doc comments.
+// Malformed directives are skipped here — the flat parseAllows scan
+// already reports them.
+func allowRegions(fset *token.FileSet, f *ast.File, known map[string]bool) []allowRegion {
+	var out []allowRegion
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			d, ok := parseAllowComment(fset, c, known)
+			if !ok || d.bad != "" {
+				continue
+			}
+			out = append(out, allowRegion{
+				file: d.pos.Filename,
+				from: fset.Position(fd.Pos()).Line,
+				to:   fset.Position(fd.End()).Line,
+				rule: d.rule,
+			})
+		}
+	}
+	return out
+}
+
+// RunUnit runs every analyzer in suite over u, applies the allow
+// waivers, and returns the surviving diagnostics sorted by position.
+// Malformed waivers are themselves diagnostics (rule "allow") and are
+// never suppressible.
+func RunUnit(u *Unit, suite []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			diags:    &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, u.Path, err)
+		}
+	}
+
+	known := knownRules()
+	// allowed[file][line][rule] — a diagnostic for rule at file:line is
+	// suppressed when a well-formed directive sits on that line or the
+	// line directly above it.
+	allowed := make(map[string]map[int]map[string]bool)
+	var regions []allowRegion
+	var out []Diagnostic
+	for _, f := range u.Files {
+		regions = append(regions, allowRegions(u.Fset, f, known)...)
+		for _, d := range parseAllows(u.Fset, f, known) {
+			if d.bad != "" {
+				out = append(out, Diagnostic{Pos: d.pos, Rule: "allow", Message: d.bad})
+				continue
+			}
+			lines := allowed[d.pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				allowed[d.pos.Filename] = lines
+			}
+			for _, ln := range []int{d.pos.Line, d.pos.Line + 1} {
+				rules := lines[ln]
+				if rules == nil {
+					rules = make(map[string]bool)
+					lines[ln] = rules
+				}
+				rules[d.rule] = true
+			}
+		}
+	}
+	for _, d := range raw {
+		if allowed[d.Pos.Filename][d.Pos.Line][d.Rule] {
+			continue
+		}
+		suppressed := false
+		for _, r := range regions {
+			if r.rule == d.Rule && r.file == d.Pos.Filename && r.from <= d.Pos.Line && d.Pos.Line <= r.to {
+				suppressed = true
+				break
+			}
+		}
+		if suppressed {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out, nil
+}
+
+// ---- shared helpers for the analyzers ----
+
+// isTestFile reports whether pos sits in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// calleeFunc resolves a call expression to the function or method
+// object it invokes, or nil (builtins, conversions, indirect calls).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// calleeIs reports whether call invokes pkgPath.name (a package-level
+// function or a method — for methods, name is the bare method name and
+// pkgPath the package declaring the receiver type).
+func calleeIs(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// pathHasSuffix reports whether import path p is exactly suffix or ends
+// with "/"+suffix. Rules match repo packages by suffix so that fixture
+// packages (testdata/src/khist/internal/par, ...) resolve identically.
+func pathHasSuffix(p, suffix string) bool {
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// exprString renders an expression compactly, for lock identities and
+// messages. Only needs to be stable within one function body.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// funcDocHasMarker reports whether a function's doc comment carries the
+// given //khist: marker line (e.g. //khist:noalloc).
+func funcDocHasMarker(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}

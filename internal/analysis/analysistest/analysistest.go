@@ -1,0 +1,236 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// the golang.org/x/tools analysistest contract on the stdlib only.
+//
+// Fixtures live under testdata/src/<importpath>/. Imports resolve
+// against testdata first — so fixtures can supply stub versions of
+// repo packages (khist/internal/par, khist/internal/obs) and exercise
+// path-suffix-scoped rules — and fall back to real export data via
+// `go list -export` for the stdlib.
+//
+// Diagnostics pass through the same allow-waiver pipeline as the
+// khist-vet driver (analysis.RunUnit), so fixtures also prove the
+// waiver forms: a `//khist:allow rule reason` on the flagged line or
+// the line above suppresses, a directive in a function's doc comment
+// suppresses the whole body, and a reason-less or unknown-rule
+// directive is itself a diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"khist/internal/analysis"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads testdata/src/<pkgpath>, applies a through the full
+// driver pipeline (waivers included), and matches diagnostics against
+// want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld, files, diags := analyze(t, testdata, a, pkgpath)
+	checkWants(t, ld.fset, files, diags)
+}
+
+// Diagnostics loads the fixture package and returns the post-waiver
+// diagnostics without want-comment matching — for tests that assert on
+// the waiver machinery itself, where a want comment cannot share a line
+// with the //khist:allow directive under test.
+func Diagnostics(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []analysis.Diagnostic {
+	t.Helper()
+	_, _, diags := analyze(t, testdata, a, pkgpath)
+	return diags
+}
+
+func analyze(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) (*loader, []*ast.File, []analysis.Diagnostic) {
+	t.Helper()
+	ld := &loader{
+		root:     filepath.Join(testdata, "src"),
+		fset:     token.NewFileSet(),
+		fixtures: make(map[string]*types.Package),
+		files:    make(map[string][]*ast.File),
+		exports:  make(map[string]string),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", ld.exportLookup)
+	pkg, files, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	unit := &analysis.Unit{Path: pkgpath, Fset: ld.fset, Files: files, Pkg: pkg, Info: ld.infos[pkgpath]}
+	diags, err := analysis.RunUnit(unit, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	return ld, files, diags
+}
+
+type loader struct {
+	root     string
+	fset     *token.FileSet
+	fixtures map[string]*types.Package
+	files    map[string][]*ast.File
+	infos    map[string]*types.Info
+	exports  map[string]string
+	gc       types.Importer
+}
+
+// Import implements types.Importer: fixture packages first, then real
+// export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.fixtures[path]; ok {
+		return pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		pkg, _, err := ld.load(path)
+		return pkg, err
+	}
+	return ld.gc.Import(path)
+}
+
+// load parses and typechecks one fixture package.
+func (ld *loader) load(pkgpath string) (*types.Package, []*ast.File, error) {
+	if pkg, ok := ld.fixtures[pkgpath]; ok {
+		return pkg, ld.files[pkgpath], nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	ld.fixtures[pkgpath] = pkg
+	ld.files[pkgpath] = files
+	if ld.infos == nil {
+		ld.infos = make(map[string]*types.Info)
+	}
+	ld.infos[pkgpath] = info
+	return pkg, files, nil
+}
+
+// exportLookup resolves a non-fixture import path to its export data
+// via `go list -export`, caching per path.
+func (ld *loader) exportLookup(path string) (io.ReadCloser, error) {
+	exp, ok := ld.exports[path]
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v", path, err)
+		}
+		exp = strings.TrimSpace(string(out))
+		if exp == "" {
+			return nil, fmt.Errorf("no export data for %s", path)
+		}
+		ld.exports[path] = exp
+	}
+	return os.Open(exp)
+}
+
+// expectation is one want-regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// checkWants cross-matches diagnostics against want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want %q: %v", pos.Filename, pos.Line, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: pat})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.text)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BoundedRead enforces the PR 5 codec-hardening rule everywhere: bytes
+// that arrive from the network must pass through an explicit length
+// bound before they are buffered whole. An unbounded io.ReadAll or
+// json.NewDecoder over an HTTP body hands a remote peer the power to
+// balloon the process heap with one response.
+//
+// Flagged: io.ReadAll(x) and json.NewDecoder(x) where x is a network
+// body — a .Body selector on *http.Request / *http.Response, or a
+// net.Conn — reaching the sink directly. Wrapping the body first
+// (io.LimitReader(body, n), http.MaxBytesReader(w, body, n)) changes
+// the argument expression and so passes; reassigning the bounded reader
+// to a local and using that also passes (one-level local flow).
+// In-memory readers (bytes.Reader/Buffer, strings.Reader) are never
+// network bodies and are always fine.
+var BoundedRead = &Analyzer{
+	Name: "boundedread",
+	Doc:  "require io.ReadAll/json.NewDecoder over network bodies to sit behind an explicit length bound",
+	Run:  runBoundedRead,
+}
+
+func runBoundedRead(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			runBoundedReadFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func runBoundedReadFunc(pass *Pass, body *ast.BlockStmt) {
+	// bounded: locals assigned from a bounding wrapper call, plus
+	// network-body fields reassigned through one (the readBody idiom
+	// `r.Body = http.MaxBytesReader(w, r.Body, n)`).
+	bounded := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBoundingWrapper(pass, call) {
+						bounded[exprString(n.Lhs[i])] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			var sink, kind string
+			if calleeIs(pass.Info, n, "io", "ReadAll") && len(n.Args) == 1 {
+				sink, kind = "io.ReadAll", "buffers"
+			} else if calleeIs(pass.Info, n, "encoding/json", "NewDecoder") && len(n.Args) == 1 {
+				sink, kind = "json.NewDecoder", "decodes"
+			} else {
+				return true
+			}
+			arg := ast.Unparen(n.Args[0])
+			if !isNetworkBody(pass, arg) || bounded[exprString(arg)] {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"%s %s the network body %s with no length bound; wrap it in http.MaxBytesReader or io.LimitReader first",
+				sink, kind, exprString(arg))
+		}
+		return true
+	})
+}
+
+// isBoundingWrapper reports whether call constructs a length-bounded
+// reader.
+func isBoundingWrapper(pass *Pass, call *ast.CallExpr) bool {
+	return calleeIs(pass.Info, call, "io", "LimitReader") ||
+		calleeIs(pass.Info, call, "net/http", "MaxBytesReader")
+}
+
+// isNetworkBody reports whether e denotes bytes arriving from the
+// network: an http Request/Response .Body, or a net.Conn value.
+func isNetworkBody(pass *Pass, e ast.Expr) bool {
+	if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "Body" {
+		t := pass.Info.Types[sel.X].Type
+		if t == nil {
+			return false
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" &&
+				(obj.Name() == "Request" || obj.Name() == "Response") {
+				return true
+			}
+		}
+		return false
+	}
+	if t := pass.Info.Types[e].Type; t != nil {
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "net" && obj.Name() == "Conn"
+		}
+	}
+	return false
+}

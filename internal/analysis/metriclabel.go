@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricLabel enforces the PR 6 cardinality rule: every Prometheus
+// label value must come from a compile-time-bounded set. The obs
+// registry keys series by their rendered label string, so one call
+// site that feeds a tenant name or request field into a label value
+// turns a fixed-size /metrics page into an unbounded allocation (and a
+// scrape-side cardinality explosion).
+//
+// Sinks are calls to internal/obs functions/methods whose trailing
+// variadic []string parameter carries "key, value, key, value" pairs
+// (Counter, Gauge, CounterFunc, Labels, ...), plus — one level deep —
+// any function in the analyzed package that forwards its own variadic
+// []string parameter into such a sink (the mirrorServer intGauge /
+// intCounter closure idiom). At every sink call the value positions
+// must be: untyped/typed constants, package-level variables, niladic
+// calls (runtime.Version()), or range variables over package-level
+// vars / all-constant composite literals. Anything else — params,
+// locals, request-derived strings — is flagged; genuinely bounded
+// dynamic values (a shard index, the -peers list) carry a
+// //khist:allow metriclabel waiver stating the bound.
+//
+// internal/obs itself is exempt: it is the plumbing being protected.
+var MetricLabel = &Analyzer{
+	Name: "metriclabel",
+	Doc:  "require metric label values to be compile-time constants or from known-bounded sets",
+	Run:  runMetricLabel,
+}
+
+// mlSink describes one label-pair-accepting function: the number of
+// fixed (non-variadic) parameters before the kv pairs begin.
+type mlSink struct{ fixed int }
+
+// mlEncl is the function lexically enclosing a call site.
+type mlEncl struct {
+	obj      types.Object // *types.Func (decl) or *types.Var (bound func literal)
+	variadic *types.Var   // its own trailing ...string param, if any
+}
+
+func runMetricLabel(pass *Pass) error {
+	if pathHasSuffix(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
+	sinks := make(map[types.Object]mlSink)
+	// Fixpoint: each iteration may discover new derived sinks (functions
+	// forwarding their kv... into a known sink). Package-local chains
+	// are short; the loop is bounded by the number of functions.
+	for {
+		if !mlScan(pass, sinks, false) {
+			break
+		}
+	}
+	mlScan(pass, sinks, true)
+	return nil
+}
+
+// mlScan walks every function body. With report=false it only grows
+// the derived-sink set, returning whether it changed; with report=true
+// it emits diagnostics.
+func mlScan(pass *Pass, sinks map[types.Object]mlSink, report bool) bool {
+	changed := false
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		bindings := funcLitBindings(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			encl := &mlEncl{obj: pass.Info.Defs[fd.Name]}
+			if sig, ok := pass.Info.Defs[fd.Name].Type().(*types.Signature); ok {
+				encl.variadic = variadicStringParam(sig)
+			}
+			if mlWalk(pass, fd.Body, encl, bindings, sinks, report) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// mlWalk inspects one function body, recursing into bound func
+// literals with their own enclosing identity.
+func mlWalk(pass *Pass, body ast.Node, encl *mlEncl, bindings map[*ast.FuncLit]types.Object, sinks map[types.Object]mlSink, report bool) bool {
+	changed := false
+	rangeOK := boundedRangeVars(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sub := &mlEncl{obj: bindings[n]}
+			if sig, ok := pass.Info.Types[n].Type.(*types.Signature); ok {
+				sub.variadic = variadicStringParam(sig)
+			}
+			if mlWalk(pass, n.Body, sub, bindings, sinks, report) {
+				changed = true
+			}
+			return false
+		case *ast.CallExpr:
+			sink, ok := sinkOf(pass, n, sinks)
+			if !ok {
+				return true
+			}
+			if n.Ellipsis.IsValid() {
+				fwd := ast.Unparen(n.Args[len(n.Args)-1])
+				if id, ok := fwd.(*ast.Ident); ok && encl.variadic != nil && pass.Info.Uses[id] == encl.variadic {
+					// This function forwards its own kv... — its callers
+					// spell the pairs, so the check moves to them.
+					if encl.obj != nil {
+						if _, seen := sinks[encl.obj]; !seen {
+							sinks[encl.obj] = mlSink{fixed: fixedParams(encl.obj)}
+							changed = true
+						}
+					}
+					return true
+				}
+				if report {
+					pass.Reportf(fwd.Pos(),
+						"label pairs forwarded from %s cannot be bounds-checked; spell the pairs at the call site or forward this function's own kv parameter",
+						exprString(fwd))
+				}
+				return true
+			}
+			if !report {
+				return true
+			}
+			for i := sink.fixed; i < len(n.Args); i++ {
+				if (i-sink.fixed)%2 != 1 {
+					continue // key position; values are what explode cardinality
+				}
+				v := ast.Unparen(n.Args[i])
+				if !labelValueBounded(pass, v, rangeOK) {
+					pass.Reportf(v.Pos(),
+						"metric label value %s is not from a compile-time-bounded set; use a constant, a bounded class, or waive with the bound stated",
+						exprString(v))
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// sinkOf resolves a call to a label sink: an internal/obs variadic
+// []string function/method, or a previously discovered derived sink.
+func sinkOf(pass *Pass, call *ast.CallExpr, sinks map[types.Object]mlSink) (mlSink, bool) {
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		if s, ok := sinks[fn]; ok {
+			return s, true
+		}
+		sig := fn.Type().(*types.Signature)
+		if fn.Pkg() != nil && pathHasSuffix(fn.Pkg().Path(), "internal/obs") && variadicStringParam(sig) != nil {
+			return mlSink{fixed: sig.Params().Len() - 1}, true
+		}
+		return mlSink{}, false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			if s, ok := sinks[obj]; ok {
+				return s, true
+			}
+		}
+	}
+	return mlSink{}, false
+}
+
+// funcLitBindings maps func literals bound to an identifier at their
+// creation site (`x := func...`, `var x = func...`) to that
+// identifier's object, so a bound closure can become a derived sink
+// addressable from its call sites.
+func funcLitBindings(pass *Pass, f *ast.File) map[*ast.FuncLit]types.Object {
+	out := make(map[*ast.FuncLit]types.Object)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				fl, ok := ast.Unparen(rhs).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						out[fl] = obj
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						out[fl] = obj
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if fl, ok := ast.Unparen(v).(*ast.FuncLit); ok && i < len(n.Names) {
+					if obj := pass.Info.Defs[n.Names[i]]; obj != nil {
+						out[fl] = obj
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// variadicStringParam returns sig's trailing ...string parameter, or
+// nil if sig is not variadic over strings.
+func variadicStringParam(sig *types.Signature) *types.Var {
+	if !sig.Variadic() || sig.Params().Len() == 0 {
+		return nil
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	sl, ok := last.Type().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	if b, ok := sl.Elem().(*types.Basic); ok && b.Kind() == types.String {
+		return last
+	}
+	return nil
+}
+
+func fixedParams(obj types.Object) int {
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		return sig.Params().Len() - 1
+	}
+	return 0
+}
+
+// boundedRangeVars collects identifiers provably from bounded sets:
+// range *values* over a bounded operand (package-level var — fixed at
+// init — or all-constant composite literal), range *keys* (ordinal
+// indices, bounded by the ranged collection's size, which in this tree
+// is always config-sized), and locals bound once from
+// strconv.Itoa/FormatInt/FormatUint of such an index (the shard-label
+// idiom `lbl := strconv.Itoa(i)`).
+func boundedRangeVars(pass *Pass, body ast.Node) map[types.Object]bool {
+	ok := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, isRange := n.(*ast.RangeStmt)
+		if !isRange {
+			return true
+		}
+		if id, isIdent := rs.Key.(*ast.Ident); isIdent {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				ok[obj] = true
+			}
+		}
+		id, isIdent := rs.Value.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		x := ast.Unparen(rs.X)
+		bounded := false
+		switch x := x.(type) {
+		case *ast.CompositeLit:
+			bounded = true
+			for _, el := range x.Elts {
+				if pass.Info.Types[el].Value == nil {
+					bounded = false
+					break
+				}
+			}
+		default:
+			bounded = isPackageLevelVar(pass, x)
+		}
+		if bounded {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				ok[obj] = true
+			}
+		}
+		return true
+	})
+	// Second pass: `lbl := strconv.Itoa(i)` where i is a bounded index.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || as.Tok.String() != ":=" || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, isIdent := as.Lhs[0].(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !isCall || len(call.Args) < 1 {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strconv" {
+			return true
+		}
+		switch fn.Name() {
+		case "Itoa", "FormatInt", "FormatUint":
+		default:
+			return true
+		}
+		if arg, isIdent := ast.Unparen(call.Args[0]).(*ast.Ident); isIdent && ok[pass.Info.Uses[arg]] {
+			if obj := pass.Info.Defs[lhs]; obj != nil {
+				ok[obj] = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// labelValueBounded reports whether a label value expression provably
+// comes from a bounded set.
+func labelValueBounded(pass *Pass, e ast.Expr, rangeOK map[types.Object]bool) bool {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant
+	}
+	if isPackageLevelVar(pass, e) {
+		return true // fixed at init (Version, build info)
+	}
+	if id, ok := e.(*ast.Ident); ok && rangeOK[pass.Info.Uses[id]] {
+		return true // range over a bounded operand
+	}
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 0 {
+		return true // niladic call: runtime.Version() etc.
+	}
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		return isPackageLevelVar(pass, ix.X) // table[class] over a fixed table
+	}
+	return false
+}
+
+// isPackageLevelVar reports whether e resolves to a package-scope
+// variable (of this or any imported package).
+func isPackageLevelVar(pass *Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

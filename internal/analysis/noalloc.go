@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc is the compile-time face of the runtime alloc-pin tests: a
+// function annotated
+//
+//	//khist:noalloc
+//
+// in its doc comment has promised a zero-allocation steady state (the
+// rcache hit path, counter increments, the trace span recorder), and
+// this rule rejects the syntactic constructs that heap-allocate:
+//
+//   - any fmt.* call (Sprintf and friends always allocate);
+//   - string concatenation with a non-constant operand;
+//   - map and slice composite literals, and &T{} of any kind;
+//   - make, new, and append (append may grow);
+//   - func literals (closure environments escape);
+//   - string<->[]byte/[]rune conversions, EXCEPT as a map index —
+//     m[string(b)] is the compiler's documented no-copy lookup;
+//   - go statements.
+//
+// Plain struct value literals (Span{...} assigned into an array slot)
+// stay on the stack and are allowed. This is a syntactic
+// approximation, deliberately stricter than escape analysis: the
+// annotated functions are the hottest in the tree, and a construct the
+// compiler happens to keep on the stack today is one refactor away
+// from escaping silently.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "reject syntactically allocating constructs in //khist:noalloc functions",
+	Run:  runNoAlloc,
+}
+
+const noallocMarker = "//khist:noalloc"
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcDocHasMarker(fd, noallocMarker) {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// mapIndexConv marks conversion expressions appearing directly as a
+	// map index, which the compiler performs without allocating.
+	mapIndexConv := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ix, ok := n.(*ast.IndexExpr); ok {
+			if t := pass.Info.Types[ix.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					mapIndexConv[ast.Unparen(ix.Index)] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s is //khist:noalloc but starts a goroutine", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s is //khist:noalloc but builds a func literal (closure environments allocate)", name)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "%s is //khist:noalloc but takes the address of a composite literal", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.Info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Slice:
+					pass.Reportf(n.Pos(), "%s is //khist:noalloc but builds a %s literal", name, typeKind(t))
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if tv, ok := pass.Info.Types[n]; ok && tv.Value == nil && isStringType(tv.Type) {
+					pass.Reportf(n.Pos(), "%s is //khist:noalloc but concatenates non-constant strings", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, name, n, mapIndexConv)
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(pass *Pass, name string, call *ast.CallExpr, mapIndexConv map[ast.Expr]bool) {
+	// Builtins that allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s is //khist:noalloc but calls %s", name, b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "%s is //khist:noalloc but calls append (growth allocates)", name)
+			}
+			return
+		}
+	}
+	// fmt.* — every formatting entry point allocates.
+	if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "%s is //khist:noalloc but calls fmt.%s", name, fn.Name())
+		return
+	}
+	// string <-> []byte/[]rune conversions copy, unless used directly as
+	// a map index.
+	if tv, ok := pass.Info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		if mapIndexConv[ast.Unparen(call)] {
+			return
+		}
+		to, from := tv.Type, pass.Info.Types[call.Args[0]].Type
+		if from != nil && isStringByteConv(to, from) {
+			if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+				return // converting a constant is free
+			}
+			pass.Reportf(call.Pos(), "%s is //khist:noalloc but converts between string and byte/rune slice (copies)", name)
+		}
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return "composite"
+}

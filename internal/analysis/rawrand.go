@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawRand enforces the determinism invariant at its root: the only
+// randomness in the tree flows from explicitly seeded, splittable
+// sources. The package-level math/rand generator is process-global and
+// (absent a Seed call) time-seeded, so any use of it makes results
+// depend on scheduling and wall clock — which breaks the bit-identity
+// guarantee (same data + params => same histogram at any worker count).
+//
+// Flagged:
+//   - calls to math/rand package-level generator functions (Intn,
+//     Float64, Perm, Shuffle, Seed, Read, ...);
+//   - rand.New(src) where src is not a direct rand.NewSource(...) /
+//     par.NewSource(...) call — an opaque source can't be shown seeded.
+//
+// Exempt: package internal/par (the sanctioned RNG plumbing) and
+// _test.go files (tests may use throwaway randomness).
+var RawRand = &Analyzer{
+	Name: "rawrand",
+	Doc:  "forbid math/rand global generators and unseeded rand.New outside internal/par",
+	Run:  runRawRand,
+}
+
+// mathRandGlobals are the package-level functions that read or mutate
+// the shared global generator.
+var mathRandGlobals = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions share the same global-state problem.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+func isMathRandPath(p string) bool { return p == "math/rand" || p == "math/rand/v2" }
+
+func runRawRand(pass *Pass) error {
+	if pathHasSuffix(pass.Pkg.Path(), "internal/par") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || !isMathRandPath(fn.Pkg().Path()) {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // *rand.Rand methods run an explicit, seeded source
+			}
+			if mathRandGlobals[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"math/rand.%s uses the process-global generator; derive a stream with par.NewRand/par.NewSource so results stay bit-identical",
+					fn.Name())
+				return true
+			}
+			if fn.Name() == "New" && len(call.Args) == 1 {
+				if !isSeededSource(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"rand.New with an opaque source cannot be proven seeded; construct it as rand.New(rand.NewSource(seed)) or use par.NewRand")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSeededSource reports whether e is a direct call to a sanctioned
+// seeded-source constructor.
+func isSeededSource(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if isMathRandPath(fn.Pkg().Path()) && (fn.Name() == "NewSource" || fn.Name() == "NewPCG" || fn.Name() == "NewChaCha8") {
+		return true
+	}
+	if pathHasSuffix(fn.Pkg().Path(), "internal/par") && fn.Name() == "NewSource" {
+		return true
+	}
+	return false
+}

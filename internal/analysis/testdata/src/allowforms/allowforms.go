@@ -1,0 +1,23 @@
+// Package allowforms demonstrates every accepted waiver form; the test
+// expects zero diagnostics, proving each form suppresses its rule.
+package allowforms
+
+import "math/rand"
+
+func sameLine() {
+	rand.Intn(4) //khist:allow rawrand fixture demonstrates the same-line waiver form
+}
+
+func lineAbove() {
+	//khist:allow rawrand fixture demonstrates the line-above waiver form
+	rand.Intn(4)
+}
+
+// scoped draws twice; the single directive in this doc comment covers
+// the whole body.
+//
+//khist:allow rawrand fixture demonstrates the function-scoped waiver form
+func scoped() {
+	rand.Intn(4)
+	rand.Intn(4)
+}

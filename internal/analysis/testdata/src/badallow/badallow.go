@@ -1,0 +1,16 @@
+// Package badallow holds malformed waivers. The companion test asserts
+// directly on the diagnostics (want comments cannot share a line with
+// the directive under test): each malformed directive is reported under
+// rule "allow", and the violation it sat next to is NOT suppressed.
+package badallow
+
+import "math/rand"
+
+func reasonless() {
+	rand.Intn(4) //khist:allow rawrand
+}
+
+func unknownRule() {
+	//khist:allow nosuchrule the rule name is misspelled
+	rand.Intn(4)
+}

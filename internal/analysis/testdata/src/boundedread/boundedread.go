@@ -1,0 +1,39 @@
+package boundedread
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+)
+
+func slurp(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(resp.Body) // want "buffers the network body resp.Body with no length bound"
+}
+
+func decode(resp *http.Response, v any) error {
+	return json.NewDecoder(resp.Body).Decode(v) // want "decodes the network body resp.Body with no length bound"
+}
+
+func slurpConn(c net.Conn) ([]byte, error) {
+	return io.ReadAll(c) // want "buffers the network body c with no length bound"
+}
+
+func wrapped(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20)) // bounded at the argument: fine
+}
+
+func viaLocal(resp *http.Response) ([]byte, error) {
+	lr := io.LimitReader(resp.Body, 1<<20)
+	return io.ReadAll(lr) // bounded local: fine
+}
+
+func reassigned(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	return io.ReadAll(r.Body) // body reassigned through a bound: fine
+}
+
+func inMemory(b *bytes.Buffer) ([]byte, error) {
+	return io.ReadAll(b) // not a network body: fine
+}

@@ -1,0 +1,20 @@
+// Package obs is a typecheck stub of the real khist/internal/obs: the
+// metriclabel rule recognizes any function or method in a package with
+// this import-path suffix whose trailing parameter is a variadic
+// []string of label pairs as a label sink.
+package obs
+
+// Counter is a stub metric handle.
+type Counter struct{}
+
+// Registry is a stub metric registry.
+type Registry struct{}
+
+// Counter registers a counter series carrying the given label pairs.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge series carrying the given label pairs.
+func (r *Registry) Gauge(name, help string, fn func() float64, kv ...string) {}
+
+// Labels renders alternating key/value pairs.
+func Labels(kv ...string) string { return "" }

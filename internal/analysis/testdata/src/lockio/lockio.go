@@ -1,0 +1,92 @@
+package lockio
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"khist/internal/par"
+)
+
+type guard struct {
+	mu   sync.Mutex
+	pool *par.Pool
+	wg   sync.WaitGroup
+}
+
+func (g *guard) sleepy() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "sleeps while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guard) released() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	time.Sleep(time.Millisecond) // lock released first: fine
+}
+
+func (g *guard) deferred(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- 1 // want "sends on a channel while holding g.mu"
+}
+
+func (g *guard) poolWork() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pool.Do(func() {}) // want "dispatches par.Do work while holding g.mu"
+}
+
+func (g *guard) parFor() {
+	g.mu.Lock()
+	par.For(4, func(i int) {}) // want "dispatches par.For work while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guard) httpCall(c *http.Client, req *http.Request) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c.Do(req) // want "performs an HTTP round trip while holding g.mu"
+}
+
+func (g *guard) waits() {
+	g.mu.Lock()
+	g.wg.Wait() // want "waits on a sync primitive while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guard) receives(ch chan int) {
+	g.mu.Lock()
+	<-ch // want "receives from a channel while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guard) selects(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "waits in a select while holding g.mu"
+	case <-ch:
+	default:
+	}
+}
+
+func (g *guard) branches(cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	time.Sleep(time.Millisecond) // released on every live path: fine
+}
+
+type rguard struct {
+	mu sync.RWMutex
+}
+
+func (r *rguard) read() {
+	r.mu.RLock()
+	time.Sleep(time.Millisecond) // want "sleeps while holding r.mu"
+	r.mu.RUnlock()
+}

@@ -1,0 +1,44 @@
+package metriclabel
+
+import (
+	"strconv"
+
+	"khist/internal/obs"
+)
+
+var classes = []string{"small", "large"}
+
+func register(reg *obs.Registry, tenant string) {
+	reg.Counter("reqs_total", "requests", "code", "200")    // constant value: fine
+	reg.Counter("reqs_total", "requests", "tenant", tenant) // want "metric label value tenant is not from a compile-time-bounded set"
+	for _, c := range classes {
+		reg.Counter("class_total", "by class", "class", c) // range over a package-level var: fine
+	}
+	for i := range classes {
+		lbl := strconv.Itoa(i)
+		reg.Counter("shard_total", "by shard", "shard", lbl) // bounded ordinal index: fine
+	}
+}
+
+// forward forwards its own kv pairs into a sink, so it becomes a
+// derived sink and the check moves to its callers.
+func forward(reg *obs.Registry, kv ...string) *obs.Counter {
+	return reg.Counter("fwd_total", "forwarded", kv...)
+}
+
+func useForward(reg *obs.Registry, tenant string) {
+	forward(reg, "region", "eu")   // constant through the derived sink: fine
+	forward(reg, "tenant", tenant) // want "metric label value tenant is not from a compile-time-bounded set"
+}
+
+func relabel(reg *obs.Registry, pairs []string) {
+	reg.Counter("x_total", "x", pairs...) // want "label pairs forwarded from pairs cannot be bounds-checked"
+}
+
+// newPeerCounter registers the per-peer series; the function-scoped
+// waiver below covers every label value in the body.
+//
+//khist:allow metriclabel peer set is fixed by the static ring configuration
+func newPeerCounter(reg *obs.Registry, peer string) *obs.Counter {
+	return reg.Counter("peer_total", "per peer", "peer", peer)
+}

@@ -1,0 +1,45 @@
+package noalloc
+
+import "fmt"
+
+type counter struct{ n int }
+
+var registry = map[string]int{}
+
+// hot is the annotated hot path: the map-index conversion and the plain
+// struct value literal are both allocation-free and pass.
+//
+//khist:noalloc
+func hot(key []byte) counter {
+	return counter{n: registry[string(key)]}
+}
+
+// bad exercises every rejected construct.
+//
+//khist:noalloc
+func bad(a, b string, bs []byte) {
+	fmt.Println(a)       // want "calls fmt.Println"
+	_ = a + b            // want "concatenates non-constant strings"
+	_ = map[string]int{} // want "builds a map literal"
+	_ = []int{1}         // want "builds a slice literal"
+	_ = &counter{}       // want "takes the address of a composite literal"
+	_ = make([]byte, 8)  // want "calls make"
+	_ = new(counter)     // want "calls new"
+	bs = append(bs, 1)   // want "growth allocates"
+	_ = string(bs)       // want "converts between string and byte/rune slice"
+	_ = func() {}        // want "builds a func literal"
+}
+
+// spawn starts a goroutine from an annotated function.
+//
+//khist:noalloc
+func spawn() {
+	go run() // want "starts a goroutine"
+}
+
+func run() {}
+
+// unannotated functions may allocate freely.
+func unannotated(a, b string) string {
+	return a + b + fmt.Sprint(len(a))
+}

@@ -1,0 +1,20 @@
+package rawrand
+
+import (
+	"math/rand"
+
+	"khist/internal/par"
+)
+
+func draws() []int {
+	rand.Intn(10)                      // want "process-global generator"
+	rand.Shuffle(4, func(i, j int) {}) // want "process-global generator"
+	_ = rand.Float64()                 // want "process-global generator"
+	r := rand.New(rand.NewSource(42))  // seeded source spelled at the call: fine
+	_ = r.Intn(10)                     // *rand.Rand method on a seeded stream: fine
+	var src rand.Source
+	_ = rand.New(src)               // want "cannot be proven seeded"
+	_ = par.NewRand(1)              // sanctioned constructor: fine
+	q := rand.New(par.NewSource(2)) // par source spelled at the call: fine
+	return q.Perm(3)
+}

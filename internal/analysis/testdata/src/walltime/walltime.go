@@ -1,0 +1,35 @@
+package walltime
+
+import "time"
+
+// ticker declares an injectable clock seam, so its methods must read
+// time through the seam.
+type ticker struct {
+	now  func() time.Time
+	last time.Time
+}
+
+func newTicker() *ticker {
+	return &ticker{now: time.Now} // value reference is the production default: fine
+}
+
+func (t *ticker) stamp() time.Time {
+	return time.Now() // want "bypasses ticker's injectable clock"
+}
+
+func (t *ticker) age(start time.Time) time.Duration {
+	return time.Since(start) // want "bypasses ticker's injectable clock"
+}
+
+func (t *ticker) good(start time.Time) time.Duration {
+	return t.now().Sub(start) // reads the seam: fine
+}
+
+func (t *ticker) reset() {
+	t.now = time.Now // value reference, not a call: fine
+}
+
+// plain has no clock seam; its methods may use the wall clock.
+type plain struct{ n int }
+
+func (p *plain) stamp() time.Time { return time.Now() }

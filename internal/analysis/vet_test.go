@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"khist/internal/analysis"
+	"khist/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its fixture package; every flagged line
+// carries a want comment, so these tests prove both that the rule fires
+// on the violating shapes and that it stays silent on the sanctioned
+// ones.
+
+func TestRawRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.RawRand, "rawrand")
+}
+
+// TestRawRandExemptsPar proves the internal/par carve-out: the stub
+// package uses the global generator and produces no diagnostics.
+func TestRawRandExemptsPar(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.RawRand, "khist/internal/par")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.WallTime, "walltime")
+}
+
+func TestBoundedRead(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.BoundedRead, "boundedread")
+}
+
+func TestMetricLabel(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MetricLabel, "metriclabel")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NoAlloc, "noalloc")
+}
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.LockIO, "lockio")
+}

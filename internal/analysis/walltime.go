@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime guards the injectable-clock seams. A type that declares a
+// `func() time.Time` field (quotas' `now`, and any future recorder
+// clock) has promised its tests ownership of time; a method of such a
+// type that calls time.Now/Since/Until directly reintroduces the wall
+// clock behind the seam's back, so deterministic quota/refill tests go
+// flaky the day someone "simplifies" a call site.
+//
+// Flagged: calls to time.Now, time.Since, or time.Until inside methods
+// whose receiver's struct type declares a func() time.Time field.
+// Using `time.Now` as a *value* (the seam's production default, e.g.
+// `&quotas{now: time.Now}`) is fine — only direct calls bypass the
+// seam. _test.go files are exempt.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid direct time.Now/Since/Until in methods of types with an injectable clock seam",
+	Run:  runWallTime,
+}
+
+func runWallTime(pass *Pass) error {
+	seamField := findClockSeams(pass)
+	if len(seamField) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := receiverNamed(pass, fd)
+			field, seamed := seamField[recv]
+			if !seamed {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(),
+						"time.%s bypasses %s's injectable clock; read the %q seam instead so tests keep owning time",
+						fn.Name(), recv.Obj().Name(), field)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// findClockSeams maps each named struct type in the package that
+// declares a func() time.Time field to that field's name.
+func findClockSeams(pass *Pass) map[*types.Named]string {
+	seams := make(map[*types.Named]string)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			sig, ok := fld.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+				continue
+			}
+			if named, ok := sig.Results().At(0).Type().(*types.Named); ok &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time" {
+				seams[namedOf(tn.Type())] = fld.Name()
+				break
+			}
+		}
+	}
+	return seams
+}
+
+// receiverNamed resolves a method's receiver base type.
+func receiverNamed(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.Info.Types[fd.Recv.List[0].Type].Type
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return namedOf(t)
+}
+
+func namedOf(t types.Type) *types.Named {
+	n, _ := t.(*types.Named)
+	return n
+}

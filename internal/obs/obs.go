@@ -34,10 +34,14 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//khist:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be non-negative for the rendered series to stay a
 // valid Prometheus counter; the type does not police it).
+//
+//khist:noalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Load returns the current value.

@@ -107,7 +107,11 @@ func (a *Active) Start() time.Time {
 	return a.start
 }
 
-// Add appends a local span beginning at t0 and lasting d.
+// Add appends a local span beginning at t0 and lasting d. It runs on
+// every traced request's hot path: the span lands in the fixed-size
+// array by value, no heap traffic.
+//
+//khist:noalloc
 func (a *Active) Add(name string, t0 time.Time, d time.Duration, note string) {
 	if a == nil {
 		return
@@ -406,6 +410,11 @@ func (t *Tracer) slow(d time.Duration) bool {
 	return us > 0 && d.Microseconds() >= us
 }
 
+// recycle clears and pools a finished collector; paired with the pool
+// Get in Start, it keeps the per-request trace plumbing allocation-free
+// in steady state.
+//
+//khist:noalloc
 func (t *Tracer) recycle(a *Active) {
 	for i := 0; i < a.n; i++ {
 		a.spans[i] = Span{} // release string refs

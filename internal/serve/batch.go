@@ -94,13 +94,13 @@ func batchShed(retryAfter int, err error) BatchItemResult {
 
 // batchPlanItem is one decoded sub-query of a cached plan. Everything
 // here is a pure function of the item's bytes: the routing keys and
-// exec closure (p), the response-cache key (rkey), or the decode
-// failure (err). Immutable once built, shared across requests.
+// exec closure (p), or the decode failure (err); op plus raw is the
+// response-cache address. Immutable once built, shared across
+// requests.
 type batchPlanItem struct {
-	op   string
-	raw  json.RawMessage
-	rkey string
-	p    *prepared
+	op  string
+	raw json.RawMessage
+	p   *prepared
 	// err is the prebuilt result of an item that failed to decode (nil
 	// body in a BatchItemResult never happens — err.Body is set).
 	err *BatchItemResult
@@ -127,7 +127,6 @@ func buildBatchPlan(s *Server, items []BatchItem) []*batchPlanItem {
 			continue
 		}
 		pi.p = p
-		pi.rkey = respKey(it.Op, false, it.Req)
 	}
 	return plan
 }
@@ -138,7 +137,7 @@ func buildBatchPlan(s *Server, items []BatchItem) []*batchPlanItem {
 func planBytes(plan []*batchPlanItem, keyLen int) int64 {
 	b := int64(keyLen) + 64
 	for _, pi := range plan {
-		b += int64(len(pi.op) + 2*len(pi.raw) + len(pi.rkey) + 160)
+		b += int64(2*len(pi.op) + 3*len(pi.raw) + 168)
 		if pi.err != nil {
 			b += int64(len(pi.err.Body))
 		}
@@ -408,7 +407,7 @@ func (s *Server) forwardBatch(ctx context.Context, idxs []int, plan []*batchPlan
 // publishing the bytes for the next identical query — single or batched.
 func (s *Server) execBatchItem(ctx context.Context, pi *batchPlanItem) BatchItemResult {
 	p := pi.p
-	if e := s.respc.get(pi.rkey); e != nil {
+	if e := s.respc.get(pi.op, false, pi.raw); e != nil {
 		_, release, retry, err := s.admitKeys(p.tenant, p.sourceKey)
 		if err != nil {
 			return batchShed(retry, err)
@@ -429,7 +428,7 @@ func (s *Server) execBatchItem(ctx context.Context, pi *batchPlanItem) BatchItem
 	if err != nil {
 		return batchError(http.StatusInternalServerError, err)
 	}
-	s.respc.put(pi.rkey, &respEntry{
+	s.respc.put(pi.op, false, pi.raw, &respEntry{
 		tenant:      p.tenant,
 		sourceKey:   p.sourceKey,
 		bundleKey:   bundleKey,

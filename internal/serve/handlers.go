@@ -427,12 +427,11 @@ func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
 		act := activeOf(w)
 		binReq := r.Header.Get("Content-Type") == BinaryContentType
 		binResp := wantsBinary(r, binReq)
-		rkey := respKey(ep, binResp, body)
 		var t0 time.Time
 		if act != nil {
 			t0 = time.Now()
 		}
-		e := s.respc.get(rkey)
+		e := s.respc.get(ep, binResp, body)
 		if act != nil {
 			note := StatusMiss
 			if e != nil {
@@ -509,7 +508,7 @@ func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
-		s.respc.put(rkey, &respEntry{
+		s.respc.put(ep, binResp, body, &respEntry{
 			tenant:      p.tenant,
 			sourceKey:   p.sourceKey,
 			bundleKey:   bundleKey,

@@ -35,11 +35,26 @@ import (
 // entirely from the response-byte cache: zero recompute, zero encode.
 const StatusRespHit = "rhit"
 
+// epKey identifies one (endpoint, response-encoding) response space.
+// Splitting the cache key into this struct plus the raw request bytes
+// — instead of concatenating everything into one string — is what
+// makes the hit path allocation-free: the lookup indexes a nested map
+// as entries[epKey{...}][string(body)], and the compiler performs that
+// string conversion without copying when it appears directly as a map
+// index.
+type epKey struct {
+	endpoint string
+	binary   bool
+}
+
 // respEntry is one cached encoded response. All fields are immutable
 // after insertion; body in particular is shared read-only with writers
 // that may still be streaming it after the entry was invalidated.
 type respEntry struct {
-	key string
+	ep epKey
+	// req holds the raw request body bytes — the content address; set
+	// by put (the one place that pays the []byte -> string copy).
+	req string
 	// tenant and sourceKey are the routing keys decoded from the request
 	// that built the entry — identical body bytes decode to identical
 	// keys, so the hit path admits and routes without parsing JSON.
@@ -57,18 +72,6 @@ type respEntry struct {
 	bytes int64
 }
 
-// respKey builds the content-addressed cache key. The encoding marker
-// keeps JSON and binary renderings of one query apart; the raw body
-// bytes carry the endpoint's entire parameter surface (and the request
-// encoding, since binary and JSON bodies differ bytewise).
-func respKey(endpoint string, binary bool, body []byte) string {
-	enc := "|j|"
-	if binary {
-		enc = "|b|"
-	}
-	return "resp|" + endpoint + enc + string(body)
-}
-
 // respEntryOverhead approximates the bookkeeping bytes per entry (list
 // element, map slot, header fields) on top of the key and body payloads.
 const respEntryOverhead = 160
@@ -79,8 +82,12 @@ type respPart struct {
 	mu       sync.Mutex
 	capBytes int64
 	used     int64
+	count    int
 	order    *list.List // front = most recently used
-	entries  map[string]*list.Element
+	// entries nests by (endpoint, encoding) then raw request bytes, so
+	// the hit path's inner lookup is the compiler's no-copy
+	// map[string]-indexed-by-[]byte form.
+	entries map[epKey]map[string]*list.Element
 	// deps indexes this part's entries by parent bundle key, so a bundle
 	// eviction invalidates its dependents without a scan.
 	deps map[string]map[*list.Element]struct{}
@@ -112,29 +119,46 @@ func newRespCache(parts int, perPartBytes int64) *respCache {
 		rc.parts[i] = &respPart{
 			capBytes: perPartBytes,
 			order:    list.New(),
-			entries:  make(map[string]*list.Element),
+			entries:  make(map[epKey]map[string]*list.Element),
 			deps:     make(map[string]map[*list.Element]struct{}),
 		}
 	}
 	return rc
 }
 
-func (rc *respCache) part(key string) *respPart {
+// part routes a lookup to its lock by hashing the full content address
+// incrementally — endpoint, an encoding marker byte, then the raw body
+// — so no intermediate key string is ever built.
+//
+//khist:noalloc
+func (rc *respCache) part(endpoint string, binary bool, body []byte) *respPart {
 	// Inlined FNV-1a (see serve.go): hash/fnv would allocate on every
 	// lookup, and this is the zero-recompute hit path.
-	return rc.parts[fnv32a(fnvOffset32, key)%uint32(len(rc.parts))]
+	h := fnv32a(fnvOffset32, endpoint)
+	enc := byte('j')
+	if binary {
+		enc = 'b'
+	}
+	h = (h ^ uint32(enc)) * fnvPrime32
+	h = fnv32aBytes(h, body)
+	return rc.parts[h%uint32(len(rc.parts))]
 }
 
-// get returns the entry cached under key, bumping its recency, or nil.
-// The returned entry is immutable and remains valid (readable) even if
-// it is concurrently evicted or invalidated.
-func (rc *respCache) get(key string) *respEntry {
-	p := rc.part(key)
+// get returns the entry cached under (endpoint, encoding, body),
+// bumping its recency, or nil. The returned entry is immutable and
+// remains valid (readable) even if it is concurrently evicted or
+// invalidated. This is the zero-recompute serving path: it must not
+// allocate — the nested-map lookup below replaced a per-request
+// body-sized key concatenation.
+//
+//khist:noalloc
+func (rc *respCache) get(endpoint string, binary bool, body []byte) *respEntry {
+	p := rc.part(endpoint, binary, body)
 	if p.capBytes <= 0 {
 		return nil
 	}
 	p.mu.Lock()
-	el, ok := p.entries[key]
+	el, ok := p.entries[epKey{endpoint, binary}][string(body)]
 	if !ok {
 		p.mu.Unlock()
 		p.misses.Add(1)
@@ -148,20 +172,28 @@ func (rc *respCache) get(key string) *respEntry {
 	return e
 }
 
-// put inserts e under key, evicting least-recently-used entries until
-// the part's byte budget holds. Entries larger than the whole part
-// budget are not cached; re-putting an existing key refreshes it.
-func (rc *respCache) put(key string, e *respEntry) {
-	e.key = key
-	e.bytes = int64(len(key)+len(e.body)+len(e.tenant)+len(e.sourceKey)+len(e.bundleKey)+len(e.contentType)) + respEntryOverhead
-	p := rc.part(key)
+// put inserts e under (endpoint, encoding, body), evicting
+// least-recently-used entries until the part's byte budget holds.
+// Entries larger than the whole part budget are not cached; re-putting
+// an existing key refreshes it. The miss path pays the one
+// []byte -> string copy that get avoids.
+func (rc *respCache) put(endpoint string, binary bool, body []byte, e *respEntry) {
+	e.ep = epKey{endpoint, binary}
+	e.req = string(body)
+	e.bytes = int64(len(endpoint)+len(e.req)+len(e.body)+len(e.tenant)+len(e.sourceKey)+len(e.bundleKey)+len(e.contentType)) + respEntryOverhead
+	p := rc.part(endpoint, binary, body)
 	if p.capBytes <= 0 || e.bytes > p.capBytes {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.insertedBytes += e.bytes
-	if el, ok := p.entries[key]; ok {
+	inner := p.entries[e.ep]
+	if inner == nil {
+		inner = make(map[string]*list.Element)
+		p.entries[e.ep] = inner
+	}
+	if el, ok := inner[e.req]; ok {
 		old := el.Value.(*respEntry)
 		p.used += e.bytes - old.bytes
 		p.unlinkDepLocked(old.bundleKey, el)
@@ -170,9 +202,10 @@ func (rc *respCache) put(key string, e *respEntry) {
 		p.order.MoveToFront(el)
 	} else {
 		el := p.order.PushFront(e)
-		p.entries[key] = el
+		inner[e.req] = el
 		p.linkDepLocked(e.bundleKey, el)
 		p.used += e.bytes
+		p.count++
 	}
 	for p.used > p.capBytes {
 		oldest := p.order.Back()
@@ -224,13 +257,20 @@ func (p *respPart) unlinkDepLocked(bundleKey string, el *list.Element) {
 	}
 }
 
-// removeLocked drops one entry from the LRU, the key map, and the
-// dependency index. Callers account the eviction/invalidation counters.
+// removeLocked drops one entry from the LRU, the nested key maps, and
+// the dependency index. Callers account the eviction/invalidation
+// counters.
 func (p *respPart) removeLocked(el *list.Element, e *respEntry) {
 	p.order.Remove(el)
-	delete(p.entries, e.key)
+	if inner, ok := p.entries[e.ep]; ok {
+		delete(inner, e.req)
+		if len(inner) == 0 {
+			delete(p.entries, e.ep)
+		}
+	}
 	p.unlinkDepLocked(e.bundleKey, el)
 	p.used -= e.bytes
+	p.count--
 }
 
 // RespCacheStats is the response-byte cache section of /v1/stats,
@@ -259,7 +299,7 @@ func (rc *respCache) stats() RespCacheStats {
 		st.Hits += p.hits.Load()
 		st.Misses += p.misses.Load()
 		p.mu.Lock()
-		st.Entries += len(p.entries)
+		st.Entries += p.count
 		st.Bytes += p.used
 		st.HitBytes += p.hitBytes
 		st.InsertedByte += p.insertedBytes

@@ -89,25 +89,27 @@ func TestRespCacheLRU(t *testing.T) {
 		return &respEntry{tenant: "t", sourceKey: "s", bundleKey: bundle,
 			contentType: jsonContentType, body: []byte(strings.Repeat("x", n))}
 	}
-	// One part, sized for exactly two such entries ("keyN" keys, 64-byte
-	// bodies, "bN" bundle keys, 1-byte tenant and source keys).
-	perEntry := int64(len("keyN")+64+1+1+len("bN")+len(jsonContentType)) + respEntryOverhead
+	// One part, sized for exactly two such entries ("ep" endpoint,
+	// "kN" request bodies, 64-byte response bodies, "bN" bundle keys,
+	// 1-byte tenant and source keys).
+	perEntry := int64(len("ep")+len("kN")+64+1+1+len("bN")+len(jsonContentType)) + respEntryOverhead
 	rc := newRespCache(1, 2*perEntry)
+	k1, k2, k3 := []byte("k1"), []byte("k2"), []byte("k3")
 
-	rc.put("key1", mk("b1", 64))
-	rc.put("key2", mk("b2", 64))
-	if rc.get("key1") == nil || rc.get("key2") == nil {
+	rc.put("ep", false, k1, mk("b1", 64))
+	rc.put("ep", false, k2, mk("b2", 64))
+	if rc.get("ep", false, k1) == nil || rc.get("ep", false, k2) == nil {
 		t.Fatal("both entries should fit")
 	}
-	// key1 was touched more recently than nothing — touch it, then insert
-	// key3: key2 is the LRU and must go.
-	rc.get("key1")
-	rc.put("key3", mk("b3", 64))
-	if rc.get("key2") != nil {
-		t.Fatal("key2 should have been evicted (LRU)")
+	// k1 was touched more recently than nothing — touch it, then insert
+	// k3: k2 is the LRU and must go.
+	rc.get("ep", false, k1)
+	rc.put("ep", false, k3, mk("b3", 64))
+	if rc.get("ep", false, k2) != nil {
+		t.Fatal("k2 should have been evicted (LRU)")
 	}
-	if rc.get("key1") == nil || rc.get("key3") == nil {
-		t.Fatal("key1 and key3 should survive the eviction")
+	if rc.get("ep", false, k1) == nil || rc.get("ep", false, k3) == nil {
+		t.Fatal("k1 and k3 should survive the eviction")
 	}
 	st := rc.stats()
 	if st.Evictions != 1 || st.EvictedBytes <= 0 {
@@ -115,8 +117,8 @@ func TestRespCacheLRU(t *testing.T) {
 	}
 
 	// Refreshing a key replaces its entry without leaking accounting.
-	rc.put("key1", mk("b9", 64))
-	if e := rc.get("key1"); e == nil || e.bundleKey != "b9" {
+	rc.put("ep", false, k1, mk("b9", 64))
+	if e := rc.get("ep", false, k1); e == nil || e.bundleKey != "b9" {
 		t.Fatal("re-put should refresh the entry")
 	}
 	if st := rc.stats(); int64(st.Entries)*perEntry < st.Bytes {
@@ -125,26 +127,36 @@ func TestRespCacheLRU(t *testing.T) {
 
 	// Invalidation drops exactly the bundle's dependents.
 	rc.invalidateBundle("b9")
-	if rc.get("key1") != nil {
-		t.Fatal("key1 should be gone after its bundle was invalidated")
+	if rc.get("ep", false, k1) != nil {
+		t.Fatal("k1 should be gone after its bundle was invalidated")
 	}
-	if rc.get("key3") == nil {
-		t.Fatal("key3 depends on b3 and should survive b9's invalidation")
+	if rc.get("ep", false, k3) == nil {
+		t.Fatal("k3 depends on b3 and should survive b9's invalidation")
 	}
 	if st := rc.stats(); st.Invalidations != 1 || st.InvalidatedBytes <= 0 {
 		t.Fatalf("invalidations=%d invalidated_bytes=%d, want 1 with bytes", st.Invalidations, st.InvalidatedBytes)
 	}
 
 	// An entry above the whole part budget is refused outright.
-	rc.put("huge", mk("b", int(3*perEntry)))
-	if rc.get("huge") != nil {
+	rc.put("ep", false, []byte("huge"), mk("b", int(3*perEntry)))
+	if rc.get("ep", false, []byte("huge")) != nil {
 		t.Fatal("oversized entry should not be cached")
+	}
+
+	// The encoding marker keeps JSON and binary renderings apart.
+	rc.invalidateBundle("b3")
+	rc.put("ep", false, k1, mk("bj", 64))
+	if rc.get("ep", true, k1) != nil {
+		t.Fatal("binary lookup must not hit the JSON entry for the same body")
+	}
+	if rc.get("ep", false, k1) == nil {
+		t.Fatal("JSON entry should still hit")
 	}
 
 	// Zero budget: fully wired, never stores, never hits.
 	off := newRespCache(2, 0)
-	off.put("k", mk("b", 8))
-	if off.get("k") != nil {
+	off.put("ep", false, []byte("k"), mk("b", 8))
+	if off.get("ep", false, []byte("k")) != nil {
 		t.Fatal("zero-budget cache should never hit")
 	}
 }

@@ -314,6 +314,8 @@ func (s *Server) resolveSource2D(spec Source2DSpec) (*grid.Grid, error) {
 // hit path cannot afford — and must keep producing the same values
 // (tenant, 0x00, sourceKey under FNV-1a): shard placement is part of
 // the cache-locality contract.
+//
+//khist:noalloc
 func (s *Server) shardFor(tenant, sourceKey string) *shard {
 	h := fnv32a(fnvOffset32, tenant)
 	h *= fnvPrime32 // the 0x00 separator: XOR with zero is the identity
@@ -327,9 +329,21 @@ const (
 	fnvPrime32  uint32 = 16777619
 )
 
+//khist:noalloc
 func fnv32a(h uint32, s string) uint32 {
 	for i := 0; i < len(s); i++ {
 		h = (h ^ uint32(s[i])) * fnvPrime32
+	}
+	return h
+}
+
+// fnv32aBytes is fnv32a over raw bytes, so byte-slice inputs (request
+// bodies) hash without a string conversion.
+//
+//khist:noalloc
+func fnv32aBytes(h uint32, b []byte) uint32 {
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint32(b[i])) * fnvPrime32
 	}
 	return h
 }
