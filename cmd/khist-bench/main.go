@@ -20,7 +20,12 @@
 // one place. The snapshot is also embedded in the JSON report. Adding
 // -traces N prints the N slowest server-side traces the tracing plane
 // retained (/v1/trace), spans inline, so tail latency can be read
-// layer by layer right where the rps numbers are.
+// layer by layer right where the rps numbers are. Adding -ingest N
+// pushes N deterministic observations into a live stream (-stream names
+// it) over POST /v1/ingest and then times a cold and a repeat
+// stream-sourced /v1/learn — the repeat must come back from the
+// response cache (X-Khist-Cache: rhit), so the flag doubles as a
+// smoke check of the whole ingest -> snapshot -> learn -> cache path.
 //
 // Collect with -benchmem to also record bytes/op and allocs/op per row
 // (`... 1234 ns/op 56 B/op 7 allocs/op` lines), so allocation
@@ -109,6 +114,8 @@ func main() {
 		out    = flag.String("out", "", "JSON report file (default: stdout)")
 		server = flag.String("server", "", "base URL of a live khist-server; its self-reported learned latency histogram (/v1/stats) is printed next to the measured rps and embedded in the report")
 		traces = flag.Int("traces", 0, "with -server: also fetch the server's retained traces (/v1/trace) and print the N slowest, spans inline")
+		ingest = flag.Int("ingest", 0, "with -server: push N observations into a live stream (POST /v1/ingest), then time a cold and a repeat stream-sourced /v1/learn — the repeat must come back X-Khist-Cache: rhit")
+		stream = flag.String("stream", "bench", "with -ingest: the stream id to feed")
 	)
 	flag.Parse()
 
@@ -129,6 +136,11 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
 	if *server != "" {
+		if *ingest > 0 {
+			if err := runIngest(os.Stderr, *server, *stream, *ingest); err != nil {
+				fatal(err)
+			}
+		}
 		snap, err := fetchServerLatency(*server)
 		if err != nil {
 			fatal(err)
@@ -142,6 +154,8 @@ func main() {
 		}
 	} else if *traces > 0 {
 		fatal(fmt.Errorf("-traces needs -server"))
+	} else if *ingest > 0 {
+		fatal(fmt.Errorf("-ingest needs -server"))
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -268,6 +282,107 @@ func decodeReply(r io.Reader, v any) error {
 		return fmt.Errorf("reply exceeds the %d-byte cap", maxReplyBytes)
 	}
 	return err
+}
+
+// ingestDomain is the value domain -ingest feeds; it matches the n=512
+// the synthetic serve modes use so the learned histograms compare.
+const ingestDomain = 512
+
+// ingestBatchCap bounds one /v1/ingest body; larger -ingest totals are
+// split so no single request balloons past the server's body cap.
+const ingestBatchCap = 4096
+
+// runIngest drives the live ingest plane: it pushes total observations
+// into the named stream for tenant "bench" (deterministic skewed values
+// — low values hot — so reruns feed identical data), then times a cold
+// and a repeat stream-sourced /v1/learn. The repeat must be a response-
+// cache hit (X-Khist-Cache: rhit): the ingest advanced the stream
+// version, so anything cached before this run is stale by fingerprint
+// and the first learn recomputes.
+func runIngest(w io.Writer, base, stream string, total int) error {
+	hc := &http.Client{Timeout: 30 * time.Second}
+	base = strings.TrimRight(base, "/")
+	var version uint64
+	var count int64
+	seq := 0
+	batches := 0
+	for pushed := 0; pushed < total; {
+		n := total - pushed
+		if n > ingestBatchCap {
+			n = ingestBatchCap
+		}
+		vals := make([]int, n)
+		for i := range vals {
+			// Min of two deterministic pseudo-uniform draws: triangular
+			// skew toward low values, same data on every rerun.
+			a := (seq * 2654435761) % ingestDomain
+			b := (seq*40503 + 12345) % ingestDomain
+			if b < a {
+				a = b
+			}
+			vals[i] = a
+			seq++
+		}
+		body, err := json.Marshal(map[string]any{
+			"tenant": "bench", "stream": stream, "n": ingestDomain, "values": vals,
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Post(base+"/v1/ingest", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return fmt.Errorf("POST %s/v1/ingest: %w", base, err)
+		}
+		var ack struct {
+			Version uint64 `json:"version"`
+			Count   int64  `json:"count"`
+		}
+		decErr := decodeReply(resp.Body, &ack)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s/v1/ingest: status %d", base, resp.StatusCode)
+		}
+		if decErr != nil {
+			return fmt.Errorf("decoding %s/v1/ingest: %w", base, decErr)
+		}
+		version, count = ack.Version, ack.Count
+		pushed += n
+		batches++
+	}
+	fmt.Fprintf(w, "ingest    %d observations in %d batches -> stream=%q version=%d count=%d\n",
+		total, batches, stream, version, count)
+
+	learnBody := fmt.Sprintf(
+		`{"tenant":"bench","source":{"stream":%q},"k":4,"eps":0.2,"scale":0.02,"cap":8000,"seed":1}`, stream)
+	learn := func() (time.Duration, string, error) {
+		start := time.Now()
+		resp, err := hc.Post(base+"/v1/learn", "application/json", strings.NewReader(learnBody))
+		if err != nil {
+			return 0, "", fmt.Errorf("POST %s/v1/learn: %w", base, err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, io.LimitReader(resp.Body, maxReplyBytes)); err != nil {
+			return 0, "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, "", fmt.Errorf("%s/v1/learn from stream: status %d", base, resp.StatusCode)
+		}
+		return time.Since(start), resp.Header.Get("X-Khist-Cache"), nil
+	}
+	cold, coldStatus, err := learn()
+	if err != nil {
+		return err
+	}
+	repeat, repeatStatus, err := learn()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "stream    cold learn   %10s  cache=%s\n", cold.Round(time.Microsecond), coldStatus)
+	fmt.Fprintf(w, "stream    repeat learn %10s  cache=%s\n", repeat.Round(time.Microsecond), repeatStatus)
+	if repeatStatus != "rhit" {
+		return fmt.Errorf("repeat stream learn was not a response-cache hit (X-Khist-Cache=%q)", repeatStatus)
+	}
+	return nil
 }
 
 // fetchServerLatency pulls the latency snapshot out of a live server's

@@ -3,8 +3,12 @@
 // registered or inline distributions, with per-tenant sharding, an LRU
 // cache of tabulated sample sets, request coalescing, and admission
 // control (per-shard load shedding plus per-tenant rate/concurrency
-// quotas via -quotas). See the README's "Serving layer" and "Admission
-// control & quotas" sections for the API and the determinism guarantee.
+// quotas via -quotas). Live data enters over POST /v1/ingest into
+// per-(tenant, stream) bounded sketches (-max-streams, -stream-buckets,
+// -stream-reservoir), and any query may then name {"stream": "<id>"} as
+// its source instead of a generator. See the README's "Serving layer",
+// "Streaming ingest", and "Admission control & quotas" sections for the
+// API and the determinism guarantee.
 //
 // Examples:
 //
@@ -15,6 +19,16 @@
 //	curl -s localhost:8080/v1/learn -d '{
 //	  "tenant": "acme",
 //	  "source": {"gen": "zipf", "n": 1024},
+//	  "k": 8, "eps": 0.1, "scale": 0.05, "seed": 7
+//	}'
+//
+//	curl -s localhost:8080/v1/ingest -d '{
+//	  "tenant": "acme", "stream": "checkout", "n": 1024,
+//	  "values": [3, 17, 3, 990]
+//	}'
+//	curl -s localhost:8080/v1/learn -d '{
+//	  "tenant": "acme",
+//	  "source": {"stream": "checkout"},
 //	  "k": 8, "eps": 0.1, "scale": 0.05, "seed": 7
 //	}'
 //
@@ -54,6 +68,9 @@ func main() {
 		maxDomain    = flag.Int("max-domain", serve.DefaultMaxDomain, "largest resolvable source domain (n, or rows*cols); larger sources are rejected")
 		maxBodyBytes = flag.Int64("max-body-bytes", serve.DefaultMaxBodyBytes, "largest accepted request body; bigger bodies are 413s before they can allocate")
 		maxQueue     = flag.Int("max-queue-per-shard", 0, "requests concurrently admitted per shard before load shedding (429); 0 means 8x workers-per-shard")
+		maxStreams   = flag.Int("max-streams", serve.DefaultMaxStreams, "distinct (tenant, stream) live sketches the ingest plane holds; further streams are shed with 429")
+		streamBkts   = flag.Int("stream-buckets", serve.DefaultStreamBuckets, "bucket budget of each stream's bounded histogram (memory/accuracy trade-off past the reservoir)")
+		streamRes    = flag.Int("stream-reservoir", serve.DefaultStreamReservoir, "per-stream reservoir size: snapshots are exact up to this many observations")
 		quotasPath   = flag.String("quotas", "", "per-tenant quota config (JSON: {\"default\": {\"rps\":..,\"burst\":..,\"max_in_flight\":..}, \"tenants\": {...}}); empty admits everything")
 		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster node, including this one (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080); empty runs standalone")
 		self         = flag.String("self", "", "this node's base URL exactly as it appears in -peers (required with -peers)")
@@ -92,6 +109,9 @@ func main() {
 		MaxQueuePerShard:   *maxQueue,
 		ResponseCacheBytes: *respCache,
 		MaxBatchItems:      *maxBatch,
+		MaxStreams:         *maxStreams,
+		StreamBuckets:      *streamBkts,
+		StreamReservoir:    *streamRes,
 		Quotas:             quotas,
 		Cluster:            serve.ClusterConfig{Self: *self, Peers: peerList},
 		Metrics:            serve.MetricsConfig{Disabled: *noMetrics, Window: *metricsWin, K: *metricsK},

@@ -1,72 +1,158 @@
-// One-pass streaming histograms: maintain a bounded-memory summary of an
-// endless event stream (here: bucketed response latencies) and extract a
-// near-v-optimal k-histogram on demand — including after the workload
-// shifts, demonstrating that repeated extraction tracks the stream.
+// Streaming histograms over the wire: feed an endless event stream
+// (here: bucketed response latencies) into a khist server's ingest
+// plane with POST /v1/ingest, then extract near-v-optimal k-histograms
+// on demand with POST /v1/learn naming {"stream": "<id>"} as the
+// source — including after the workload shifts, demonstrating that
+// repeated extraction tracks the live stream while the response cache
+// serves unchanged repeats for free.
+//
+// By default the example boots an in-process server; point -server at a
+// running khist-server to drive a real deployment instead:
+//
+//	go run ./examples/streamhist
+//	go run ./examples/streamhist -server http://localhost:8080
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	"khist"
+	"khist/internal/serve"
 )
 
 const (
-	buckets = 1024 // latency buckets
-	pieces  = 6
+	buckets   = 1024 // latency buckets: the stream's value domain
+	pieces    = 6
+	tenant    = "demo"
+	streamID  = "latency"
+	batchSize = 4096
 )
 
 func main() {
-	m, err := khist.NewMaintainer(khist.StreamOptions{
-		N: buckets, K: pieces, Eps: 0.1,
-		ReservoirSize: 30000,
-		Rand:          rand.New(rand.NewSource(1)),
-	})
-	if err != nil {
-		log.Fatal(err)
+	server := flag.String("server", "", "base URL of a running khist-server (empty boots one in-process)")
+	flag.Parse()
+
+	base := *server
+	if base == "" {
+		s, err := serve.New(serve.Config{
+			Shards: 2, WorkersPerShard: 2,
+			CacheBytes:         64 << 20,
+			ResponseCacheBytes: 16 << 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("in-process khist server at %s\n\n", base)
 	}
-	fmt.Printf("summary memory: %d items/counters (stream length: unbounded)\n\n", m.MemoryItems())
+	base = strings.TrimRight(base, "/")
 
 	// Phase 1: healthy service. Latency profile is a 3-regime histogram
-	// (fast cache hits, normal requests, slow tail).
+	// (fast cache hits, normal requests, slow tail); sample it and push
+	// the raw observations through the ingest plane.
 	healthy, err := khist.KHistogramFromSpec(buckets,
 		[]int{64, 512}, []float64{0.55, 0.40, 0.05})
 	if err != nil {
 		log.Fatal(err)
 	}
-	feed(m, healthy, 500000, 2)
-	report(m, healthy, "after 500k healthy events")
+	ver := feed(base, healthy, 100_000, 2)
+	fmt.Printf("after 100k healthy events (stream version %d):\n", ver)
+	report(base, healthy)
+	// An unchanged repeat is served from stored response bytes (rhit).
+	report(base, healthy)
 
 	// Phase 2: a degraded dependency adds a latency mode around bucket
-	// 700-800. Keep streaming into the SAME summary.
+	// 700-800. Keep streaming into the SAME server-side stream: the
+	// version bump invalidates every cached answer derived from it, so
+	// the next learn recomputes against the shifted data.
 	degraded, err := khist.KHistogramFromSpec(buckets,
 		[]int{64, 512, 700, 800}, []float64{0.40, 0.30, 0.05, 0.20, 0.05})
 	if err != nil {
 		log.Fatal(err)
 	}
-	feed(m, degraded, 2000000, 3)
-	report(m, degraded, "after 2M more degraded events")
-
-	// The dyadic sketch answers whole-stream range questions directly.
-	slow := khist.Interval{Lo: 700, Hi: 800}
-	fmt.Printf("\nsketch: fraction of ALL events in the new slow band %v: %.3f\n",
-		slow, m.Weight(slow))
+	ver = feed(base, degraded, 400_000, 3)
+	fmt.Printf("\nafter 400k more degraded events (stream version %d):\n", ver)
+	report(base, degraded)
 }
 
-func feed(m *khist.Maintainer, d *khist.Distribution, events int, seed int64) {
+// feed samples events from d and ingests them in bounded batches,
+// returning the stream version after the last batch.
+func feed(base string, d *khist.Distribution, events int, seed int64) uint64 {
 	s := khist.NewSampler(d, rand.New(rand.NewSource(seed)))
-	for i := 0; i < events; i++ {
-		m.Observe(s.Sample())
+	var version uint64
+	for pushed := 0; pushed < events; {
+		n := events - pushed
+		if n > batchSize {
+			n = batchSize
+		}
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = s.Sample()
+		}
+		body, err := json.Marshal(serve.IngestRequest{
+			Tenant: tenant, Stream: streamID, N: buckets, Values: vals,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ack serve.IngestResponse
+		if err := post(base+"/v1/ingest", string(body), &ack, nil); err != nil {
+			log.Fatal(err)
+		}
+		version = ack.Version
+		pushed += n
 	}
+	return version
 }
 
-func report(m *khist.Maintainer, current *khist.Distribution, label string) {
-	h, err := m.Extract()
+// report extracts a k-histogram from the live stream and compares it
+// against the distribution currently feeding it.
+func report(base string, current *khist.Distribution) {
+	req := fmt.Sprintf(
+		`{"tenant":%q,"source":{"stream":%q},"k":%d,"eps":0.1,"scale":0.02,"cap":30000,"seed":7}`,
+		tenant, streamID, pieces)
+	var resp serve.LearnResponse
+	var cache string
+	if err := post(base+"/v1/learn", req, &resp, &cache); err != nil {
+		log.Fatal(err)
+	}
+	h, err := khist.NewTiling(resp.Bounds, resp.Values)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s (%d events seen):\n", label, m.Seen())
-	fmt.Printf("  extracted: %v\n", h)
+	fmt.Printf("  learned %d-piece histogram from %d samples (cache=%s)\n",
+		resp.Pieces, resp.SamplesUsed, cache)
+	fmt.Printf("  bounds: %v\n", resp.Bounds)
 	fmt.Printf("  ||current - H||_2^2 = %.3g\n", h.L2SqTo(current))
+}
+
+// post sends one JSON request, decodes the reply into out, and records
+// the X-Khist-Cache header when cache is non-nil.
+func post(url, body string, out any, cache *string) error {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if cache != nil {
+		*cache = resp.Header.Get(serve.CacheHeader)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	// Replies here are small (a learn body is a few hundred bytes); a
+	// 1 MiB cap keeps the read bounded without ever truncating real data.
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out)
 }

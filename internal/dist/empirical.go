@@ -117,6 +117,32 @@ func NewEmpiricalParallel(samples []int, n, workers int) *Empirical {
 	return e
 }
 
+// NewEmpiricalFromCounts tabulates a multiset given directly as
+// occurrence counts over [0, len(occ)) — the form streaming sketches
+// hold — skipping the per-sample counting pass. It panics on a
+// negative count (sketch projections never produce one). The counts
+// are copied; the caller's slice stays independent.
+func NewEmpiricalFromCounts(occ []int64) *Empirical {
+	n := len(occ)
+	e := &Empirical{
+		n:       n,
+		occ:     append([]int64(nil), occ...),
+		cumHits: make([]int64, n+1),
+		cumColl: make([]int64, n+1),
+	}
+	var m int64
+	for v, c := range e.occ {
+		if c < 0 {
+			panic(fmt.Sprintf("dist: negative occurrence count %d at %d", c, v))
+		}
+		m += c
+		e.cumHits[v+1] = e.cumHits[v] + c
+		e.cumColl[v+1] = e.cumColl[v] + c*(c-1)/2
+	}
+	e.m = int(m)
+	return e
+}
+
 // NewEmpiricalFromSampler draws m samples from s and tabulates them,
 // using the sampler's bulk path when it has one.
 func NewEmpiricalFromSampler(s Sampler, m int) *Empirical {

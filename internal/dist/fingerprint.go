@@ -65,6 +65,16 @@ func (e *Empirical) Fingerprint() uint64 {
 	return h
 }
 
+// FingerprintWithVersion mixes a monotonic version into the
+// tabulation's content hash. Streaming sources key their snapshots
+// with it: two snapshots of one stream differ in fingerprint even when
+// their tabulated counts happen to coincide, so every cache keyed by
+// fingerprint (sample sets, responses, warmed bundles) distinguishes
+// stream states without any stream-specific key plumbing.
+func (e *Empirical) FingerprintWithVersion(v uint64) uint64 {
+	return fnvMix(e.Fingerprint(), v)
+}
+
 // SizeBytes returns the approximate heap bytes retained by the
 // tabulation: the three length-n(+1) int64 arrays plus the struct header.
 // The serve cache sums it to enforce its -cache-bytes budget; it

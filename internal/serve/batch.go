@@ -407,7 +407,7 @@ func (s *Server) forwardBatch(ctx context.Context, idxs []int, plan []*batchPlan
 // publishing the bytes for the next identical query — single or batched.
 func (s *Server) execBatchItem(ctx context.Context, pi *batchPlanItem) BatchItemResult {
 	p := pi.p
-	if e := s.respc.get(pi.op, false, pi.raw); e != nil {
+	if e := s.respc.get(pi.op, false, pi.raw); e != nil && s.streamFresh(e.streamKey, e.streamVersion) {
 		_, release, retry, err := s.admitKeys(p.tenant, p.sourceKey)
 		if err != nil {
 			return batchShed(retry, err)
@@ -420,7 +420,7 @@ func (s *Server) execBatchItem(ctx context.Context, pi *batchPlanItem) BatchItem
 		return batchShed(retry, err)
 	}
 	defer release()
-	resp, bundleKey, status, code, err := p.exec(ctx, sh)
+	resp, out, code, err := p.exec(ctx, sh)
 	if err != nil {
 		return batchError(code, err)
 	}
@@ -429,11 +429,13 @@ func (s *Server) execBatchItem(ctx context.Context, pi *batchPlanItem) BatchItem
 		return batchError(http.StatusInternalServerError, err)
 	}
 	s.respc.put(pi.op, false, pi.raw, &respEntry{
-		tenant:      p.tenant,
-		sourceKey:   p.sourceKey,
-		bundleKey:   bundleKey,
-		contentType: ct,
-		body:        enc,
+		tenant:        p.tenant,
+		sourceKey:     p.sourceKey,
+		bundleKey:     out.bundleKey,
+		streamKey:     out.streamKey,
+		streamVersion: out.streamVersion,
+		contentType:   ct,
+		body:          enc,
 	})
-	return BatchItemResult{Status: http.StatusOK, Cache: status, Body: enc}
+	return BatchItemResult{Status: http.StatusOK, Cache: out.status, Body: enc}
 }

@@ -83,6 +83,12 @@ func (w *nullResponseWriter) Write(p []byte) (int, error) {
 //	mode=binary     the rcache path negotiated to
 //	                application/x-khist-bin both ways: binary request
 //	                decode, stored binary response bytes
+//	mode=stream     every request learns from a live ingested stream
+//	                and hits the response-byte cache after revalidating
+//	                the stream version — the stream-source hot path
+//	mode=stream_cold  each op ingests a batch (bumping the stream
+//	                version) then learns from it: snapshot rebuild +
+//	                tabulate + learn, the stream-source worst case
 //
 // cmd/khist-bench renders the output into BENCH_serve.json with
 // requests/sec per mode (collect with -benchmem to record allocs);
@@ -92,11 +98,14 @@ func BenchmarkServe(b *testing.B) {
 		return fmt.Sprintf(
 			`{"tenant":"bench","source":{"gen":"zipf","n":512},"k":4,"eps":0.2,"scale":0.02,"cap":8000,"seed":%d}`, seed)
 	}
-	learnPost := func(h http.Handler, body string) int {
-		req := httptest.NewRequest(http.MethodPost, "/v1/learn", strings.NewReader(body))
+	jsonPost := func(h http.Handler, path, body string) int {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
 		w := httptest.NewRecorder()
 		h.ServeHTTP(w, req)
 		return w.Code
+	}
+	learnPost := func(h http.Handler, body string) int {
+		return jsonPost(h, "/v1/learn", body)
 	}
 
 	b.Run("mode=cold", func(b *testing.B) {
@@ -359,6 +368,58 @@ func BenchmarkServe(b *testing.B) {
 			h.ServeHTTP(w, req)
 			if w.status != 200 {
 				b.Fatalf("code %d", w.status)
+			}
+		}
+	})
+
+	b.Run("mode=stream", func(b *testing.B) {
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true},
+			Trace: TraceConfig{Disabled: true}})
+		defer s.Close()
+		h := s.Handler()
+		ingest := `{"tenant":"bench","stream":"live","n":512,"values":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}`
+		if code := jsonPost(h, "/v1/ingest", ingest); code != 200 {
+			b.Fatalf("ingest code %d", code)
+		}
+		body := `{"tenant":"bench","source":{"stream":"live"},"k":4,"eps":0.2,"scale":0.02,"cap":8000,"seed":1}`
+		if code := learnPost(h, body); code != 200 { // warm the response entry
+			b.Fatalf("warmup code %d", code)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := learnPost(h, body); code != 200 {
+				b.Fatalf("code %d", code)
+			}
+		}
+		b.StopTimer()
+		// Every op must have revalidated against the live stream version
+		// and still hit the response cache — the stream-source hot path.
+		if st := s.respc.stats(); st.Hits < int64(b.N) {
+			b.Fatalf("response cache saw %d hits, want >= %d", st.Hits, b.N)
+		}
+	})
+
+	b.Run("mode=stream_cold", func(b *testing.B) {
+		// Each op ingests a batch (bumping the stream version) and then
+		// learns from the stream: snapshot rebuild + tabulate + learn,
+		// the worst case for a stream-sourced query.
+		s := mustNew(b, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 256 << 20,
+			ResponseCacheBytes: 64 << 20, Metrics: MetricsConfig{Disabled: true},
+			Trace: TraceConfig{Disabled: true}})
+		defer s.Close()
+		h := s.Handler()
+		body := `{"tenant":"bench","source":{"stream":"live"},"k":4,"eps":0.2,"scale":0.02,"cap":8000,"seed":1}`
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ingest := fmt.Sprintf(`{"tenant":"bench","stream":"live","n":512,"values":[%d,%d,%d,%d]}`,
+				i%512, (i+7)%512, (i+49)%512, (i+343)%512)
+			if code := jsonPost(h, "/v1/ingest", ingest); code != 200 {
+				b.Fatalf("ingest code %d", code)
+			}
+			if code := learnPost(h, body); code != 200 {
+				b.Fatalf("code %d", code)
 			}
 		}
 	})

@@ -35,6 +35,7 @@ const (
 	opTestL2
 	opTestL1
 	opLearn2D
+	opIngest
 )
 
 // maxBinString bounds decoded string lengths (tenant and generator
@@ -88,7 +89,8 @@ func appendSourceSpec(buf []byte, s SourceSpec) []byte {
 	buf = dist.AppendVarint(buf, int64(s.N))
 	buf = dist.AppendVarint(buf, int64(s.K))
 	buf = dist.AppendVarint(buf, s.Seed)
-	return dist.AppendFloat64s(buf, s.Weights)
+	buf = dist.AppendFloat64s(buf, s.Weights)
+	return dist.AppendString(buf, s.Stream)
 }
 
 func readSourceSpec(data []byte, maxDomain int) (SourceSpec, []byte, error) {
@@ -108,6 +110,9 @@ func readSourceSpec(data []byte, maxDomain int) (SourceSpec, []byte, error) {
 	}
 	if s.Weights, data, err = dist.ReadFloat64s(data, maxDomain); err != nil {
 		return s, nil, fmt.Errorf("source weights: %w", err)
+	}
+	if s.Stream, data, err = dist.ReadString(data, maxBinString); err != nil {
+		return s, nil, fmt.Errorf("source stream: %w", err)
 	}
 	return s, data, nil
 }
@@ -274,6 +279,60 @@ func (r *Learn2DRequest) decodeBinary(body []byte, maxDomain int) error {
 	}
 	if r.Seed, data, err = dist.ReadVarint(data); err != nil {
 		return fmt.Errorf("learn2d seed: %w", err)
+	}
+	return binTrailer(data)
+}
+
+// appendBinary renders the request as an application/x-khist-bin body.
+// Values are raw varints (an ingest batch is unsorted observation data,
+// so delta packing would not apply).
+func (r *IngestRequest) appendBinary(buf []byte) []byte {
+	buf = append(buf, binReqMagic...)
+	buf = append(buf, opIngest)
+	buf = dist.AppendString(buf, r.Tenant)
+	buf = dist.AppendString(buf, r.Stream)
+	buf = dist.AppendVarint(buf, int64(r.N))
+	buf = dist.AppendVarint(buf, int64(len(r.Values)))
+	for _, v := range r.Values {
+		buf = dist.AppendVarint(buf, int64(v))
+	}
+	return buf
+}
+
+func (r *IngestRequest) decodeBinary(body []byte, maxDomain int) error {
+	data, err := binHeader(body, binReqMagic, opIngest)
+	if err != nil {
+		return err
+	}
+	if r.Tenant, data, err = dist.ReadString(data, maxBinString); err != nil {
+		return fmt.Errorf("ingest tenant: %w", err)
+	}
+	if r.Stream, data, err = dist.ReadString(data, maxBinString); err != nil {
+		return fmt.Errorf("ingest stream: %w", err)
+	}
+	if r.N, data, err = readInt(data); err != nil {
+		return fmt.Errorf("ingest n: %w", err)
+	}
+	if r.N < 0 || r.N > maxDomain {
+		return fmt.Errorf("ingest n %d exceeds the decode limit %d", r.N, maxDomain)
+	}
+	var count int
+	if count, data, err = readInt(data); err != nil {
+		return fmt.Errorf("ingest value count: %w", err)
+	}
+	// Every encoded value costs at least one byte, so the remaining frame
+	// length bounds a credible count — a hostile header cannot force an
+	// allocation larger than the (MaxBodyBytes-capped) body it arrived in.
+	if count < 0 || count > len(data) {
+		return fmt.Errorf("ingest value count %d exceeds the %d remaining frame bytes", count, len(data))
+	}
+	if count > 0 {
+		r.Values = make([]int, count)
+		for i := range r.Values {
+			if r.Values[i], data, err = readInt(data); err != nil {
+				return fmt.Errorf("ingest value %d: %w", i, err)
+			}
+		}
 	}
 	return binTrailer(data)
 }

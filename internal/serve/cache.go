@@ -105,6 +105,28 @@ func (c *cache) put(key string, val any, bytes int64) {
 	}
 }
 
+// remove drops an entry by key, firing onEvict exactly as a budget
+// eviction would — so dependent caches wired through the hook see
+// explicit invalidation (a stream version bump retiring superseded
+// bundles) and LRU pressure identically. Missing keys are a no-op.
+func (c *cache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*centry)
+	c.order.Remove(el)
+	delete(c.entries, key)
+	c.used -= e.bytes
+	c.evictions++
+	c.evictedBytes += e.bytes
+	if c.onEvict != nil {
+		c.onEvict(e.key)
+	}
+}
+
 // stats returns the current entry count and accounted bytes.
 func (c *cache) stats() (entries int, bytes int64) {
 	c.mu.Lock()

@@ -421,3 +421,79 @@ func TestForwarderShedsWhenSaturated(t *testing.T) {
 		t.Fatalf("drained forwarder: code %d", resp.StatusCode)
 	}
 }
+
+// TestClusterStreamEquivalence1v3 extends the scale-out contract to the
+// ingest plane: a stream fed with identical batches answers learn and
+// test queries byte-identically whether it lives on a standalone server
+// or on a 3-node ring — and on the ring, both the ingest batches and
+// the queries may arrive at any node, because the version-independent
+// stream routing key forwards everything to one owner whose sketch seed
+// depends only on (tenant, stream id), never on topology.
+func TestClusterStreamEquivalence1v3(t *testing.T) {
+	urls, _, _ := startCluster(t, []Config{
+		{Shards: 1, WorkersPerShard: 1, CacheBytes: 64 << 20},
+		{Shards: 3, WorkersPerShard: 2, CacheBytes: 64 << 20},
+		{Shards: 5, WorkersPerShard: 3, CacheBytes: 64 << 20},
+	})
+	_, standalone := newTestServer(t, Config{Shards: 2, WorkersPerShard: 2, CacheBytes: 64 << 20})
+
+	batches := []string{
+		ingestBody("acme", "checkout", 256, 900),
+		ingestBody("acme", "checkout", 256, 450),
+	}
+	for i, b := range batches {
+		if w := post(standalone, "/v1/ingest", b); w.Code != 200 {
+			t.Fatalf("standalone ingest %d: code %d: %s", i, w.Code, w.Body.String())
+		}
+		// Feed the ring through a different node each batch; the ring
+		// forwards every batch to the stream's single owner.
+		resp, got := httpDo(t, urls[i%len(urls)], "/v1/ingest", b, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("ring ingest %d via node %d: code %d: %s", i, i%len(urls), resp.StatusCode, got)
+		}
+	}
+
+	queries := map[string]string{
+		"/v1/learn":   streamLearnBody,
+		"/v1/test/l2": `{"tenant":"acme","source":{"stream":"checkout"},"k":4,"eps":0.25,"scale":0.05,"cap":20000,"seed":9}`,
+		"/v1/test/l1": `{"tenant":"acme","source":{"stream":"checkout"},"k":4,"eps":0.3,"scale":0.01,"cap":2000,"seed":11}`,
+	}
+	for path, body := range queries {
+		want := post(standalone, path, body)
+		if want.Code != 200 {
+			t.Fatalf("standalone %s: code %d: %s", path, want.Code, want.Body.String())
+		}
+		for pass := 0; pass < 2; pass++ {
+			for i, url := range urls {
+				resp, got := httpDo(t, url, path, body, nil)
+				if resp.StatusCode != 200 {
+					t.Fatalf("%s via node %d pass %d: code %d: %s", path, i, pass, resp.StatusCode, got)
+				}
+				if !bytes.Equal(got, want.Body.Bytes()) {
+					t.Fatalf("%s via node %d pass %d: body diverged from standalone\n got: %s\nwant: %s",
+						path, i, pass, got, want.Body.String())
+				}
+			}
+		}
+	}
+
+	// A version bump through the ring propagates: re-query and compare
+	// against the standalone fed the same extra batch.
+	extra := ingestBody("acme", "checkout", 256, 333)
+	if w := post(standalone, "/v1/ingest", extra); w.Code != 200 {
+		t.Fatalf("standalone extra ingest: code %d", w.Code)
+	}
+	if resp, got := httpDo(t, urls[2], "/v1/ingest", extra, nil); resp.StatusCode != 200 {
+		t.Fatalf("ring extra ingest: code %d: %s", resp.StatusCode, got)
+	}
+	want := post(standalone, "/v1/learn", streamLearnBody)
+	for i, url := range urls {
+		resp, got := httpDo(t, url, "/v1/learn", streamLearnBody, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("post-bump learn via node %d: code %d", i, resp.StatusCode)
+		}
+		if !bytes.Equal(got, want.Body.Bytes()) {
+			t.Fatalf("post-bump learn via node %d diverged from standalone", i)
+		}
+	}
+}

@@ -46,6 +46,7 @@ const (
 	epTestL2  = "test_l2"
 	epTestL1  = "test_l1"
 	epLearn2D = "learn2d"
+	epIngest  = "ingest"
 )
 
 // LearnRequest is the body of POST /v1/learn.
@@ -151,6 +152,21 @@ type respEncoder interface {
 	appendBinary(buf []byte) []byte
 }
 
+// execOut is the per-execution metadata an exec closure reports back:
+// the parent tabulated-bundle cache key, the tabulation cache status,
+// and — for stream-backed sources — the provenance the response cache
+// records (which stream, at which version). It is returned by value
+// because prepared values are shared across requests through the batch
+// plan cache: per-request state must never be stored on the closure.
+type execOut struct {
+	bundleKey string
+	status    string
+	// streamKey is the stream table key ("" for generator sources);
+	// streamVersion is the snapshot version this execution resolved.
+	streamKey     string
+	streamVersion uint64
+}
+
 // prepared is one decoded algorithm request: the routing keys the
 // cluster ring and admission front door need, plus an exec closure that
 // runs resolution, tabulation, and the algorithm on an admitted shard.
@@ -159,10 +175,9 @@ type respEncoder interface {
 type prepared struct {
 	tenant    string
 	sourceKey string
-	// exec returns the response, the parent tabulated-bundle cache key,
-	// and the tabulation cache status; on error, code is the HTTP status
-	// to report.
-	exec func(ctx context.Context, sh *shard) (resp respEncoder, bundleKey, cacheStatus string, code int, err error)
+	// exec returns the response and its execution metadata; on error,
+	// code is the HTTP status to report.
+	exec func(ctx context.Context, sh *shard) (resp respEncoder, out execOut, code int, err error)
 }
 
 // decodeFunc parses a request body (JSON, or the binary wire encoding
@@ -187,16 +202,22 @@ func decodeLearn(s *Server, body []byte, bin bool) (*prepared, error) {
 	} else if err := decodeStrict(body, &req); err != nil {
 		return nil, err
 	}
+	src, err := s.sourceFor(req.Tenant, req.Source)
+	if err != nil {
+		return nil, err
+	}
 	return &prepared{
 		tenant:    req.Tenant,
-		sourceKey: req.Source.key(),
-		exec: func(ctx context.Context, sh *shard) (respEncoder, string, string, int, error) {
-			d, err := s.resolveSource(req.Source)
+		sourceKey: src.Key(),
+		exec: func(ctx context.Context, sh *shard) (respEncoder, execOut, int, error) {
+			var out execOut
+			rs, err := src.Resolve()
 			if err != nil {
-				return nil, "", "", http.StatusBadRequest, err
+				return nil, out, http.StatusBadRequest, err
 			}
+			d := rs.d
 			if req.K > d.N() {
-				return nil, "", "", http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N())
+				return nil, out, http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N())
 			}
 			opts := learn.Options{
 				K: req.K, Eps: req.Eps,
@@ -206,15 +227,25 @@ func decodeLearn(s *Server, body []byte, bin bool) (*prepared, error) {
 			}
 			ell, rr, m, err := opts.SetSizes(d.N())
 			if err != nil {
-				return nil, "", "", http.StatusBadRequest, err
+				return nil, out, http.StatusBadRequest, err
 			}
 
-			key := setsKey(d.Fingerprint(), req.Seed, ell, rr, m)
+			key := setsKey(rs.fp, req.Seed, ell, rr, m)
+			out.bundleKey = key
 			bundle, status, err := sh.tabulated(ctx, key, func() (any, int64) {
 				return drawSets(d, req.Seed, ell, rr, m, s.cfg.WorkersPerShard)
 			})
+			out.status = status
 			if err != nil {
-				return nil, key, status, http.StatusInternalServerError, err
+				return nil, out, http.StatusInternalServerError, err
+			}
+			if rs.stream != nil {
+				// Record after tabulation so the next version bump sees the
+				// bundle in cache; the response entry's version check covers
+				// the bump-during-tabulation window.
+				rs.stream.addDep(key)
+				out.streamKey = rs.stream.tableKey
+				out.streamVersion = rs.version
 			}
 			sets := bundle.([]*dist.Empirical)
 
@@ -222,10 +253,10 @@ func decodeLearn(s *Server, body []byte, bin bool) (*prepared, error) {
 			if rerr := sh.runTraced(ctx, func() {
 				res, err = learn.FromTabulated(d.N(), sets[0], sets[1:], opts, !req.Full)
 			}); rerr != nil {
-				return nil, key, status, http.StatusInternalServerError, rerr
+				return nil, out, http.StatusInternalServerError, rerr
 			}
 			if err != nil {
-				return nil, key, status, http.StatusUnprocessableEntity, err
+				return nil, out, http.StatusUnprocessableEntity, err
 			}
 			return &LearnResponse{
 				N:                 d.N(),
@@ -239,7 +270,7 @@ func decodeLearn(s *Server, body []byte, bin bool) (*prepared, error) {
 				Ell:               res.Ell,
 				R:                 res.R,
 				M:                 res.M,
-			}, key, status, 0, nil
+			}, out, 0, nil
 		},
 	}, nil
 }
@@ -258,16 +289,22 @@ func decodeTestNorm(norm string) decodeFunc {
 		} else if err := decodeStrict(body, &req); err != nil {
 			return nil, err
 		}
+		src, err := s.sourceFor(req.Tenant, req.Source)
+		if err != nil {
+			return nil, err
+		}
 		return &prepared{
 			tenant:    req.Tenant,
-			sourceKey: req.Source.key(),
-			exec: func(ctx context.Context, sh *shard) (respEncoder, string, string, int, error) {
-				d, err := s.resolveSource(req.Source)
+			sourceKey: src.Key(),
+			exec: func(ctx context.Context, sh *shard) (respEncoder, execOut, int, error) {
+				var out execOut
+				rs, err := src.Resolve()
 				if err != nil {
-					return nil, "", "", http.StatusBadRequest, err
+					return nil, out, http.StatusBadRequest, err
 				}
+				d := rs.d
 				if req.K > d.N() {
-					return nil, "", "", http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N())
+					return nil, out, http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds domain size %d", req.K, d.N())
 				}
 				opts := histtest.Options{
 					K: req.K, Eps: req.Eps,
@@ -282,18 +319,25 @@ func decodeTestNorm(norm string) decodeFunc {
 					rr, m, err = opts.PlanL1(d.N())
 				}
 				if err != nil {
-					return nil, "", "", http.StatusBadRequest, err
+					return nil, out, http.StatusBadRequest, err
 				}
 
 				// ell = 0: the testers draw only collision sets. The key still
 				// shares a namespace with /v1/learn, so a learner and tester
 				// with identical budgets share one draw.
-				key := setsKey(d.Fingerprint(), req.Seed, 0, rr, m)
+				key := setsKey(rs.fp, req.Seed, 0, rr, m)
+				out.bundleKey = key
 				bundle, status, err := sh.tabulated(ctx, key, func() (any, int64) {
 					return drawSets(d, req.Seed, 0, rr, m, s.cfg.WorkersPerShard)
 				})
+				out.status = status
 				if err != nil {
-					return nil, key, status, http.StatusInternalServerError, err
+					return nil, out, http.StatusInternalServerError, err
+				}
+				if rs.stream != nil {
+					rs.stream.addDep(key)
+					out.streamKey = rs.stream.tableKey
+					out.streamVersion = rs.version
 				}
 				sets := bundle.([]*dist.Empirical)
 
@@ -305,10 +349,10 @@ func decodeTestNorm(norm string) decodeFunc {
 						res, err = histtest.TestTilingL1FromSets(sets, d.N(), opts)
 					}
 				}); rerr != nil {
-					return nil, key, status, http.StatusInternalServerError, rerr
+					return nil, out, http.StatusInternalServerError, rerr
 				}
 				if err != nil {
-					return nil, key, status, http.StatusUnprocessableEntity, err
+					return nil, out, http.StatusUnprocessableEntity, err
 				}
 				partition := make([]IntervalJSON, len(res.Partition))
 				for i, iv := range res.Partition {
@@ -322,7 +366,7 @@ func decodeTestNorm(norm string) decodeFunc {
 					FlatnessCalls: res.FlatnessCalls,
 					R:             res.R,
 					M:             res.M,
-				}, key, status, 0, nil
+				}, out, 0, nil
 			},
 		}, nil
 	}
@@ -340,16 +384,17 @@ func decodeLearn2D(s *Server, body []byte, bin bool) (*prepared, error) {
 	return &prepared{
 		tenant:    req.Tenant,
 		sourceKey: req.Source.key(),
-		exec: func(ctx context.Context, sh *shard) (respEncoder, string, string, int, error) {
+		exec: func(ctx context.Context, sh *shard) (respEncoder, execOut, int, error) {
+			var out execOut
 			g, err := s.resolveSource2D(req.Source)
 			if err != nil {
-				return nil, "", "", http.StatusBadRequest, err
+				return nil, out, http.StatusBadRequest, err
 			}
 			if req.K < 1 || !(req.Eps > 0 && req.Eps < 1) {
-				return nil, "", "", http.StatusBadRequest, fmt.Errorf("serve: need k >= 1 and eps in (0, 1)")
+				return nil, out, http.StatusBadRequest, fmt.Errorf("serve: need k >= 1 and eps in (0, 1)")
 			}
 			if req.K > g.Rows()*g.Cols() {
-				return nil, "", "", http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds grid size %d", req.K, g.Rows()*g.Cols())
+				return nil, out, http.StatusBadRequest, fmt.Errorf("serve: k=%d exceeds grid size %d", req.K, g.Rows()*g.Cols())
 			}
 			opts := grid.Options2D{
 				Rows: g.Rows(), Cols: g.Cols(),
@@ -368,6 +413,7 @@ func decodeLearn2D(s *Server, body []byte, bin bool) (*prepared, error) {
 
 			flat := g.Flatten()
 			key := fmt.Sprintf("sets2d|%dx%d|fp=%016x|seed=%d|m=%d", g.Rows(), g.Cols(), flat.Fingerprint(), req.Seed, m)
+			out.bundleKey = key
 			bundle, status, err := sh.tabulated(ctx, key, func() (any, int64) {
 				sampler := dist.NewSampler(flat, par.NewRand(uint64(req.Seed)))
 				emp, err := grid.NewEmpirical2D(g.Rows(), g.Cols(), dist.DrawBatch(sampler, m))
@@ -378,8 +424,9 @@ func decodeLearn2D(s *Server, body []byte, bin bool) (*prepared, error) {
 				}
 				return emp, emp.SizeBytes()
 			})
+			out.status = status
 			if err != nil {
-				return nil, key, status, http.StatusInternalServerError, err
+				return nil, out, http.StatusInternalServerError, err
 			}
 			emp := bundle.(*grid.Empirical2D)
 
@@ -387,10 +434,10 @@ func decodeLearn2D(s *Server, body []byte, bin bool) (*prepared, error) {
 			if rerr := sh.runTraced(ctx, func() {
 				res, err = grid.Greedy2DFromTabulated(emp, opts)
 			}); rerr != nil {
-				return nil, key, status, http.StatusInternalServerError, rerr
+				return nil, out, http.StatusInternalServerError, rerr
 			}
 			if err != nil {
-				return nil, key, status, http.StatusUnprocessableEntity, err
+				return nil, out, http.StatusUnprocessableEntity, err
 			}
 			entries := res.Hist.Entries()
 			rects := make([]RectJSON, len(entries))
@@ -405,7 +452,7 @@ func decodeLearn2D(s *Server, body []byte, bin bool) (*prepared, error) {
 				SamplesUsed:       res.SamplesUsed,
 				Iterations:        res.Iterations,
 				CandidatesScanned: res.CandidatesScanned,
-			}, key, status, 0, nil
+			}, out, 0, nil
 		},
 	}, nil
 }
@@ -432,6 +479,12 @@ func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
 			t0 = time.Now()
 		}
 		e := s.respc.get(ep, binResp, body)
+		if e != nil && !s.streamFresh(e.streamKey, e.streamVersion) {
+			// Version-bump backstop: a stream-backed entry that raced past
+			// the eager invalidation (put after the bump) is recognized by
+			// its recorded version and treated as a miss.
+			e = nil
+		}
 		if act != nil {
 			note := StatusMiss
 			if e != nil {
@@ -491,12 +544,12 @@ func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
 		if act != nil {
 			ctx = trace.NewContext(ctx, act)
 		}
-		resp, bundleKey, status, code, err := p.exec(ctx, sh)
+		resp, out, code, err := p.exec(ctx, sh)
 		if err != nil {
 			writeErr(w, code, err)
 			return
 		}
-		s.markBundleKey(w, bundleKey)
+		s.markBundleKey(w, out.bundleKey)
 		if act != nil {
 			t0 = time.Now()
 		}
@@ -509,15 +562,17 @@ func (s *Server) handleAlgo(ep string, dec decodeFunc) http.HandlerFunc {
 			return
 		}
 		s.respc.put(ep, binResp, body, &respEntry{
-			tenant:      p.tenant,
-			sourceKey:   p.sourceKey,
-			bundleKey:   bundleKey,
-			contentType: ct,
-			body:        enc,
+			tenant:        p.tenant,
+			sourceKey:     p.sourceKey,
+			bundleKey:     out.bundleKey,
+			streamKey:     out.streamKey,
+			streamVersion: out.streamVersion,
+			contentType:   ct,
+			body:          enc,
 		})
 		w.Header().Set("Content-Type", ct)
-		if status != "" {
-			w.Header().Set(CacheHeader, status)
+		if out.status != "" {
+			w.Header().Set(CacheHeader, out.status)
 		}
 		w.Write(enc)
 		if ct == jsonContentType {
@@ -620,6 +675,9 @@ type StatsResponse struct {
 	// the repo's own v-optimal learner (metrics plane enabled and at
 	// least one snapshot window elapsed).
 	Latency *obs.LatencySnapshot `json:"latency,omitempty"`
+	// Streams is the streaming-ingest plane: live stream count, sketch
+	// bytes, ingest counters, and per-stream rows.
+	Streams *StreamPlaneStats `json:"streams,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -636,6 +694,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.metrics != nil {
 		resp.Latency = s.metrics.latency.Latest()
 	}
+	resp.Streams = s.streamStats()
 	if s.cfg.ResponseCacheBytes > 0 {
 		st := s.respc.stats()
 		st.BytesCap = s.cfg.ResponseCacheBytes

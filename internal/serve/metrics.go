@@ -155,7 +155,7 @@ func newServerMetrics(cfg MetricsConfig) *serverMetrics {
 	m.forward = m.auxRecorder("khist_forward_latency",
 		"cluster forward round-trip in us, all peers merged", 3)
 	for _, ep := range []string{
-		"learn", "test_l2", "test_l1", "learn2d", "batch",
+		"learn", "test_l2", "test_l1", "learn2d", "ingest", "batch",
 		"stats", "cluster", "cluster_bundle", "healthz", "metrics", "trace",
 	} {
 		m.endpoints[ep] = m.newEndpoint(ep)
@@ -313,6 +313,14 @@ func (m *serverMetrics) mirrorServer(s *Server) {
 	intCounter("khist_rcache_invalidations_total", "response entries dropped with their parent bundle", func() int64 {
 		return rc.stats().Invalidations
 	})
+	// Streaming ingest plane: aggregate series only — per-stream detail
+	// lives in /v1/stats, where label cardinality is not a concern.
+	intCounter("khist_ingest_batches_total", "observation batches accepted by /v1/ingest", s.ingestBatches.Load)
+	intCounter("khist_ingest_observations_total", "observations accepted by /v1/ingest", s.ingestObs.Load)
+	intGauge("khist_streams", "live (tenant, stream) sketches", func() int64 {
+		return int64(s.streams.count())
+	})
+	intGauge("khist_stream_sketch_bytes", "bytes retained by live stream sketches", s.streams.sketchBytes)
 	qs := s.quotas
 	for i, class := range quotaClassNames {
 		i := i

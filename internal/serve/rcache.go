@@ -15,13 +15,21 @@ import (
 //
 // Keys are content-addressed: (endpoint, response encoding, raw request
 // body bytes). An identical repeat query is an identical byte string,
-// and because every response is a pure function of its request (the
-// serving plane's byte-identity invariant), a content-addressed entry
-// can never be stale — invalidation exists only for memory accounting,
-// never for correctness. Each entry carries the tenant and source
-// routing keys that were decoded when it was built, so the hit path
-// skips request decoding entirely yet still pays the full admission
-// front door (tenant quota + shard gate) before a byte is written.
+// and for generator-backed sources every response is a pure function of
+// its request (the serving plane's byte-identity invariant), so those
+// entries can never be stale — invalidation exists only for memory
+// accounting. Stream-backed sources bend that rule: their responses are
+// a function of the request AND the stream's version, so each entry
+// records its stream provenance (table key + version) and the hit path
+// revalidates it against the live stream table — one map lookup — and
+// treats a superseded entry as a miss. Eager invalidation still does
+// most of the work (an ingest bump retires dependent bundles, which
+// cascades here through the deps index); the version check is the
+// correctness backstop for entries racing the bump. Each entry also
+// carries the tenant and source routing keys that were decoded when it
+// was built, so the hit path skips request decoding entirely yet still
+// pays the full admission front door (tenant quota + shard gate) before
+// a byte is written.
 //
 // Entries are partitioned by key hash into independently locked,
 // independently budgeted LRU parts (one per shard, so the lock and the
@@ -63,6 +71,13 @@ type respEntry struct {
 	// bundleKey is the parent tabulated bundle's cache key; evicting
 	// that bundle invalidates this entry.
 	bundleKey string
+	// streamKey and streamVersion are the stream provenance of stream-
+	// backed responses ("" / 0 for generator sources): the stream table
+	// key and the snapshot version the response was computed from. The
+	// hit path revalidates the version against the live table before
+	// serving the stored bytes.
+	streamKey     string
+	streamVersion uint64
 	// contentType is the negotiated response encoding.
 	contentType string
 	// body is the encoded response payload, without the trailing newline
@@ -180,7 +195,7 @@ func (rc *respCache) get(endpoint string, binary bool, body []byte) *respEntry {
 func (rc *respCache) put(endpoint string, binary bool, body []byte, e *respEntry) {
 	e.ep = epKey{endpoint, binary}
 	e.req = string(body)
-	e.bytes = int64(len(endpoint)+len(e.req)+len(e.body)+len(e.tenant)+len(e.sourceKey)+len(e.bundleKey)+len(e.contentType)) + respEntryOverhead
+	e.bytes = int64(len(endpoint)+len(e.req)+len(e.body)+len(e.tenant)+len(e.sourceKey)+len(e.bundleKey)+len(e.streamKey)+len(e.contentType)) + 8 + respEntryOverhead
 	p := rc.part(endpoint, binary, body)
 	if p.capBytes <= 0 || e.bytes > p.capBytes {
 		return

@@ -91,8 +91,9 @@ func TestRespCacheLRU(t *testing.T) {
 	}
 	// One part, sized for exactly two such entries ("ep" endpoint,
 	// "kN" request bodies, 64-byte response bodies, "bN" bundle keys,
-	// 1-byte tenant and source keys).
-	perEntry := int64(len("ep")+len("kN")+64+1+1+len("bN")+len(jsonContentType)) + respEntryOverhead
+	// 1-byte tenant and source keys, empty stream key + its 8-byte
+	// version).
+	perEntry := int64(len("ep")+len("kN")+64+1+1+len("bN")+len(jsonContentType)) + 8 + respEntryOverhead
 	rc := newRespCache(1, 2*perEntry)
 	k1, k2, k3 := []byte("k1"), []byte("k2"), []byte("k3")
 

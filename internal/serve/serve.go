@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"khist/internal/cluster"
@@ -80,6 +81,17 @@ type Config struct {
 	// MaxBatchItems bounds the sub-queries one /v1/batch envelope may
 	// carry. Values below 1 mean DefaultMaxBatchItems.
 	MaxBatchItems int
+	// MaxStreams bounds the live (tenant, stream) sketches the ingest
+	// plane retains (see streams.go); batches for new streams past the
+	// bound are shed with 429. Values below 1 mean DefaultMaxStreams.
+	MaxStreams int
+	// StreamBuckets is each stream sketch's bounded-histogram bin budget.
+	// Values below 2 mean DefaultStreamBuckets.
+	StreamBuckets int
+	// StreamReservoir is each stream sketch's reservoir capacity: streams
+	// with at most this many observations tabulate exactly. Values below
+	// 1 mean DefaultStreamReservoir.
+	StreamReservoir int
 	// Quotas is the per-tenant admission policy (rate + concurrency).
 	// The zero value admits everything. Quotas decide whether a request
 	// is admitted, never what an admitted request returns: response
@@ -139,6 +151,13 @@ type Server struct {
 	// plans only pay off when the response cache makes repeats cheap.
 	plans *cache
 
+	// streams is the live ingest plane (see streams.go): per-(tenant,
+	// stream) versioned sketches fed by POST /v1/ingest and resolved as
+	// request sources. The counters feed /metrics and /v1/stats.
+	streams       *streamTable
+	ingestBatches atomic.Int64
+	ingestObs     atomic.Int64
+
 	// Cluster tier (nil ring = standalone): the consistent-hash ring
 	// over peer processes, the forwarding client, and its counters.
 	ring    *cluster.Ring
@@ -184,6 +203,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatchItems < 1 {
 		cfg.MaxBatchItems = DefaultMaxBatchItems
 	}
+	if cfg.MaxStreams < 1 {
+		cfg.MaxStreams = DefaultMaxStreams
+	}
+	if cfg.StreamBuckets < 2 {
+		cfg.StreamBuckets = DefaultStreamBuckets
+	}
+	if cfg.StreamReservoir < 1 {
+		cfg.StreamReservoir = DefaultStreamReservoir
+	}
 	// Split the budget rounding up: a floor division would turn any
 	// positive budget below the shard count into a per-shard cap of 0 —
 	// caching silently disabled on every shard.
@@ -205,6 +233,7 @@ func New(cfg Config) (*Server, error) {
 		respc:            newRespCache(cfg.Shards, perPartResp),
 		perPartRespCache: perPartResp,
 		plans:            newCache(cfg.ResponseCacheBytes / 4),
+		streams:          newStreamTable(cfg.MaxStreams, cfg.StreamBuckets, cfg.StreamReservoir),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := newShard(cfg.WorkersPerShard, perShard, cfg.MaxQueuePerShard)
@@ -393,6 +422,7 @@ func (s *Server) admitKeys(tenant, sourceKey string) (sh *shard, release func(),
 //	POST /v1/test/l2        — tiling k-histogram tester, l2 (Theorem 3)
 //	POST /v1/test/l1        — tiling k-histogram tester, l1 (Theorem 4)
 //	POST /v1/learn2d        — rectangle-histogram learner over grids
+//	POST /v1/ingest         — stream observation batches (streams.go)
 //	POST /v1/batch          — many sub-queries per round trip (batch.go)
 //	GET  /v1/stats          — per-shard traffic and cache counters
 //	GET  /v1/trace          — recent retained traces (trace.go)
@@ -412,6 +442,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/test/l2", s.instrumented(epTestL2, s.handleAlgo(epTestL2, algoEndpoints[epTestL2])))
 	mux.HandleFunc("POST /v1/test/l1", s.instrumented(epTestL1, s.handleAlgo(epTestL1, algoEndpoints[epTestL1])))
 	mux.HandleFunc("POST /v1/learn2d", s.instrumented(epLearn2D, s.handleAlgo(epLearn2D, decodeLearn2D)))
+	mux.HandleFunc("POST /v1/ingest", s.instrumented(epIngest, s.handleIngest))
 	mux.HandleFunc("POST /v1/batch", s.instrumented("batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/stats", s.instrumented("stats", s.handleStats))
 	mux.HandleFunc("GET /v1/trace", s.instrumented("trace", s.handleTraceList))

@@ -11,12 +11,13 @@ import (
 	"khist/internal/grid"
 )
 
-// SourceSpec names the distribution a request queries: either one of the
+// SourceSpec names the distribution a request queries: one of the
 // shared generator registry's synthetic families (the same names the
 // CLIs accept, resolved through internal/cli so server and commands
-// always agree) or an inline weight vector. The spec is what a tenant
-// registers; the resolved Distribution is immutable and shared across
-// every request and shard that names it.
+// always agree), an inline weight vector, or — with Stream set — a
+// live tenant stream fed by POST /v1/ingest (see streams.go). The spec
+// is what a tenant names; resolution happens behind the Source
+// interface below.
 type SourceSpec struct {
 	// Gen is the generator name (see cli.Generators). Ignored when
 	// Weights is set.
@@ -30,15 +31,108 @@ type SourceSpec struct {
 	// Weights, when non-empty, is normalized into the distribution
 	// directly and Gen/N/K/Seed are ignored.
 	Weights []float64 `json:"weights,omitempty"`
+	// Stream, when set, names a live ingested stream of this request's
+	// tenant as the source; every other field must be unset. The
+	// resolved tabulation is the stream's current snapshot, and its
+	// fingerprint carries the stream version — so cached artifacts
+	// derived from an old snapshot are never confused with the new one.
+	Stream string `json:"stream,omitempty"`
 }
 
-// key returns the canonical registry key of the spec: a pure function of
-// its content.
+// key returns the canonical registry/routing key of the spec: a pure
+// function of its content. A stream spec's key is version-independent —
+// routing (ring ownership, shard placement) must stay stable across
+// ingest batches so reads and writes of one stream meet on one shard
+// of one node; versioning lives in the resolved fingerprint instead.
 func (s SourceSpec) key() string {
+	if s.Stream != "" {
+		return "s|" + s.Stream
+	}
 	if len(s.Weights) > 0 {
 		return fmt.Sprintf("w|%016x", dist.HashFloats(s.Weights))
 	}
 	return fmt.Sprintf("g|%s|n=%d|k=%d|seed=%d", s.Gen, s.N, s.K, s.Seed)
+}
+
+// Source is one resolvable request source: the pluggable seam between
+// request decoding and tabulation. Key is the stable cache/routing key
+// of the source's identity; Resolve materializes the immutable
+// distribution to sample plus the fingerprint that keys tabulations
+// drawn from it. Two implementations exist — the synthetic generator
+// registry (genSource) and live ingested streams (streamSource) — and
+// everything downstream of Resolve (sample plane, bundle cache,
+// response cache, cluster warming) is source-agnostic: it sees only a
+// distribution and a fingerprint.
+type Source interface {
+	Key() string
+	Resolve() (resolvedSource, error)
+}
+
+// resolvedSource is a materialized Source: the distribution to sample
+// and the fingerprint keying its tabulations. For stream sources it
+// also carries the provenance (which stream entry, at which version)
+// that the response cache records to recognize superseded entries.
+type resolvedSource struct {
+	d  *dist.Distribution
+	fp uint64
+	// stream is the resolved stream entry (nil for generator sources);
+	// version is the snapshot version the fingerprint incorporates.
+	stream  *tenantStream
+	version uint64
+}
+
+// sourceFor resolves a spec to its Source implementation. Stream specs
+// must name nothing but the stream: a spec mixing generator fields
+// with a stream id is ambiguous and rejected at decode time.
+func (s *Server) sourceFor(tenant string, spec SourceSpec) (Source, error) {
+	if spec.Stream == "" {
+		return genSource{s: s, spec: spec}, nil
+	}
+	if spec.Gen != "" || spec.N != 0 || spec.K != 0 || spec.Seed != 0 || len(spec.Weights) > 0 {
+		return nil, fmt.Errorf("serve: a stream source names only its stream id (got generator fields alongside stream %q)", spec.Stream)
+	}
+	return streamSource{s: s, tenant: tenant, id: spec.Stream}, nil
+}
+
+// genSource resolves synthetic generator and inline-weight specs
+// through the shared registry. Its fingerprint is the distribution's
+// content hash, exactly as before the source plane became pluggable.
+type genSource struct {
+	s    *Server
+	spec SourceSpec
+}
+
+func (g genSource) Key() string { return g.spec.key() }
+
+func (g genSource) Resolve() (resolvedSource, error) {
+	d, err := g.s.resolveSource(g.spec)
+	if err != nil {
+		return resolvedSource{}, err
+	}
+	return resolvedSource{d: d, fp: d.Fingerprint()}, nil
+}
+
+// streamSource resolves a live tenant stream: the sketch's current
+// snapshot becomes the distribution, and the fingerprint mixes the
+// snapshot's content hash with the stream version — so a version bump
+// re-keys every downstream tabulation with zero special cases.
+type streamSource struct {
+	s          *Server
+	tenant, id string
+}
+
+func (st streamSource) Key() string { return "s|" + st.id }
+
+func (st streamSource) Resolve() (resolvedSource, error) {
+	ent := st.s.streams.get(st.tenant, st.id)
+	if ent == nil {
+		return resolvedSource{}, fmt.Errorf("serve: unknown stream %q (ingest a batch first)", st.id)
+	}
+	snap := ent.ts.Snapshot()
+	if snap.Count == 0 || snap.Dist == nil {
+		return resolvedSource{}, fmt.Errorf("serve: stream %q has no observations yet", st.id)
+	}
+	return resolvedSource{d: snap.Dist, fp: snap.Fingerprint, stream: ent, version: snap.Version}, nil
 }
 
 // Source2DSpec is SourceSpec for grid distributions served by /v1/learn2d.

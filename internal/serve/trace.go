@@ -65,6 +65,7 @@ var tracedEndpoints = map[string]bool{
 	epTestL2:  true,
 	epTestL1:  true,
 	epLearn2D: true,
+	epIngest:  true,
 	"batch":   true,
 }
 

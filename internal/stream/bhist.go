@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"math"
+	"sort"
+)
+
+// BHist is a Ben-Haim/Tom-Tov-style streaming histogram: a bounded set
+// of (centroid, count) bins over a numeric stream. Updates insert a
+// unit bin and, when the budget overflows, merge the pair of adjacent
+// bins with the smallest centroid gap — so memory stays O(maxBins)
+// however long the stream runs, while the bin set tracks where the
+// stream's mass actually lives. Two histograms merge by concatenating
+// their bins and compressing back under the budget, which makes the
+// summary mergeable across shards or nodes.
+//
+// All operations are deterministic: insertion position, the merged
+// pair (leftmost minimal gap wins ties), and the weighted-centroid
+// arithmetic are pure functions of the update sequence, so two
+// histograms fed the same batches in the same order are always
+// structurally identical. BHist is not goroutine-safe; TStream wraps
+// it with a lock.
+type BHist struct {
+	maxBins int
+	bins    []bhBin // sorted by ascending centroid
+	count   int64
+}
+
+// bhBin is one histogram bin: count observations centered at c.
+type bhBin struct {
+	c float64
+	n int64
+}
+
+// NewBHist returns an empty histogram holding at most maxBins bins.
+func NewBHist(maxBins int) (*BHist, error) {
+	if maxBins < 2 {
+		return nil, ErrBadCapacity
+	}
+	return &BHist{maxBins: maxBins, bins: make([]bhBin, 0, maxBins+1)}, nil
+}
+
+// Count returns the total number of observations folded in.
+func (h *BHist) Count() int64 { return h.count }
+
+// Bins returns the number of live bins (at most maxBins).
+func (h *BHist) Bins() int { return len(h.bins) }
+
+// Update folds one observation into the histogram.
+func (h *BHist) Update(v int) {
+	h.count++
+	c := float64(v)
+	i := sort.Search(len(h.bins), func(j int) bool { return h.bins[j].c >= c })
+	if i < len(h.bins) && h.bins[i].c == c {
+		h.bins[i].n++
+		return
+	}
+	h.bins = append(h.bins, bhBin{})
+	copy(h.bins[i+1:], h.bins[i:])
+	h.bins[i] = bhBin{c: c, n: 1}
+	h.compress()
+}
+
+// Merge folds o's bins into h so h summarizes the concatenation of both
+// streams. o is not modified. The result depends only on the two bin
+// sets, so merging is deterministic.
+func (h *BHist) Merge(o *BHist) {
+	if o == nil || len(o.bins) == 0 {
+		return
+	}
+	merged := make([]bhBin, 0, len(h.bins)+len(o.bins))
+	i, j := 0, 0
+	for i < len(h.bins) || j < len(o.bins) {
+		switch {
+		case j >= len(o.bins) || (i < len(h.bins) && h.bins[i].c < o.bins[j].c):
+			merged = append(merged, h.bins[i])
+			i++
+		case i >= len(h.bins) || o.bins[j].c < h.bins[i].c:
+			merged = append(merged, o.bins[j])
+			j++
+		default: // equal centroids collapse immediately
+			merged = append(merged, bhBin{c: h.bins[i].c, n: h.bins[i].n + o.bins[j].n})
+			i, j = i+1, j+1
+		}
+	}
+	h.bins = merged
+	h.count += o.count
+	h.compress()
+}
+
+// compress merges adjacent bins until the budget holds: each round, the
+// leftmost pair with the minimal centroid gap collapses into its
+// count-weighted centroid.
+func (h *BHist) compress() {
+	for len(h.bins) > h.maxBins {
+		best, gap := 0, math.Inf(1)
+		for i := 0; i+1 < len(h.bins); i++ {
+			if g := h.bins[i+1].c - h.bins[i].c; g < gap {
+				best, gap = i, g
+			}
+		}
+		a, b := h.bins[best], h.bins[best+1]
+		n := a.n + b.n
+		h.bins[best] = bhBin{c: (a.c*float64(a.n) + b.c*float64(b.n)) / float64(n), n: n}
+		h.bins = append(h.bins[:best+1], h.bins[best+2:]...)
+	}
+}
+
+// Project renders the histogram as occurrence counts over the integer
+// domain [0, n): each bin's count is split between the two integers
+// bracketing its centroid in proportion to the fractional part, clamped
+// into the domain. The projection preserves the total count exactly and
+// is a pure function of the bin set.
+func (h *BHist) Project(n int) []int64 {
+	occ := make([]int64, n)
+	for _, b := range h.bins {
+		lo := int(math.Floor(b.c))
+		frac := b.c - float64(lo)
+		hiN := int64(math.Round(float64(b.n) * frac))
+		loN := b.n - hiN
+		occ[clampDomain(lo, n)] += loN
+		occ[clampDomain(lo+1, n)] += hiN
+	}
+	return occ
+}
+
+func clampDomain(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+// SizeBytes approximates the retained heap bytes: the bin array's
+// capacity (16 bytes per bin) plus the struct header.
+func (h *BHist) SizeBytes() int64 {
+	return 48 + 16*int64(cap(h.bins))
+}

@@ -1,0 +1,220 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"khist/internal/dist"
+)
+
+// TStream is the serving layer's per-(tenant, stream) sketch: live
+// ingested observations folded into two bounded summaries — a BHist
+// bounded-bucket histogram carrying the full stream's shape, and a
+// uniform reservoir keeping small streams exact — under one lock, with
+// a monotonically increasing version that bumps once per accepted
+// batch (or merge). Snapshot tabulates the sketch into an immutable
+// dist.Empirical whose fingerprint mixes in the version, so everything
+// downstream that keys on fingerprints (tabulation cache, response
+// cache, cluster bundle warming) distinguishes stream states with zero
+// special cases.
+//
+// Determinism: the sketch state is a pure function of the batch
+// sequence and the seed — the reservoir's rng is seeded at
+// construction and consumed only by ingested values — so two TStreams
+// with equal seeds fed equal batches are identical, whatever process,
+// ring size, or shard count hosts them. Memory is bounded by the bin
+// and reservoir capacities regardless of stream length.
+type TStream struct {
+	mu      sync.Mutex
+	n       int
+	count   int64
+	version uint64
+	hist    *BHist
+	res     *Reservoir
+	rng     *rand.Rand
+	// snap caches the tabulation of the current version: repeated
+	// resolves between batches cost a pointer read, not an O(n) build.
+	snap *Snapshot
+}
+
+// ErrDomainMismatch is returned when a batch or merge names a domain
+// size other than the stream's.
+var ErrDomainMismatch = errors.New("stream: domain size does not match the stream's")
+
+// Snapshot is one version's immutable tabulation. Emp sums the sketch's
+// occurrence counts over [0, n); Dist is the same mass normalized for
+// sampling (nil while the stream is empty); Fingerprint is Emp's
+// content hash mixed with Version, the cache-key currency downstream.
+type Snapshot struct {
+	Version     uint64
+	Count       int64
+	N           int
+	Emp         *dist.Empirical
+	Dist        *dist.Distribution
+	Fingerprint uint64
+}
+
+// NewTStream returns an empty sketch over the integer domain [0, n)
+// with the given bin and reservoir capacities. The seed fixes the
+// reservoir's replacement choices; use SeedFor to derive it from the
+// stream's identity so the sketch state is host-independent.
+func NewTStream(n, bins, reservoir int, seed int64) (*TStream, error) {
+	if n < 1 {
+		return nil, ErrBadDomain
+	}
+	hist, err := NewBHist(bins)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res, err := NewReservoir(reservoir, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &TStream{n: n, hist: hist, res: res, rng: rng}, nil
+}
+
+// SeedFor derives a reservoir seed from a stream's identity (FNV-1a of
+// tenant and id). A pure function of the names, so every host that
+// materializes the stream — whatever the ring looks like — seeds it
+// identically.
+func SeedFor(tenant, id string) int64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(tenant); i++ {
+		h = (h ^ uint64(tenant[i])) * prime
+	}
+	h = (h ^ 0) * prime // separator
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * prime
+	}
+	return int64(h)
+}
+
+// N returns the stream's domain size.
+func (t *TStream) N() int { return t.n }
+
+// Version returns the current version (0 until the first batch).
+func (t *TStream) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Count returns the total observations accepted so far.
+func (t *TStream) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Ingest folds one batch into the sketch and bumps the version. The
+// batch is atomic: every value is validated against the domain before
+// any is applied, so a rejected batch leaves the sketch (and the
+// version) untouched.
+func (t *TStream) Ingest(values []int) (version uint64, count int64, err error) {
+	if len(values) == 0 {
+		return 0, 0, errors.New("stream: empty batch")
+	}
+	for _, v := range values {
+		if v < 0 || v >= t.n {
+			return 0, 0, fmt.Errorf("stream: value %d outside domain [0,%d)", v, t.n)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, v := range values {
+		t.res.Observe(v)
+		t.hist.Update(v)
+	}
+	t.count += int64(len(values))
+	t.version++
+	t.snap = nil
+	return t.version, t.count, nil
+}
+
+// Merge folds o's sketch into t (summarizing the concatenation of both
+// streams) and bumps t's version. Domains must match; o is read under
+// its own lock and not modified. Merging is deterministic: the result
+// depends only on the two sketch states and t's rng position.
+func (t *TStream) Merge(o *TStream) error {
+	if o == nil {
+		return nil
+	}
+	if o.N() != t.n {
+		return ErrDomainMismatch
+	}
+	o.mu.Lock()
+	hist := &BHist{maxBins: o.hist.maxBins, bins: append([]bhBin(nil), o.hist.bins...), count: o.hist.count}
+	view := ReservoirView(o.res.items, o.res.seen)
+	count := o.count
+	o.mu.Unlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hist.Merge(hist)
+	merged, err := MergeReservoirs(t.res.Cap(), t.rng, ReservoirView(t.res.items, t.res.seen), view)
+	if err != nil {
+		return err
+	}
+	merged.rng = t.rng
+	t.res = merged
+	t.count += count
+	t.version++
+	t.snap = nil
+	return nil
+}
+
+// Snapshot tabulates the current version (cached until the next batch).
+// While the total count fits the reservoir, the reservoir holds every
+// observation and the tabulation is exact; past that, the bounded
+// histogram's projection takes over.
+func (t *TStream) Snapshot() *Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.snap != nil {
+		return t.snap
+	}
+	var occ []int64
+	if t.count <= int64(t.res.Cap()) {
+		occ = make([]int64, t.n)
+		for _, v := range t.res.items {
+			occ[v]++
+		}
+	} else {
+		occ = t.hist.Project(t.n)
+	}
+	emp := dist.NewEmpiricalFromCounts(occ)
+	snap := &Snapshot{
+		Version:     t.version,
+		Count:       t.count,
+		N:           t.n,
+		Emp:         emp,
+		Fingerprint: emp.FingerprintWithVersion(t.version),
+	}
+	if t.count > 0 {
+		d, err := emp.Distribution()
+		if err == nil {
+			snap.Dist = d
+		}
+	}
+	t.snap = snap
+	return snap
+}
+
+// SizeBytes approximates the bytes the sketch retains: histogram bins,
+// reservoir slots, and the cached snapshot's tabulation.
+func (t *TStream) SizeBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := 128 + t.hist.SizeBytes() + 8*int64(t.res.Cap())
+	if t.snap != nil && t.snap.Emp != nil {
+		b += t.snap.Emp.SizeBytes()
+	}
+	return b
+}

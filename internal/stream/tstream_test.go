@@ -1,0 +1,273 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"khist/internal/dist"
+)
+
+// TStream is the ingest plane's per-stream sketch; these tests pin the
+// properties the serving layer builds on: determinism across hosts
+// (equal seeds + equal batches → equal snapshots), version monotonicity
+// with cache-key freshness, exactness below the reservoir capacity,
+// bounded memory past it, batch atomicity, and merge determinism.
+
+func TestTStreamDeterministicAcrossInstances(t *testing.T) {
+	const n = 500
+	mk := func() *TStream {
+		ts, err := NewTStream(n, 64, 256, SeedFor("acme", "checkout"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+	a, b := mk(), mk()
+	rng := rand.New(rand.NewSource(7))
+	for batch := 0; batch < 20; batch++ {
+		vals := make([]int, 500)
+		for i := range vals {
+			vals[i] = rng.Intn(n)
+		}
+		if _, _, err := a.Ingest(vals); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := b.Ingest(vals); err != nil {
+			t.Fatal(err)
+		}
+		sa, sb := a.Snapshot(), b.Snapshot()
+		if sa.Version != sb.Version || sa.Count != sb.Count {
+			t.Fatalf("batch %d: versions/counts diverged: (%d,%d) vs (%d,%d)",
+				batch, sa.Version, sa.Count, sb.Version, sb.Count)
+		}
+		if sa.Fingerprint != sb.Fingerprint {
+			t.Fatalf("batch %d: fingerprints diverged: %016x vs %016x", batch, sa.Fingerprint, sb.Fingerprint)
+		}
+		for v := 0; v < n; v++ {
+			if sa.Emp.Occ(v) != sb.Emp.Occ(v) {
+				t.Fatalf("batch %d: occ[%d] = %d vs %d", batch, v, sa.Emp.Occ(v), sb.Emp.Occ(v))
+			}
+		}
+	}
+}
+
+func TestTStreamVersioning(t *testing.T) {
+	ts, err := NewTStream(10, 8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Version() != 0 {
+		t.Fatalf("fresh stream version = %d, want 0", ts.Version())
+	}
+	empty := ts.Snapshot()
+	if empty.Count != 0 || empty.Dist != nil {
+		t.Fatal("empty snapshot should have zero count and nil Dist")
+	}
+	v1, c1, err := ts.Ingest([]int{1, 2, 3})
+	if err != nil || v1 != 1 || c1 != 3 {
+		t.Fatalf("first batch: (v=%d, c=%d, err=%v), want (1, 3, nil)", v1, c1, err)
+	}
+	s1 := ts.Snapshot()
+	if ts.Snapshot() != s1 {
+		t.Fatal("snapshot should be cached between batches")
+	}
+	v2, c2, err := ts.Ingest([]int{4})
+	if err != nil || v2 != 2 || c2 != 4 {
+		t.Fatalf("second batch: (v=%d, c=%d, err=%v), want (2, 4, nil)", v2, c2, err)
+	}
+	s2 := ts.Snapshot()
+	if s2 == s1 {
+		t.Fatal("version bump must rebuild the snapshot")
+	}
+	if s1.Fingerprint == s2.Fingerprint {
+		t.Fatal("fingerprints of distinct versions must differ")
+	}
+	// Even with identical tabulated content, two versions must not share
+	// a fingerprint — this is what re-keys caches after re-ingest.
+	other, _ := NewTStream(10, 8, 16, 1)
+	other.Ingest([]int{1, 2, 3})
+	other.Ingest([]int{4})
+	other.Ingest([]int{5})
+	back, _ := NewTStream(10, 8, 16, 1)
+	back.Ingest([]int{1, 2, 3})
+	back.Ingest([]int{4})
+	if a, b := other.Snapshot(), back.Snapshot(); a.Version == b.Version {
+		t.Fatal("setup broken: versions should differ")
+	}
+	e := dist.NewEmpiricalFromCounts([]int64{3, 1})
+	if e.FingerprintWithVersion(1) == e.FingerprintWithVersion(2) {
+		t.Fatal("FingerprintWithVersion must separate versions of identical content")
+	}
+}
+
+func TestTStreamExactBelowReservoirCap(t *testing.T) {
+	const n, cap = 50, 128
+	ts, err := NewTStream(n, 8, cap, SeedFor("", "exact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int64, n)
+	rng := rand.New(rand.NewSource(3))
+	var vals []int
+	for i := 0; i < cap; i++ {
+		v := rng.Intn(n)
+		want[v]++
+		vals = append(vals, v)
+	}
+	if _, _, err := ts.Ingest(vals); err != nil {
+		t.Fatal(err)
+	}
+	snap := ts.Snapshot()
+	for v := 0; v < n; v++ {
+		if snap.Emp.Occ(v) != want[v] {
+			t.Fatalf("occ[%d] = %d, want exactly %d (count <= reservoir cap)", v, snap.Emp.Occ(v), want[v])
+		}
+	}
+	if snap.Emp.M() != cap {
+		t.Fatalf("tabulated %d samples, want %d", snap.Emp.M(), cap)
+	}
+}
+
+func TestTStreamBoundedMemory(t *testing.T) {
+	const n = 1 << 16
+	ts, err := NewTStream(n, 64, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	batch := make([]int, 1000)
+	var bound int64
+	for round := 0; round < 50; round++ {
+		for i := range batch {
+			batch[i] = rng.Intn(n)
+		}
+		if _, _, err := ts.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+		// Force the cached snapshot so its bytes are accounted too.
+		ts.Snapshot()
+		b := ts.SizeBytes()
+		if round == 0 {
+			bound = 4 * b
+		}
+		if b > bound {
+			t.Fatalf("round %d: sketch grew to %d bytes (bound %d) — memory is not bounded", round, b, bound)
+		}
+	}
+	if snap := ts.Snapshot(); snap.Count != 50_000 {
+		t.Fatalf("count = %d, want 50000", snap.Count)
+	} else if snap.Emp.M() != 50_000 {
+		// The projection preserves total mass exactly even though
+		// per-element counts are approximate past the reservoir.
+		t.Fatalf("projected mass = %d, want 50000", snap.Emp.M())
+	}
+}
+
+func TestTStreamBatchAtomicity(t *testing.T) {
+	ts, err := NewTStream(10, 8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ts.Ingest([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	before := ts.Snapshot()
+	if _, _, err := ts.Ingest([]int{3, 99, 4}); err == nil {
+		t.Fatal("out-of-domain value must reject the batch")
+	}
+	if _, _, err := ts.Ingest(nil); err == nil {
+		t.Fatal("empty batch must be rejected")
+	}
+	after := ts.Snapshot()
+	if after != before {
+		t.Fatal("rejected batch must leave the sketch untouched (snapshot still cached)")
+	}
+	if ts.Version() != 1 || ts.Count() != 2 {
+		t.Fatalf("after rejects: version=%d count=%d, want 1, 2", ts.Version(), ts.Count())
+	}
+}
+
+func TestTStreamMergeDeterministic(t *testing.T) {
+	const n = 200
+	feed := func(ts *TStream, seed int64, rounds int) {
+		rng := rand.New(rand.NewSource(seed))
+		for r := 0; r < rounds; r++ {
+			vals := make([]int, 300)
+			for i := range vals {
+				vals[i] = rng.Intn(n)
+			}
+			if _, _, err := ts.Ingest(vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run := func() *Snapshot {
+		a, _ := NewTStream(n, 32, 128, SeedFor("t", "a"))
+		b, _ := NewTStream(n, 32, 128, SeedFor("t", "b"))
+		feed(a, 11, 4)
+		feed(b, 22, 6)
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		return a.Snapshot()
+	}
+	s1, s2 := run(), run()
+	if s1.Fingerprint != s2.Fingerprint || s1.Count != s2.Count || s1.Version != s2.Version {
+		t.Fatalf("merge is not deterministic: (%016x,%d,%d) vs (%016x,%d,%d)",
+			s1.Fingerprint, s1.Count, s1.Version, s2.Fingerprint, s2.Count, s2.Version)
+	}
+	if s1.Count != 4*300+6*300 {
+		t.Fatalf("merged count = %d, want %d", s1.Count, 4*300+6*300)
+	}
+	// Domain mismatch is rejected without touching the target.
+	c, _ := NewTStream(n+1, 32, 128, 1)
+	a, _ := NewTStream(n, 32, 128, 1)
+	feed(a, 1, 1)
+	v := a.Version()
+	if err := a.Merge(c); err != ErrDomainMismatch {
+		t.Fatalf("merge across domains: err = %v, want ErrDomainMismatch", err)
+	}
+	if a.Version() != v {
+		t.Fatal("failed merge must not bump the version")
+	}
+}
+
+func TestBHistProjectPreservesMass(t *testing.T) {
+	h, err := NewBHist(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const n = 1000
+	for i := 0; i < 10_000; i++ {
+		h.Update(rng.Intn(n))
+	}
+	occ := h.Project(n)
+	var total int64
+	for v, c := range occ {
+		if c < 0 {
+			t.Fatalf("occ[%d] = %d < 0", v, c)
+		}
+		total += c
+	}
+	if total != 10_000 {
+		t.Fatalf("projected mass = %d, want 10000 exactly", total)
+	}
+	if got := h.Bins(); got > 16 {
+		t.Fatalf("histogram holds %d bins, budget is 16", got)
+	}
+}
+
+func TestSeedForPureAndSeparating(t *testing.T) {
+	if SeedFor("a", "b") != SeedFor("a", "b") {
+		t.Fatal("SeedFor must be pure")
+	}
+	// The separator keeps (tenant, id) boundaries distinct: ("ab", "c")
+	// and ("a", "bc") must not collide by construction.
+	if SeedFor("ab", "c") == SeedFor("a", "bc") {
+		t.Fatal("SeedFor must separate tenant and id")
+	}
+	if SeedFor("", "x") == SeedFor("x", "") {
+		t.Fatal("SeedFor must distinguish tenant from id position")
+	}
+}
